@@ -1,0 +1,86 @@
+// Ablation — the compressed-sensing baseline family ([6]-[10] in §II).
+//
+// The paper argues (without running them) that approaches which sample
+// random (node, step) measurements and reconstruct the rest by low-rank
+// matrix completion underperform its mechanism. This bench runs an actual
+// ALS matrix-completion baseline at the same average budget B and compares
+// the h = 0 estimation error against (a) last-value hold on the same
+// random samples and (b) the proposed adaptive-transmission + dynamic-
+// clustering pipeline.
+//
+// Expected shape: the proposed mechanism (which *chooses* what to send
+// and keeps every node's latest value) is the most accurate at every
+// budget. The completion baseline is worst: a machine-utilization matrix
+// is *not* low-rank over short windows (per-node noise is full-rank), so
+// the rank-r reconstruction over-smooths — which is exactly the paper's
+// §II argument against this family.
+#include <cmath>
+
+#include "bench_util.hpp"
+
+#include "collect/fleet_collector.hpp"
+#include "completion/matrix_completion.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace resmon;
+
+/// h = 0 error of the proposed collection stage (adaptive transmission),
+/// per resource 0 only, matching the completion experiment's scope.
+double proposed_h0(const trace::Trace& t, double b) {
+  collect::FleetCollector fleet(
+      t, collect::make_policy_factory(collect::PolicyKind::kAdaptive, b,
+                                      0.5, 0.65, false));
+  core::RmseAccumulator acc;
+  for (std::size_t step = 0; step < t.num_steps(); ++step) {
+    fleet.step(step);
+    double se = 0.0;
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      const double e = fleet.store().stored(i)[0] - t.value(i, step, 0);
+      se += e * e;
+    }
+    acc.add(std::sqrt(se / static_cast<double>(t.num_nodes())));
+  }
+  return acc.value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace resmon;
+  const Args args(argc, argv);
+  bench::banner("Ablation: compressed sensing ([6]-[10])",
+                "Random sampling + rank-r matrix completion vs the "
+                "proposed adaptive collection, same budget, CPU");
+
+  const std::size_t window =
+      static_cast<std::size_t>(args.get_int("window", 48));
+  const std::size_t rank = static_cast<std::size_t>(args.get_int("rank", 4));
+
+  Table table({"dataset", "B", "completion", "random-sample hold",
+               "proposed (adaptive)"},
+              4);
+  for (const std::string& name : bench::datasets_from_args(args)) {
+    trace::SyntheticProfile profile = bench::profile_from_args(args, name);
+    if (!args.has("steps") && !args.get_bool("full")) {
+      profile.num_steps = 1200;  // completion is O(window sweeps) per step
+    }
+    const trace::InMemoryTrace t =
+        trace::generate(profile, args.get_int("seed", 1));
+    for (const double b : {0.1, 0.3, 0.5}) {
+      const completion::CompletionExperimentResult r =
+          completion::run_completion_experiment(
+              t, 0, b, window,
+              {.rank = rank, .iterations = 8,
+               .seed = static_cast<std::uint64_t>(args.get_int("seed", 1))});
+      table.add_row({name, b, r.rmse, r.hold_rmse, proposed_h0(t, b)});
+    }
+  }
+  bench::emit(table, args);
+  std::cout << "\nExpected shape: proposed best at every budget; "
+               "completion worst (the low-rank assumption fails on "
+               "utilization data), matching the paper's argument against "
+               "this family.\n";
+  return 0;
+}

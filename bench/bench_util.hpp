@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary prints the rows/series of the paper table or figure it
+// regenerates. Defaults are laptop-scale; `--full` switches the synthetic
+// profiles to the paper's node/step counts, and `--dataset`, `--nodes`,
+// `--steps`, `--seed` override individual knobs.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "trace/synthetic.hpp"
+
+namespace resmon::bench {
+
+/// Resolve a synthetic profile from CLI flags.
+inline trace::SyntheticProfile profile_from_args(const Args& args,
+                                                 const std::string& name) {
+  trace::SyntheticProfile p = trace::profile_by_name(name);
+  if (args.get_bool("full")) p = trace::scale_to_paper(p);
+  if (args.has("nodes")) {
+    p.num_nodes = static_cast<std::size_t>(args.get_int("nodes", 0));
+  }
+  if (args.has("steps")) {
+    p.num_steps = static_cast<std::size_t>(args.get_int("steps", 0));
+  }
+  return p;
+}
+
+/// Datasets an experiment sweeps over: either the one named via
+/// `--dataset`, or all three evaluation datasets.
+inline std::vector<std::string> datasets_from_args(const Args& args) {
+  if (args.has("dataset")) return {args.get("dataset", "alibaba")};
+  return {"alibaba", "bitbrains", "google"};
+}
+
+/// Standard experiment banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "== " << id << " ==\n" << what << "\n\n";
+}
+
+/// Print a table plus an optional CSV copy when --csv <path> is given.
+inline void emit(const Table& table, const Args& args) {
+  table.print(std::cout);
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", "");
+    table.save_csv(path);
+    std::cout << "\n(csv written to " << path << ")\n";
+  }
+}
+
+}  // namespace resmon::bench

@@ -1,0 +1,133 @@
+// Micro-benchmarks for the primitives the pipeline leans on: K-means,
+// Hungarian matching, ARIMA/LSTM fitting, Gaussian conditional variance and
+// one full pipeline step. Engineering hygiene, not a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hungarian.hpp"
+#include "cluster/kmeans.hpp"
+#include "core/pipeline.hpp"
+#include "forecast/arima.hpp"
+#include "forecast/lstm.hpp"
+#include "gaussian/gaussian_model.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace resmon;
+
+void BM_KMeansScalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix points(n, 1);
+  for (std::size_t i = 0; i < n; ++i) points(i, 0) = rng.uniform();
+  for (auto _ : state) {
+    Rng local(2);
+    benchmark::DoNotOptimize(cluster::kmeans(points, 3, local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeansScalar)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix w(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) w(r, c) = rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::max_weight_assignment(w));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(3)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ArimaFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> x(n);
+  double s = 0.0;
+  for (double& v : x) {
+    s = 0.9 * s + rng.normal(0.0, 0.05);
+    v = 0.5 + s;
+  }
+  for (auto _ : state) {
+    forecast::ArimaForecaster f(forecast::ArimaOrder{.p = 2, .q = 1});
+    f.fit(x);
+    benchmark::DoNotOptimize(f.forecast(5));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ArimaFit)->Arg(1000)->Arg(3000)->Unit(benchmark::kMillisecond);
+
+void BM_LstmFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> x(600);
+  double s = 0.0;
+  for (double& v : x) {
+    s = 0.95 * s + rng.normal(0.0, 0.03);
+    v = 0.5 + s;
+  }
+  for (auto _ : state) {
+    forecast::LstmForecaster f({.hidden_size = 12, .window = 16,
+                                .epochs = 2, .stride = 2},
+                               1);
+    f.fit(x);
+    benchmark::DoNotOptimize(f.forecast(1));
+  }
+}
+BENCHMARK(BM_LstmFit)->Unit(benchmark::kMillisecond);
+
+void BM_LstmForecast50(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> x(400);
+  for (double& v : x) v = rng.uniform();
+  forecast::LstmForecaster f({.hidden_size = 12, .window = 16, .epochs = 1},
+                             1);
+  f.fit(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.forecast(50));
+  }
+}
+BENCHMARK(BM_LstmForecast50);
+
+void BM_GaussianConditionalVariance(benchmark::State& state) {
+  const std::size_t n = 100;
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix train(500, n);
+  for (std::size_t t = 0; t < 500; ++t) {
+    for (std::size_t i = 0; i < n; ++i) train(t, i) = rng.uniform();
+  }
+  const gaussian::GaussianModel model = gaussian::GaussianModel::fit(train);
+  std::vector<std::size_t> monitors(k);
+  for (std::size_t i = 0; i < k; ++i) monitors[i] = i * (n / k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.conditional_variance(monitors));
+  }
+}
+BENCHMARK(BM_GaussianConditionalVariance)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_PipelineStep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  trace::SyntheticProfile profile = trace::alibaba_profile();
+  profile.num_nodes = n;
+  profile.num_steps = 4000;
+  const trace::InMemoryTrace t = trace::generate(profile, 1);
+  core::PipelineOptions o;
+  o.schedule = {.initial_steps = 1000000, .retrain_interval = 1000000};
+  auto pipeline = std::make_unique<core::MonitoringPipeline>(t, o);
+  for (auto _ : state) {
+    if (pipeline->done()) {
+      state.PauseTiming();
+      pipeline = std::make_unique<core::MonitoringPipeline>(t, o);
+      state.ResumeTiming();
+    }
+    pipeline->step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PipelineStep)->Arg(100)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

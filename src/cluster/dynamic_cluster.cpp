@@ -1,0 +1,140 @@
+#include "cluster/dynamic_cluster.hpp"
+
+#include <algorithm>
+
+#include "cluster/hungarian.hpp"
+#include "common/error.hpp"
+
+namespace resmon::cluster {
+
+DynamicClusterTracker::DynamicClusterTracker(
+    const DynamicClusterOptions& options, std::uint64_t seed)
+    : options_(options), rng_(seed), centroid_series_(options.k) {
+  RESMON_REQUIRE(options.k >= 1, "tracker needs at least one cluster");
+  RESMON_REQUIRE(options.history_m >= 1, "M must be at least 1");
+  RESMON_REQUIRE(options.history_capacity >= options.history_m,
+                 "history capacity must cover M");
+}
+
+Matrix DynamicClusterTracker::similarity_matrix(
+    const std::vector<std::size_t>& fresh_assignment, std::size_t n) const {
+  const std::size_t k = options_.k;
+  // Nodes that stayed in cluster j throughout the last min(M, t-1) steps:
+  // the intersection term of eq. (10).
+  const std::size_t lookback = std::min(options_.history_m, history_.size());
+  std::vector<bool> in_all(n * k, true);
+  for (std::size_t m = 0; m < lookback; ++m) {
+    const Clustering& past = history_[m];
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (past.assignment[i] != j) in_all[i * k + j] = false;
+      }
+    }
+  }
+
+  Matrix w(k, k);
+  if (options_.similarity == SimilarityKind::kIntersection) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t kk = fresh_assignment[i];
+      for (std::size_t j = 0; j < k; ++j) {
+        if (in_all[i * k + j]) w(kk, j) += 1.0;
+      }
+    }
+  } else {
+    // Jaccard: |C'_k intersect I_j| / |C'_k union I_j|.
+    Matrix inter(k, k);
+    std::vector<double> fresh_size(k, 0.0);
+    std::vector<double> hist_size(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t kk = fresh_assignment[i];
+      fresh_size[kk] += 1.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (in_all[i * k + j]) {
+          hist_size[j] += 1.0;
+          inter(kk, j) += 1.0;
+        }
+      }
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t j = 0; j < k; ++j) {
+        const double uni = fresh_size[kk] + hist_size[j] - inter(kk, j);
+        w(kk, j) = uni > 0.0 ? inter(kk, j) / uni : 0.0;
+      }
+    }
+  }
+  return w;
+}
+
+const Clustering& DynamicClusterTracker::update(const Matrix& points) {
+  return update(points, points);
+}
+
+const Clustering& DynamicClusterTracker::update(const Matrix& features,
+                                                const Matrix& values) {
+  RESMON_REQUIRE(features.rows() >= options_.k,
+                 "need at least k points to cluster");
+  RESMON_REQUIRE(features.rows() == values.rows(),
+                 "features/values row count mismatch");
+  if (!history_.empty()) {
+    RESMON_REQUIRE(features.rows() == history_.front().assignment.size(),
+                   "node count changed between updates");
+  }
+
+  const KMeansResult raw =
+      kmeans(features, options_.k, rng_, options_.kmeans);
+
+  Clustering final_clustering;
+  final_clustering.assignment.resize(features.rows());
+
+  // phi maps the raw K-means index k to the stable index j (eq. (11)).
+  std::vector<std::size_t> phi(options_.k);
+  if (history_.empty() || !options_.reindex) {
+    for (std::size_t j = 0; j < options_.k; ++j) phi[j] = j;
+  } else {
+    const Matrix w = similarity_matrix(raw.assignment, features.rows());
+    phi = max_weight_assignment(w);
+  }
+
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    final_clustering.assignment[i] = phi[raw.assignment[i]];
+  }
+  // Report centroids in measurement space (eq. (1)); K-means' empty-cluster
+  // repair guarantees every cluster has at least one member.
+  final_clustering.centroids =
+      centroids_of(values, final_clustering.assignment, options_.k);
+
+  for (std::size_t j = 0; j < options_.k; ++j) {
+    const auto row = final_clustering.centroids.row(j);
+    centroid_series_[j].emplace_back(row.begin(), row.end());
+  }
+
+  history_.push_front(std::move(final_clustering));
+  if (history_.size() > options_.history_capacity) history_.pop_back();
+  ++steps_;
+  return history_.front();
+}
+
+const Clustering& DynamicClusterTracker::history(std::size_t age) const {
+  RESMON_REQUIRE(age < history_.size(), "history age out of range");
+  return history_[age];
+}
+
+const std::vector<std::vector<double>>& DynamicClusterTracker::centroid_series(
+    std::size_t j) const {
+  RESMON_REQUIRE(j < options_.k, "cluster index out of range");
+  return centroid_series_[j];
+}
+
+std::vector<double> DynamicClusterTracker::centroid_series(
+    std::size_t j, std::size_t dim) const {
+  const auto& full = centroid_series(j);
+  std::vector<double> out;
+  out.reserve(full.size());
+  for (const auto& v : full) {
+    RESMON_REQUIRE(dim < v.size(), "centroid dimension out of range");
+    out.push_back(v[dim]);
+  }
+  return out;
+}
+
+}  // namespace resmon::cluster

@@ -1,0 +1,94 @@
+// Dynamic cluster construction over time (§V-B).
+//
+// Each time step the tracker runs K-means on the current central-store
+// snapshot, then re-indexes the resulting clusters so they align with the
+// clusters of the previous M steps: similarity w_{k,j} (eq. (10)) counts the
+// nodes present both in the new cluster k and in cluster j throughout the
+// last M steps, and the best one-to-one re-indexing (eq. (11)) is found with
+// the Hungarian algorithm. The centroid of each (re-indexed) cluster then
+// traces out the time series that the forecasting models are trained on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::cluster {
+
+/// One time step's clustering: per-node cluster index plus the centroids.
+struct Clustering {
+  std::vector<std::size_t> assignment;  ///< node index -> cluster j in [0,k)
+  Matrix centroids;                     ///< k x d, eq. (1)
+};
+
+/// Similarity between a fresh K-means cluster and historical clusters.
+enum class SimilarityKind {
+  kIntersection,  ///< |C'_k  intersect  (AND over m of C_{j,t-m})|, eq. (10)
+  kJaccard,       ///< normalized variant used in [20] (Fig. 11 baseline)
+};
+
+struct DynamicClusterOptions {
+  std::size_t k = 3;          ///< number of clusters / forecasting models
+  std::size_t history_m = 1;  ///< M: how far back the similarity looks
+  SimilarityKind similarity = SimilarityKind::kIntersection;
+  /// Disable the eq. (10)/(11) re-indexing (ablation): cluster labels are
+  /// then whatever K-means returns, so centroid series lose identity.
+  bool reindex = true;
+  /// How many past clusterings to retain for consumers (must cover both M
+  /// and the forecaster's M'); centroid series are kept in full regardless.
+  std::size_t history_capacity = 128;
+  KMeansOptions kmeans;
+};
+
+/// Online evolutionary clustering: call update() once per time step with the
+/// central store's snapshot; read the re-indexed clustering and the
+/// accumulated centroid series.
+class DynamicClusterTracker {
+ public:
+  DynamicClusterTracker(const DynamicClusterOptions& options,
+                        std::uint64_t seed);
+
+  /// Cluster the rows of `points` (n x d) and re-index against history.
+  /// Returns the final clustering for this step (also kept in history).
+  const Clustering& update(const Matrix& points);
+
+  /// Cluster on `features` (n x f) but compute the reported centroids from
+  /// `values` (n x d). Used when clustering on extended temporal-window
+  /// feature vectors (Fig. 5) while forecasting needs measurement-space
+  /// centroids of the current snapshot.
+  const Clustering& update(const Matrix& features, const Matrix& values);
+
+  std::size_t k() const { return options_.k; }
+  std::size_t steps() const { return steps_; }
+
+  /// Number of past clusterings currently retained (<= history_capacity).
+  std::size_t history_size() const { return history_.size(); }
+
+  /// Clustering `age` steps ago: history(0) is the most recent update.
+  const Clustering& history(std::size_t age) const;
+
+  /// Full centroid time series of cluster j: one d-dimensional value per
+  /// update() call, oldest first. This is {c_{j,tau} : tau <= t}.
+  const std::vector<std::vector<double>>& centroid_series(
+      std::size_t j) const;
+
+  /// Scalar centroid series of cluster j for one dimension (convenience for
+  /// the scalar-per-resource pipeline configuration).
+  std::vector<double> centroid_series(std::size_t j, std::size_t dim) const;
+
+ private:
+  Matrix similarity_matrix(const std::vector<std::size_t>& fresh_assignment,
+                           std::size_t n) const;
+
+  DynamicClusterOptions options_;
+  Rng rng_;
+  std::deque<Clustering> history_;  // front = most recent
+  std::vector<std::vector<std::vector<double>>> centroid_series_;  // [j][t][d]
+  std::size_t steps_ = 0;
+};
+
+}  // namespace resmon::cluster

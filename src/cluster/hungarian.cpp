@@ -1,0 +1,87 @@
+#include "cluster/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace resmon::cluster {
+
+std::vector<std::size_t> min_cost_assignment(const Matrix& cost) {
+  RESMON_REQUIRE(cost.rows() == cost.cols(),
+                 "assignment requires a square matrix");
+  RESMON_REQUIRE(cost.rows() > 0, "assignment on empty matrix");
+  const std::size_t n = cost.rows();
+
+  // Jonker-Volgenant style shortest augmenting path formulation of the
+  // Hungarian algorithm with 1-based sentinel row/column 0.
+  constexpr double kInf = std::numeric_limits<double>::max();
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(n + 1, 0.0);   // column potentials
+  std::vector<std::size_t> p(n + 1, 0);  // p[col] = row matched to col
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path back to the sentinel.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::size_t> assign(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    assign[p[j] - 1] = j - 1;
+  }
+  return assign;
+}
+
+std::vector<std::size_t> max_weight_assignment(const Matrix& weight) {
+  Matrix cost(weight.rows(), weight.cols());
+  for (std::size_t r = 0; r < weight.rows(); ++r) {
+    for (std::size_t c = 0; c < weight.cols(); ++c) {
+      cost(r, c) = -weight(r, c);
+    }
+  }
+  return min_cost_assignment(cost);
+}
+
+double assignment_value(const Matrix& m,
+                        const std::vector<std::size_t>& assign) {
+  RESMON_REQUIRE(assign.size() == m.rows(), "assignment size mismatch");
+  double s = 0.0;
+  for (std::size_t r = 0; r < assign.size(); ++r) s += m(r, assign[r]);
+  return s;
+}
+
+}  // namespace resmon::cluster

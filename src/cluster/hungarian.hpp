@@ -1,0 +1,26 @@
+// Hungarian algorithm for the assignment problem.
+//
+// The paper re-indexes each step's K-means clusters by solving the
+// maximum-weight bipartite matching of eq. (11); the Hungarian algorithm
+// solves it exactly in O(K^3).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace resmon::cluster {
+
+/// Minimum-cost perfect assignment on a square cost matrix.
+/// Returns `assign` with assign[row] = column, minimizing total cost.
+std::vector<std::size_t> min_cost_assignment(const Matrix& cost);
+
+/// Maximum-weight perfect assignment on a square weight matrix (eq. (11)).
+/// Returns `assign` with assign[row] = column, maximizing total weight.
+std::vector<std::size_t> max_weight_assignment(const Matrix& weight);
+
+/// Total value of an assignment under the given matrix.
+double assignment_value(const Matrix& m,
+                        const std::vector<std::size_t>& assign);
+
+}  // namespace resmon::cluster

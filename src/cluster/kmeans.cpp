@@ -1,0 +1,183 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace resmon::cluster {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  Matrix centroids(k, d);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  std::size_t first = rng.index(n);
+  for (std::size_t c = 0; c < d; ++c) centroids(0, c) = points(first, c);
+
+  for (std::size_t j = 1; j < k; ++j) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d2 =
+          squared_distance(points.row(i), centroids.row(j - 1));
+      dist2[i] = std::min(dist2[i], d2);
+      total += dist2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double r = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= dist2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.index(n);  // all points coincide with chosen centroids
+    }
+    for (std::size_t c = 0; c < d; ++c) centroids(j, c) = points(chosen, c);
+  }
+  return centroids;
+}
+
+std::size_t nearest_centroid(const Matrix& centroids,
+                             std::span<const double> point) {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t j = 0; j < centroids.rows(); ++j) {
+    const double d2 = squared_distance(centroids.row(j), point);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = j;
+    }
+  }
+  return best;
+}
+
+KMeansResult run_once(const Matrix& points, std::size_t k, Rng& rng,
+                      const KMeansOptions& options) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignment.assign(n, 0);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  std::vector<std::size_t> counts(k);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = nearest_centroid(result.centroids, points.row(i));
+      result.assignment[i] = j;
+      inertia += squared_distance(result.centroids.row(j), points.row(i));
+    }
+
+    // Update step.
+    Matrix sums(k, d);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = result.assignment[i];
+      ++counts[j];
+      axpy(1.0, points.row(i), sums.row(j));
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) {
+        // Empty cluster: seize the point farthest from its own centroid.
+        std::size_t worst = 0;
+        double worst_d2 = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = squared_distance(
+              result.centroids.row(result.assignment[i]), points.row(i));
+          if (d2 > worst_d2) {
+            worst_d2 = d2;
+            worst = i;
+          }
+        }
+        result.assignment[worst] = j;
+        for (std::size_t c = 0; c < d; ++c) {
+          result.centroids(j, c) = points(worst, c);
+        }
+        continue;
+      }
+      for (std::size_t c = 0; c < d; ++c) {
+        result.centroids(j, c) =
+            sums(j, c) / static_cast<double>(counts[j]);
+      }
+    }
+
+    if (prev_inertia - inertia < options.tolerance) {
+      result.inertia = inertia;
+      break;
+    }
+    prev_inertia = inertia;
+    result.inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    const KMeansOptions& options) {
+  RESMON_REQUIRE(points.rows() > 0, "kmeans: no points");
+  RESMON_REQUIRE(k >= 1 && k <= points.rows(),
+                 "kmeans: k must be in [1, #points]");
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult candidate = run_once(points, k, rng, options);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+Matrix centroids_of(const Matrix& points,
+                    const std::vector<std::size_t>& assignment, std::size_t k,
+                    std::vector<bool>* empty_out) {
+  RESMON_REQUIRE(assignment.size() == points.rows(),
+                 "centroids_of: assignment size mismatch");
+  Matrix centroids(k, points.cols());
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    RESMON_REQUIRE(assignment[i] < k, "centroids_of: cluster out of range");
+    ++counts[assignment[i]];
+    axpy(1.0, points.row(i), centroids.row(assignment[i]));
+  }
+  if (empty_out != nullptr) empty_out->assign(k, false);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (counts[j] == 0) {
+      if (empty_out != nullptr) (*empty_out)[j] = true;
+      continue;
+    }
+    for (std::size_t c = 0; c < points.cols(); ++c) {
+      centroids(j, c) /= static_cast<double>(counts[j]);
+    }
+  }
+  return centroids;
+}
+
+double inertia_of(const Matrix& points,
+                  const std::vector<std::size_t>& assignment,
+                  const Matrix& centroids) {
+  RESMON_REQUIRE(assignment.size() == points.rows(),
+                 "inertia_of: assignment size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    s += squared_distance(centroids.row(assignment[i]), points.row(i));
+  }
+  return s;
+}
+
+}  // namespace resmon::cluster

@@ -1,0 +1,50 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// The paper's central node runs K-means on the stored measurements z_t at
+// every time step (§V-B); this implementation supports arbitrary point
+// dimension so the same code serves per-resource scalar clustering, joint
+// full-vector clustering, temporal-window clustering (Fig. 5) and the
+// offline whole-series baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::cluster {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 2;    ///< independent k-means++ restarts; best kept.
+  double tolerance = 1e-10;    ///< stop when inertia improvement is below.
+};
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;  ///< point index -> cluster in [0,k)
+  Matrix centroids;                     ///< k x d
+  double inertia = 0.0;                 ///< sum of squared distances
+  std::size_t iterations = 0;           ///< Lloyd iterations of best restart
+};
+
+/// Cluster the rows of `points` (n x d) into k groups. Requires 1 <= k <= n.
+/// Deterministic given the Rng state. Empty clusters are repaired by
+/// stealing the point farthest from its centroid.
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    const KMeansOptions& options = {});
+
+/// Mean of each cluster's member rows for an externally supplied assignment
+/// (used to recompute centroids of baseline clusterings on fresh data).
+/// Clusters with no members get a row of zeros and are reported in
+/// `empty_out` when non-null.
+Matrix centroids_of(const Matrix& points,
+                    const std::vector<std::size_t>& assignment, std::size_t k,
+                    std::vector<bool>* empty_out = nullptr);
+
+/// Sum of squared distances from each row to its assigned centroid.
+double inertia_of(const Matrix& points,
+                  const std::vector<std::size_t>& assignment,
+                  const Matrix& centroids);
+
+}  // namespace resmon::cluster

@@ -1,0 +1,81 @@
+// The paper's adaptive transmission algorithm (§V-A).
+//
+// A Lyapunov drift-plus-penalty rule: each node maintains a virtual queue
+// Q_i(t) measuring how much the frequency budget B_i has been overdrawn, and
+// transmits when V_t * F_{i,t}(0) - the staleness penalty of *not*
+// transmitting - outweighs the queue pressure:
+//
+//   beta_{i,t} = argmin_{beta in {0,1}}  V_t F_{i,t}(beta) + Q_i(t) (beta - B_i)
+//   Q_i(t+1)  = Q_i(t) + beta_{i,t} - B_i                       (eq. 9)
+//   V_t       = V_0 (t+1)^gamma                                  (eq. 8)
+//   F_{i,t}(0) = (1/d) || z_{i,t} - x_{i,t} ||^2,  F_{i,t}(1) = 0 (eq. 6)
+//
+// which reduces to: transmit iff Q_i(t) < V_t * F_{i,t}(0).
+#pragma once
+
+#include "collect/transmit_policy.hpp"
+
+namespace resmon::collect {
+
+/// Tunables of the adaptive transmitter. Paper defaults (§VI-A2):
+/// B = 0.3, V0 = 1e-12, gamma = 0.65.
+struct AdaptiveOptions {
+  double max_frequency = 0.3;  ///< B_i: long-run transmission frequency cap.
+  double v0 = 1e-12;           ///< V_0 of eq. (8).
+  double gamma = 0.65;         ///< gamma of eq. (8); must be in (0,1).
+
+  /// The paper's eq. (9) lets Q_i(t) go negative, which forces periodic
+  /// transmissions even when the measurement has not changed. Enabling the
+  /// standard Lyapunov clamp Q <- max(Q + Y, 0) lets a node stay silent
+  /// through flat periods (frequency <= B instead of == B). Default follows
+  /// the paper.
+  bool clamp_queue = false;
+};
+
+/// Drift-plus-penalty transmission policy for a single node.
+class AdaptiveTransmitter final : public TransmitPolicy {
+ public:
+  explicit AdaptiveTransmitter(const AdaptiveOptions& options);
+
+  bool decide(std::size_t t, std::span<const double> x) override;
+  double frequency_constraint() const override {
+    return options_.max_frequency;
+  }
+  std::uint64_t transmissions() const override { return transmissions_; }
+  std::uint64_t decisions() const override { return decisions_; }
+
+  /// Current virtual queue length Q_i(t) (exposed for tests/diagnostics).
+  double queue_length() const { return queue_; }
+
+  /// Penalty F_{i,t}(0) that the most recent decision evaluated.
+  double last_penalty() const { return last_penalty_; }
+
+ private:
+  AdaptiveOptions options_;
+  double queue_ = 0.0;
+  double last_penalty_ = 0.0;
+  std::vector<double> last_sent_;  // z_{i,t}; empty until first transmission
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+/// Baseline (§VI-B): transmit at a fixed interval so that the average
+/// frequency equals B. Deterministic credit accumulation: transmit whenever
+/// accumulated credit reaches one message.
+class UniformTransmitter final : public TransmitPolicy {
+ public:
+  explicit UniformTransmitter(double max_frequency);
+
+  bool decide(std::size_t t, std::span<const double> x) override;
+  double frequency_constraint() const override { return max_frequency_; }
+  std::uint64_t transmissions() const override { return transmissions_; }
+  std::uint64_t decisions() const override { return decisions_; }
+
+ private:
+  double max_frequency_;
+  double credit_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace resmon::collect

@@ -1,0 +1,55 @@
+// Send-on-delta ("deadband") transmission policy.
+//
+// The classic adaptive-sampling rule from the sensor-network literature the
+// paper cites ([13]-[17]): transmit when the measurement has moved more
+// than a threshold delta away from the last transmitted value. A fixed
+// delta gives no control over the transmission frequency, which is exactly
+// the shortcoming §II points out; this implementation therefore also offers
+// a calibrated mode that adapts delta multiplicatively to track a target
+// frequency B. Used as an ablation baseline against the paper's
+// drift-plus-penalty rule (bench/ablation_policies).
+#pragma once
+
+#include "collect/transmit_policy.hpp"
+
+namespace resmon::collect {
+
+struct DeadbandOptions {
+  /// Initial (or fixed) threshold on the per-dimension RMS deviation.
+  double delta = 0.05;
+  /// Target frequency for calibration; <= 0 disables calibration and the
+  /// policy runs with the fixed delta (classic send-on-delta).
+  double target_frequency = 0.3;
+  /// Multiplicative step for the calibration: after a transmission delta
+  /// grows by (1 + rate * (1 - B)), after silence it shrinks by
+  /// (1 - rate * B), so in equilibrium transmissions happen a fraction B
+  /// of the time.
+  double adaptation_rate = 0.05;
+  /// Bounds for the calibrated threshold.
+  double min_delta = 1e-4;
+  double max_delta = 1.0;
+};
+
+class DeadbandTransmitter final : public TransmitPolicy {
+ public:
+  explicit DeadbandTransmitter(const DeadbandOptions& options);
+
+  bool decide(std::size_t t, std::span<const double> x) override;
+  double frequency_constraint() const override {
+    return options_.target_frequency > 0.0 ? options_.target_frequency : 1.0;
+  }
+  std::uint64_t transmissions() const override { return transmissions_; }
+  std::uint64_t decisions() const override { return decisions_; }
+
+  /// Current (possibly calibrated) threshold.
+  double delta() const { return delta_; }
+
+ private:
+  DeadbandOptions options_;
+  double delta_;
+  std::vector<double> last_sent_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace resmon::collect

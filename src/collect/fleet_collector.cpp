@@ -1,0 +1,103 @@
+#include "collect/fleet_collector.hpp"
+
+#include "collect/adaptive_transmitter.hpp"
+#include "collect/deadband_transmitter.hpp"
+
+namespace resmon::collect {
+
+namespace {
+
+/// Trivial policy that transmits every step; used as the B = 1 reference.
+class AlwaysTransmitter final : public TransmitPolicy {
+ public:
+  bool decide(std::size_t /*t*/, std::span<const double> /*x*/) override {
+    ++decisions_;
+    ++transmissions_;
+    return true;
+  }
+  double frequency_constraint() const override { return 1.0; }
+  std::uint64_t transmissions() const override { return transmissions_; }
+  std::uint64_t decisions() const override { return decisions_; }
+
+ private:
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace
+
+FleetCollector::FleetCollector(
+    const trace::Trace& trace,
+    const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
+    const transport::ChannelOptions& channel_options)
+    : trace_(trace),
+      channel_(channel_options),
+      store_(trace.num_nodes(), trace.num_resources()) {
+  policies_.reserve(trace.num_nodes());
+  for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+    policies_.push_back(make_policy());
+    RESMON_REQUIRE(policies_.back() != nullptr,
+                   "policy factory returned nullptr");
+  }
+}
+
+std::vector<bool> FleetCollector::step(std::size_t t) {
+  RESMON_REQUIRE(t == next_step_,
+                 "FleetCollector::step must be called with consecutive t");
+  RESMON_REQUIRE(t < trace_.num_steps(), "step beyond end of trace");
+  ++next_step_;
+
+  std::vector<bool> beta(policies_.size(), false);
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const std::vector<double> x = trace_.measurement(i, t);
+    if (policies_[i]->decide(t, x)) {
+      beta[i] = true;
+      channel_.send({.node = i, .step = t, .values = x});
+    }
+  }
+  for (const transport::MeasurementMessage& msg : channel_.drain()) {
+    store_.apply(msg);
+  }
+  return beta;
+}
+
+double FleetCollector::average_actual_frequency() const {
+  double s = 0.0;
+  for (const auto& p : policies_) s += p->actual_frequency();
+  return s / static_cast<double>(policies_.size());
+}
+
+std::function<std::unique_ptr<TransmitPolicy>()> make_policy_factory(
+    PolicyKind kind, double max_frequency, double v0, double gamma,
+    bool clamp_queue) {
+  switch (kind) {
+    case PolicyKind::kAdaptive: {
+      AdaptiveOptions opts;
+      opts.max_frequency = max_frequency;
+      opts.v0 = v0;
+      opts.gamma = gamma;
+      opts.clamp_queue = clamp_queue;
+      return [opts]() -> std::unique_ptr<TransmitPolicy> {
+        return std::make_unique<AdaptiveTransmitter>(opts);
+      };
+    }
+    case PolicyKind::kUniform:
+      return [max_frequency]() -> std::unique_ptr<TransmitPolicy> {
+        return std::make_unique<UniformTransmitter>(max_frequency);
+      };
+    case PolicyKind::kAlways:
+      return []() -> std::unique_ptr<TransmitPolicy> {
+        return std::make_unique<AlwaysTransmitter>();
+      };
+    case PolicyKind::kDeadband: {
+      DeadbandOptions opts;
+      opts.target_frequency = max_frequency;
+      return [opts]() -> std::unique_ptr<TransmitPolicy> {
+        return std::make_unique<DeadbandTransmitter>(opts);
+      };
+    }
+  }
+  throw InvalidArgument("unknown policy kind");
+}
+
+}  // namespace resmon::collect

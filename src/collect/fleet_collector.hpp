@@ -1,0 +1,68 @@
+// FleetCollector: drives one TransmitPolicy per node against a trace and
+// maintains the central node's view (z_t) through a Channel.
+//
+// This is the "measurement collection" half of the paper's system; the core
+// MonitoringPipeline layers clustering and forecasting on top of it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "collect/transmit_policy.hpp"
+#include "trace/trace.hpp"
+#include "transport/channel.hpp"
+
+namespace resmon::collect {
+
+/// Which transmission policy a fleet uses.
+enum class PolicyKind {
+  kAdaptive,  ///< §V-A drift-plus-penalty (the paper's algorithm)
+  kUniform,   ///< fixed-interval baseline (§VI-B)
+  kAlways,    ///< transmit every step (B = 1); ground-truth reference
+  kDeadband,  ///< calibrated send-on-delta (ablation; refs [13]-[17])
+};
+
+/// Runs the collection stage: each time step, every node observes its
+/// measurement from the trace, its policy decides whether to transmit, and
+/// transmitted measurements land in the central store.
+class FleetCollector {
+ public:
+  /// Builds a fleet with one policy per node from the given factory.
+  /// `channel_options` injects uplink failures (drops/delays); the default
+  /// is a reliable link.
+  FleetCollector(
+      const trace::Trace& trace,
+      const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
+      const transport::ChannelOptions& channel_options = {});
+
+  /// Advance one time step. Must be called with consecutive t starting at 0.
+  /// Returns the per-node transmission indicators beta_t.
+  std::vector<bool> step(std::size_t t);
+
+  const transport::CentralStore& store() const { return store_; }
+  const transport::Channel& channel() const { return channel_; }
+
+  const TransmitPolicy& policy(std::size_t node) const {
+    return *policies_[node];
+  }
+
+  /// Average actual transmission frequency across the fleet.
+  double average_actual_frequency() const;
+
+  std::size_t num_nodes() const { return policies_.size(); }
+
+ private:
+  const trace::Trace& trace_;
+  std::vector<std::unique_ptr<TransmitPolicy>> policies_;
+  transport::Channel channel_;
+  transport::CentralStore store_;
+  std::size_t next_step_ = 0;
+};
+
+/// Convenience: a policy factory for the given kind and budget B.
+std::function<std::unique_ptr<TransmitPolicy>()> make_policy_factory(
+    PolicyKind kind, double max_frequency, double v0 = 1e-12,
+    double gamma = 0.65, bool clamp_queue = false);
+
+}  // namespace resmon::collect

@@ -1,0 +1,82 @@
+#include "common/cli.hpp"
+
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace resmon {
+
+namespace {
+
+bool is_flag(std::string_view arg) {
+  return arg.size() > 2 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!is_flag(arg)) {
+      throw InvalidArgument("unexpected positional argument: " +
+                            std::string(arg));
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[std::string(body)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(body)] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace resmon

@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms. All
+// binaries must also run with no arguments (laptop-scale defaults), so every
+// flag has a default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace resmon {
+
+/// Parses argv into a flag map and serves typed lookups with defaults.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// A flag present with no value (or "true"/"1") reads as true.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace resmon

@@ -1,0 +1,58 @@
+// Error handling primitives shared by all resmon modules.
+//
+// The library throws exceptions derived from resmon::Error for contract
+// violations and invalid input (C++ Core Guidelines E.2/E.14: use exceptions
+// for errors, purpose-designed types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace resmon {
+
+/// Base class for all errors thrown by the resmon library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an object is used in a state that does not permit the
+/// operation (e.g. forecasting before any model has been fit).
+class InvalidState : public Error {
+ public:
+  explicit InvalidState(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular/ill-conditioned problem.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace resmon
+
+/// Precondition check that throws resmon::InvalidArgument with context.
+/// Used at public API boundaries; internal invariants use assert().
+#define RESMON_REQUIRE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::resmon::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, \
+                                               (msg));                   \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,135 @@
+#include "common/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resmon::optim {
+
+OptimResult nelder_mead(const std::function<double(std::span<const double>)>& f,
+                        std::vector<double> x0,
+                        const NelderMeadOptions& options) {
+  RESMON_REQUIRE(!x0.empty(), "nelder_mead requires at least one parameter");
+  const std::size_t n = x0.size();
+
+  // Standard reflection/expansion/contraction/shrink coefficients.
+  constexpr double kAlpha = 1.0;
+  constexpr double kGamma = 2.0;
+  constexpr double kRho = 0.5;
+  constexpr double kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] +=
+        x0[i] != 0.0 ? options.initial_step * std::fabs(x0[i]) +
+                           options.initial_step
+                     : options.initial_step;
+  }
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = f(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  OptimResult result;
+  std::vector<double> centroid(n), reflected(n), expanded(n), contracted(n);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: spread of objective values and simplex extent.
+    const double f_spread = std::fabs(fvals[worst] - fvals[best]);
+    double x_spread = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x_spread = std::max(
+          x_spread, std::fabs(simplex[worst][i] - simplex[best][i]));
+    }
+    if (f_spread < options.f_tolerance && x_spread < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all points except the worst.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    for (std::size_t d = 0; d < n; ++d) {
+      reflected[d] = centroid[d] + kAlpha * (centroid[d] - simplex[worst][d]);
+    }
+    const double f_reflected = f(reflected);
+
+    if (f_reflected < fvals[best]) {
+      for (std::size_t d = 0; d < n; ++d) {
+        expanded[d] = centroid[d] + kGamma * (reflected[d] - centroid[d]);
+      }
+      const double f_expanded = f(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        fvals[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = f_reflected;
+      }
+    } else if (f_reflected < fvals[second_worst]) {
+      simplex[worst] = reflected;
+      fvals[worst] = f_reflected;
+    } else {
+      for (std::size_t d = 0; d < n; ++d) {
+        contracted[d] = centroid[d] + kRho * (simplex[worst][d] - centroid[d]);
+      }
+      const double f_contracted = f(contracted);
+      if (f_contracted < fvals[worst]) {
+        simplex[worst] = contracted;
+        fvals[worst] = f_contracted;
+      } else {
+        // Shrink the whole simplex towards the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[best][d] +
+                            kSigma * (simplex[i][d] - simplex[best][d]);
+          }
+          fvals[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(fvals.begin(), fvals.end());
+  result.value = *best_it;
+  result.x = simplex[static_cast<std::size_t>(best_it - fvals.begin())];
+  return result;
+}
+
+Adam::Adam(std::size_t dimension, const Options& options)
+    : opts_(options), m_(dimension, 0.0), v_(dimension, 0.0) {
+  RESMON_REQUIRE(dimension > 0, "Adam requires a non-empty parameter vector");
+}
+
+void Adam::step(std::span<double> params, std::span<const double> grad) {
+  RESMON_REQUIRE(params.size() == m_.size() && grad.size() == m_.size(),
+                 "Adam dimension mismatch");
+  ++t_;
+  const double bias1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = opts_.beta1 * m_[i] + (1.0 - opts_.beta1) * grad[i];
+    v_[i] = opts_.beta2 * v_[i] + (1.0 - opts_.beta2) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    params[i] -= opts_.learning_rate * m_hat /
+                 (std::sqrt(v_hat) + opts_.epsilon);
+  }
+}
+
+}  // namespace resmon::optim

@@ -1,0 +1,45 @@
+// Lightweight tabular output for benchmark/experiment harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; Table renders them as aligned text and optionally CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace resmon {
+
+/// A simple column-oriented table. Cells are strings or doubles; doubles are
+/// formatted with a fixed precision when rendered.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double>;
+
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Render as an aligned, human-readable text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (headers + rows).
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file; throws resmon::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace resmon

@@ -1,0 +1,197 @@
+#include "completion/matrix_completion.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace resmon::completion {
+
+namespace {
+
+/// Solve the ridge least-squares for one row of a factor: given the other
+/// factor F (n x r), the observed indices and values, return
+/// argmin_u ||F_obs u - y||^2 + ridge ||u||^2.
+std::vector<double> solve_row(const Matrix& f,
+                              const std::vector<std::size_t>& observed,
+                              const std::vector<double>& values,
+                              double ridge) {
+  const std::size_t r = f.cols();
+  Matrix gram(r, r);
+  std::vector<double> rhs(r, 0.0);
+  for (std::size_t n = 0; n < observed.size(); ++n) {
+    const auto row = f.row(observed[n]);
+    for (std::size_t a = 0; a < r; ++a) {
+      rhs[a] += row[a] * values[n];
+      for (std::size_t b = a; b < r; ++b) {
+        gram(a, b) += row[a] * row[b];
+      }
+    }
+  }
+  for (std::size_t a = 0; a < r; ++a) {
+    for (std::size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+    gram(a, a) += ridge;
+  }
+  return solve_spd(gram, rhs);
+}
+
+}  // namespace
+
+Matrix complete_matrix(const Matrix& observed,
+                       const std::vector<bool>& mask,
+                       const CompletionOptions& options) {
+  const std::size_t rows = observed.rows();
+  const std::size_t cols = observed.cols();
+  RESMON_REQUIRE(rows > 0 && cols > 0, "complete_matrix: empty matrix");
+  RESMON_REQUIRE(mask.size() == rows * cols,
+                 "complete_matrix: mask size mismatch");
+  RESMON_REQUIRE(options.rank >= 1 &&
+                     options.rank <= std::min(rows, cols),
+                 "complete_matrix: rank out of range");
+  RESMON_REQUIRE(options.iterations >= 1,
+                 "complete_matrix: need at least one sweep");
+  RESMON_REQUIRE(options.ridge > 0.0, "complete_matrix: ridge must be > 0");
+
+  const std::size_t r = options.rank;
+  Rng rng(options.seed);
+  Matrix u(rows, r);
+  Matrix v(cols, r);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t a = 0; a < r; ++a) u(i, a) = rng.uniform(0.0, 1.0);
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t a = 0; a < r; ++a) v(j, a) = rng.uniform(0.0, 1.0);
+  }
+
+  // Pre-index the observations per row and per column.
+  std::vector<std::vector<std::size_t>> row_obs(rows), col_obs(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (mask[i * cols + j]) {
+        row_obs[i].push_back(j);
+        col_obs[j].push_back(i);
+      }
+    }
+  }
+
+  std::vector<double> values;
+  for (std::size_t sweep = 0; sweep < options.iterations; ++sweep) {
+    // Update U given V.
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (row_obs[i].empty()) continue;  // stays at its current value
+      values.clear();
+      for (const std::size_t j : row_obs[i]) values.push_back(observed(i, j));
+      const std::vector<double> sol =
+          solve_row(v, row_obs[i], values, options.ridge);
+      for (std::size_t a = 0; a < r; ++a) u(i, a) = sol[a];
+    }
+    // Update V given U.
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (col_obs[j].empty()) continue;
+      values.clear();
+      for (const std::size_t i : col_obs[j]) values.push_back(observed(i, j));
+      const std::vector<double> sol =
+          solve_row(u, col_obs[j], values, options.ridge);
+      for (std::size_t a = 0; a < r; ++a) v(j, a) = sol[a];
+    }
+  }
+  return u * v.transposed();
+}
+
+double masked_rmse(const Matrix& truth, const Matrix& estimate,
+                   const std::vector<bool>& mask) {
+  RESMON_REQUIRE(truth.rows() == estimate.rows() &&
+                     truth.cols() == estimate.cols(),
+                 "masked_rmse: shape mismatch");
+  RESMON_REQUIRE(mask.size() == truth.rows() * truth.cols(),
+                 "masked_rmse: mask size mismatch");
+  double se = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < truth.rows(); ++i) {
+    for (std::size_t j = 0; j < truth.cols(); ++j) {
+      if (!mask[i * truth.cols() + j]) continue;
+      const double e = estimate(i, j) - truth(i, j);
+      se += e * e;
+      ++count;
+    }
+  }
+  RESMON_REQUIRE(count > 0, "masked_rmse: empty mask");
+  return std::sqrt(se / static_cast<double>(count));
+}
+
+CompletionExperimentResult run_completion_experiment(
+    const trace::Trace& trace, std::size_t resource, double sample_rate,
+    std::size_t window, const CompletionOptions& options,
+    std::size_t eval_stride) {
+  RESMON_REQUIRE(resource < trace.num_resources(),
+                 "completion experiment: resource out of range");
+  RESMON_REQUIRE(sample_rate > 0.0 && sample_rate <= 1.0,
+                 "completion experiment: sample rate must be in (0,1]");
+  RESMON_REQUIRE(window >= 2 && window <= trace.num_steps(),
+                 "completion experiment: bad window");
+  RESMON_REQUIRE(eval_stride >= 1, "completion experiment: bad stride");
+
+  const std::size_t n = trace.num_nodes();
+  Rng rng(options.seed + 1);
+
+  // Random per-(node, step) sampling, as in the compressed-sensing
+  // baselines; last received value retained for the hold comparison.
+  std::vector<double> last_value(n, 0.0);
+  std::vector<bool> seen(n, false);
+
+  // Sliding window of observed entries (front of the deque semantics via
+  // ring indexing: column w-1 is the current step).
+  Matrix window_values(n, window);
+  std::vector<bool> window_mask(n * window, false);
+
+  double se_completion = 0.0;
+  double se_hold = 0.0;
+  std::size_t evaluated = 0;
+  std::uint64_t transmissions = 0;
+
+  for (std::size_t t = 0; t < trace.num_steps(); ++t) {
+    // Shift the window left by one column.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c + 1 < window; ++c) {
+        window_values(i, c) = window_values(i, c + 1);
+        window_mask[i * window + c] = window_mask[i * window + c + 1];
+      }
+      window_values(i, window - 1) = 0.0;
+      window_mask[i * window + window - 1] = false;
+    }
+    // Sample.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool sample = t == 0 || rng.bernoulli(sample_rate);
+      if (!sample) continue;
+      ++transmissions;
+      const double v = trace.value(i, t, resource);
+      window_values(i, window - 1) = v;
+      window_mask[i * window + window - 1] = true;
+      last_value[i] = v;
+      seen[i] = true;
+    }
+    if (t < window || t % eval_stride != 0) continue;
+
+    // Reconstruct the window and read off the current column.
+    const Matrix completed =
+        complete_matrix(window_values, window_mask, options);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double truth = trace.value(i, t, resource);
+      const double ec = completed(i, window - 1) - truth;
+      se_completion += ec * ec;
+      const double eh = (seen[i] ? last_value[i] : 0.0) - truth;
+      se_hold += eh * eh;
+      ++evaluated;
+    }
+  }
+  RESMON_REQUIRE(evaluated > 0, "completion experiment: nothing evaluated");
+
+  CompletionExperimentResult result;
+  result.rmse = std::sqrt(se_completion / static_cast<double>(evaluated));
+  result.hold_rmse = std::sqrt(se_hold / static_cast<double>(evaluated));
+  result.actual_sample_rate =
+      static_cast<double>(transmissions) /
+      static_cast<double>(n * trace.num_steps());
+  return result;
+}
+
+}  // namespace resmon::completion

@@ -1,0 +1,94 @@
+#include "core/estimation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace resmon::core {
+
+double alpha_scale(std::span<const double> delta, const Matrix& centroids,
+                   std::size_t j) {
+  RESMON_REQUIRE(j < centroids.rows(), "alpha_scale: cluster out of range");
+  RESMON_REQUIRE(delta.size() == centroids.cols(),
+                 "alpha_scale: dimension mismatch");
+  double alpha = 1.0;
+  for (std::size_t l = 0; l < centroids.rows(); ++l) {
+    if (l == j) continue;
+    double dir_dot = 0.0;  // delta . (c_l - c_j)
+    double gap2 = 0.0;     // ||c_l - c_j||^2
+    for (std::size_t c = 0; c < delta.size(); ++c) {
+      const double g = centroids(l, c) - centroids(j, c);
+      dir_dot += delta[c] * g;
+      gap2 += g * g;
+    }
+    if (dir_dot > 0.0 && gap2 > 0.0) {
+      alpha = std::min(alpha, gap2 / (2.0 * dir_dot));
+    }
+  }
+  return std::clamp(alpha, 0.0, 1.0);
+}
+
+OffsetTracker::OffsetTracker(std::size_t m_prime, std::size_t k,
+                             bool use_alpha)
+    : m_prime_(m_prime), k_(k), use_alpha_(use_alpha) {
+  RESMON_REQUIRE(k >= 1, "OffsetTracker needs at least one cluster");
+}
+
+void OffsetTracker::push(const cluster::Clustering& clustering,
+                         const Matrix& snapshot) {
+  RESMON_REQUIRE(clustering.centroids.rows() == k_,
+                 "OffsetTracker: cluster count mismatch");
+  RESMON_REQUIRE(snapshot.rows() == clustering.assignment.size(),
+                 "OffsetTracker: snapshot/assignment size mismatch");
+  RESMON_REQUIRE(snapshot.cols() == clustering.centroids.cols(),
+                 "OffsetTracker: snapshot/centroid dimension mismatch");
+  if (!history_.empty()) {
+    RESMON_REQUIRE(
+        snapshot.rows() == history_.front().snapshot.rows(),
+        "OffsetTracker: node count changed between steps");
+  }
+  history_.push_front({clustering, snapshot});
+  if (history_.size() > m_prime_ + 1) history_.pop_back();
+}
+
+std::size_t OffsetTracker::modal_cluster(std::size_t node) const {
+  if (history_.empty()) {
+    throw InvalidState("OffsetTracker: no steps recorded");
+  }
+  std::vector<std::size_t> counts(k_, 0);
+  for (const Entry& e : history_) {
+    RESMON_REQUIRE(node < e.clustering.assignment.size(),
+                   "OffsetTracker: node out of range");
+    ++counts[e.clustering.assignment[node]];
+  }
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < k_; ++j) {
+    if (counts[j] > counts[best]) best = j;
+  }
+  return best;
+}
+
+std::vector<double> OffsetTracker::offset(std::size_t node,
+                                          std::size_t j) const {
+  if (history_.empty()) {
+    throw InvalidState("OffsetTracker: no steps recorded");
+  }
+  RESMON_REQUIRE(j < k_, "OffsetTracker: cluster out of range");
+  const std::size_t dims = history_.front().snapshot.cols();
+  std::vector<double> out(dims, 0.0);
+  std::vector<double> delta(dims);
+  for (const Entry& e : history_) {
+    for (std::size_t c = 0; c < dims; ++c) {
+      delta[c] = e.snapshot(node, c) - e.clustering.centroids(j, c);
+    }
+    const double alpha =
+        use_alpha_ ? alpha_scale(delta, e.clustering.centroids, j) : 1.0;
+    for (std::size_t c = 0; c < dims; ++c) {
+      out[c] += alpha * delta[c];
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(history_.size());
+  return out;
+}
+
+}  // namespace resmon::core

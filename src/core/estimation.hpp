@@ -1,0 +1,63 @@
+// Per-node spatial estimation pieces of §V-C, shared between the
+// MonitoringPipeline and the clustering-baseline experiments:
+//
+//  * forecasted cluster membership — the cluster a node belonged to most
+//    often within the last M'+1 steps;
+//  * the per-node offset s-hat of eq. (12), with the alpha scaling that
+//    keeps "centroid + offset" inside the node's own cluster.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "cluster/dynamic_cluster.hpp"
+#include "common/matrix.hpp"
+
+namespace resmon::core {
+
+/// Largest alpha in [0, 1] such that c_j + alpha * delta is still closest
+/// to centroid j among all centroids. For each other centroid c_l the
+/// boundary is the perpendicular bisector between c_j and c_l, giving
+/// alpha <= ||c_l - c_j||^2 / (2 delta . (c_l - c_j)) whenever delta points
+/// toward c_l.
+double alpha_scale(std::span<const double> delta, const Matrix& centroids,
+                   std::size_t j);
+
+/// Rolling window of (clustering, stored-snapshot) pairs that answers the
+/// two per-node questions above. Push once per time step, newest first.
+class OffsetTracker {
+ public:
+  /// `m_prime` is M' (the paper's look-back, default 5); `k` the number of
+  /// clusters. `use_alpha` applies the eq. (12) alpha scaling (disable for
+  /// the ablation in bench/ablation_offset).
+  OffsetTracker(std::size_t m_prime, std::size_t k, bool use_alpha = true);
+
+  /// Record this step's clustering and the snapshot it was computed from
+  /// (snapshot rows must be in the same measurement space as the
+  /// clustering's centroids).
+  void push(const cluster::Clustering& clustering, const Matrix& snapshot);
+
+  std::size_t steps() const { return history_.size(); }
+  bool empty() const { return history_.empty(); }
+
+  /// C-hat membership: the cluster `node` belonged to most often over the
+  /// last min(M'+1, steps()) steps (ties break to the smaller index).
+  std::size_t modal_cluster(std::size_t node) const;
+
+  /// s-hat of eq. (12) for `node` relative to cluster `j`.
+  std::vector<double> offset(std::size_t node, std::size_t j) const;
+
+ private:
+  struct Entry {
+    cluster::Clustering clustering;
+    Matrix snapshot;
+  };
+
+  std::size_t m_prime_;
+  std::size_t k_;
+  bool use_alpha_;
+  std::deque<Entry> history_;  // front = most recent
+};
+
+}  // namespace resmon::core

@@ -1,0 +1,259 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resmon::core {
+
+MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
+                                       const PipelineOptions& options)
+    : trace_(trace), options_(options) {
+  RESMON_REQUIRE(options.num_clusters >= 1 &&
+                     options.num_clusters <= trace.num_nodes(),
+                 "K must be in [1, N]");
+  RESMON_REQUIRE(options.temporal_window >= 1,
+                 "temporal window must be >= 1");
+  RESMON_REQUIRE(options.similarity_lookback >= 1, "M must be >= 1");
+
+  collector_ = std::make_unique<collect::FleetCollector>(
+      trace,
+      collect::make_policy_factory(options.policy, options.max_frequency,
+                                   options.v0, options.gamma,
+                                   options.clamp_queue),
+      options.channel);
+
+  const std::size_t views =
+      options.cluster_per_resource ? trace.num_resources() : 1;
+  snapshot_capacity_ = options.temporal_window;
+
+  cluster::DynamicClusterOptions copts;
+  copts.k = options.num_clusters;
+  copts.history_m = options.similarity_lookback;
+  copts.similarity = options.similarity;
+  copts.reindex = options.reindex_clusters;
+  copts.history_capacity = std::max(
+      {options.similarity_lookback, options.offset_lookback + 1,
+       std::size_t{16}});
+
+  trackers_.reserve(views);
+  offsets_.reserve(views);
+  models_.resize(views);
+  snapshot_history_.resize(views);
+  for (std::size_t v = 0; v < views; ++v) {
+    trackers_.emplace_back(copts, options.seed + 1000 * (v + 1));
+    offsets_.emplace_back(options.offset_lookback, options.num_clusters,
+                          options.offset_alpha);
+    const std::size_t dims = view_dims();
+    models_[v].reserve(options.num_clusters * dims);
+    for (std::size_t j = 0; j < options.num_clusters; ++j) {
+      for (std::size_t dim = 0; dim < dims; ++dim) {
+        models_[v].push_back(std::make_unique<forecast::ManagedForecaster>(
+            forecast::make_forecaster(
+                options.forecaster,
+                options.seed + 7919 * (v + 1) + 31 * j + dim),
+            options.schedule));
+      }
+    }
+  }
+}
+
+Matrix MonitoringPipeline::view_snapshot(std::size_t view) const {
+  const transport::CentralStore& store = collector_->store();
+  const std::size_t n = trace_.num_nodes();
+  if (options_.cluster_per_resource) {
+    Matrix snap(n, 1);
+    for (std::size_t i = 0; i < n; ++i) snap(i, 0) = store.stored(i)[view];
+    return snap;
+  }
+  Matrix snap(n, trace_.num_resources());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double>& z = store.stored(i);
+    for (std::size_t r = 0; r < z.size(); ++r) snap(i, r) = z[r];
+  }
+  return snap;
+}
+
+Matrix MonitoringPipeline::view_truth(std::size_t view, std::size_t t) const {
+  const std::size_t n = trace_.num_nodes();
+  if (options_.cluster_per_resource) {
+    Matrix truth(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      truth(i, 0) = trace_.value(i, t, view);
+    }
+    return truth;
+  }
+  Matrix truth(n, trace_.num_resources());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < trace_.num_resources(); ++r) {
+      truth(i, r) = trace_.value(i, t, r);
+    }
+  }
+  return truth;
+}
+
+Matrix MonitoringPipeline::view_features(std::size_t view) const {
+  const std::deque<Matrix>& hist = snapshot_history_[view];
+  const std::size_t w = options_.temporal_window;
+  const std::size_t n = trace_.num_nodes();
+  const std::size_t vd = view_dims();
+  Matrix features(n, vd * w);
+  for (std::size_t slot = 0; slot < w; ++slot) {
+    // slot 0 = most recent snapshot; pad older slots with the oldest
+    // available snapshot during warm-up.
+    const Matrix& snap = hist[std::min(slot, hist.size() - 1)];
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < vd; ++c) {
+        features(i, slot * vd + c) = snap(i, c);
+      }
+    }
+  }
+  return features;
+}
+
+void MonitoringPipeline::step() {
+  RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
+  const std::size_t t = step_count_;
+  collector_->step(t);
+  if (!collector_->store().complete()) {
+    // Warm-up: with a lossy/delayed uplink the central node may not have
+    // heard from every machine yet; keep collecting until it has. (Every
+    // built-in policy transmits at t = 0, so on a reliable link this never
+    // lasts beyond the first step.)
+    ++step_count_;
+    return;
+  }
+
+  for (std::size_t v = 0; v < trackers_.size(); ++v) {
+    Matrix snap = view_snapshot(v);
+    snapshot_history_[v].push_front(std::move(snap));
+    if (snapshot_history_[v].size() > snapshot_capacity_) {
+      snapshot_history_[v].pop_back();
+    }
+
+    const Matrix& values = snapshot_history_[v].front();
+    const cluster::Clustering& clustering =
+        options_.temporal_window == 1
+            ? trackers_[v].update(values)
+            : trackers_[v].update(view_features(v), values);
+    offsets_[v].push(clustering, values);
+
+    const std::size_t dims = view_dims();
+    for (std::size_t j = 0; j < options_.num_clusters; ++j) {
+      for (std::size_t dim = 0; dim < dims; ++dim) {
+        models_[v][j * dims + dim]->observe(clustering.centroids(j, dim));
+      }
+    }
+  }
+  ++step_count_;
+}
+
+void MonitoringPipeline::run(std::size_t count) {
+  for (std::size_t i = 0; i < count && !done(); ++i) step();
+}
+
+Matrix MonitoringPipeline::forecast_all(std::size_t h) const {
+  RESMON_REQUIRE(step_count_ >= 1, "forecast_all before any step");
+  const std::size_t n = trace_.num_nodes();
+  const std::size_t d = trace_.num_resources();
+  Matrix out(n, d);
+
+  if (h == 0) {
+    const transport::CentralStore& store = collector_->store();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double>& z = store.stored(i);
+      for (std::size_t r = 0; r < d; ++r) out(i, r) = z[r];
+    }
+    return out;
+  }
+
+  const std::size_t dims = view_dims();
+  for (std::size_t v = 0; v < trackers_.size(); ++v) {
+    // Forecasted centroids for every cluster of this view.
+    Matrix c_hat(options_.num_clusters, dims);
+    for (std::size_t j = 0; j < options_.num_clusters; ++j) {
+      for (std::size_t dim = 0; dim < dims; ++dim) {
+        c_hat(j, dim) = models_[v][j * dims + dim]->forecast(h);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = offsets_[v].modal_cluster(i);
+      const std::vector<double> offset =
+          options_.use_offset ? offsets_[v].offset(i, j)
+                              : std::vector<double>(dims, 0.0);
+      for (std::size_t dim = 0; dim < dims; ++dim) {
+        const double value = c_hat(j, dim) + offset[dim];
+        const std::size_t r = options_.cluster_per_resource ? v : dim;
+        out(i, r) = value;
+      }
+    }
+  }
+  return out;
+}
+
+double MonitoringPipeline::rmse_at(std::size_t h) const {
+  RESMON_REQUIRE(step_count_ >= 1, "rmse_at before any step");
+  const std::size_t t_last = step_count_ - 1;
+  RESMON_REQUIRE(t_last + h < trace_.num_steps(),
+                 "rmse_at: t + h beyond end of trace");
+  const std::size_t n = trace_.num_nodes();
+  const std::size_t d = trace_.num_resources();
+  Matrix truth(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      truth(i, r) = trace_.value(i, t_last + h, r);
+    }
+  }
+  return rmse_step(truth, forecast_all(h));
+}
+
+double MonitoringPipeline::intermediate_rmse() const {
+  RESMON_REQUIRE(step_count_ >= 1, "intermediate_rmse before any step");
+  const std::size_t t_last = step_count_ - 1;
+  const std::size_t n = trace_.num_nodes();
+  double total = 0.0;
+  for (std::size_t v = 0; v < trackers_.size(); ++v) {
+    const Matrix truth = view_truth(v, t_last);
+    const cluster::Clustering& clustering = trackers_[v].history(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      total += squared_distance(
+          truth.row(i), clustering.centroids.row(clustering.assignment[i]));
+    }
+  }
+  return std::sqrt(total / static_cast<double>(n));
+}
+
+double MonitoringPipeline::intermediate_rmse(std::size_t view,
+                                             std::size_t dim) const {
+  RESMON_REQUIRE(step_count_ >= 1, "intermediate_rmse before any step");
+  RESMON_REQUIRE(view < trackers_.size(), "view index out of range");
+  RESMON_REQUIRE(dim < view_dims(), "dimension index out of range");
+  const std::size_t t_last = step_count_ - 1;
+  const std::size_t n = trace_.num_nodes();
+  const cluster::Clustering& clustering = trackers_[view].history(0);
+  const std::size_t resource = options_.cluster_per_resource ? view : dim;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double err =
+        trace_.value(i, t_last, resource) -
+        clustering.centroids(clustering.assignment[i], dim);
+    total += err * err;
+  }
+  return std::sqrt(total / static_cast<double>(n));
+}
+
+const cluster::DynamicClusterTracker& MonitoringPipeline::tracker(
+    std::size_t view) const {
+  RESMON_REQUIRE(view < trackers_.size(), "view index out of range");
+  return trackers_[view];
+}
+
+const forecast::ManagedForecaster& MonitoringPipeline::model(
+    std::size_t view, std::size_t j, std::size_t dim) const {
+  RESMON_REQUIRE(view < models_.size(), "view index out of range");
+  const std::size_t dims = view_dims();
+  RESMON_REQUIRE(j < options_.num_clusters && dim < dims,
+                 "model index out of range");
+  return *models_[view][j * dims + dim];
+}
+
+}  // namespace resmon::core

@@ -1,0 +1,145 @@
+// MonitoringPipeline: the paper's complete system (Fig. 2).
+//
+// Per time step:
+//   1. every local node's transmission policy decides whether to push its
+//      measurement (§V-A); the central store holds z_t;
+//   2. the central node clusters z_t with the dynamic cluster tracker
+//      (§V-B) — by default one tracker per resource on scalar values;
+//   3. each cluster's centroid extends that cluster's time series and is
+//      fed to the cluster's managed forecaster (§V-C), which retrains on
+//      the paper's schedule.
+//
+// Forecasts x-hat_{i,t+h} (eq. (2)) combine the forecasted centroid of the
+// cluster node i is predicted to belong to (modal membership over the last
+// M' steps) with the alpha-scaled per-node offset of eq. (12).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/dynamic_cluster.hpp"
+#include "collect/fleet_collector.hpp"
+#include "common/matrix.hpp"
+#include "core/estimation.hpp"
+#include "core/metrics.hpp"
+#include "forecast/managed.hpp"
+#include "trace/trace.hpp"
+
+namespace resmon::core {
+
+struct PipelineOptions {
+  // -- collection (§V-A) ----------------------------------------------------
+  collect::PolicyKind policy = collect::PolicyKind::kAdaptive;
+  double max_frequency = 0.3;  ///< B (paper default 0.3)
+  double v0 = 1e-12;           ///< V_0 of eq. (8)
+  double gamma = 0.65;         ///< gamma of eq. (8)
+  bool clamp_queue = false;    ///< see AdaptiveOptions::clamp_queue
+  /// Uplink failure injection (drops/delays); default = reliable link.
+  transport::ChannelOptions channel;
+
+  // -- clustering (§V-B) ----------------------------------------------------
+  std::size_t num_clusters = 3;        ///< K (paper default 3)
+  std::size_t similarity_lookback = 1;  ///< M (paper default 1)
+  cluster::SimilarityKind similarity =
+      cluster::SimilarityKind::kIntersection;
+  /// Cluster each resource independently on scalar values (paper default;
+  /// Table I shows this beats joint full-vector clustering).
+  bool cluster_per_resource = true;
+  /// Temporal clustering dimension (Fig. 5): cluster on the concatenation
+  /// of the last `temporal_window` stored snapshots. 1 = no windowing.
+  std::size_t temporal_window = 1;
+
+  // -- forecasting (§V-C) ---------------------------------------------------
+  forecast::ForecasterKind forecaster =
+      forecast::ForecasterKind::kSampleHold;
+  forecast::RetrainSchedule schedule{.initial_steps = 1000,
+                                     .retrain_interval = 288};
+  std::size_t offset_lookback = 5;  ///< M' (paper default 5)
+  /// Apply the per-node offset s-hat of eq. (12) (disable for ablation).
+  bool use_offset = true;
+  /// Apply the alpha scaling inside eq. (12) (disable for ablation).
+  bool offset_alpha = true;
+  /// Re-index clusters against history (eq. (10)/(11)); disable for
+  /// ablation.
+  bool reindex_clusters = true;
+
+  std::uint64_t seed = 1;
+};
+
+class MonitoringPipeline {
+ public:
+  MonitoringPipeline(const trace::Trace& trace,
+                     const PipelineOptions& options);
+
+  /// Advance one time step (collection + clustering + model feeding).
+  void step();
+
+  /// Run `count` steps (convenience).
+  void run(std::size_t count);
+
+  /// Steps processed so far; the last processed step index is
+  /// current_step() - 1.
+  std::size_t current_step() const { return step_count_; }
+  bool done() const { return step_count_ >= trace_.num_steps(); }
+
+  /// x-hat_{i,t+h} for all nodes (N x d). h = 0 returns the stored z_t
+  /// (matching the paper's convention in eq. (3)); h >= 1 combines centroid
+  /// forecasts with per-node offsets. Requires at least one step().
+  Matrix forecast_all(std::size_t h) const;
+
+  /// RMSE(t, h) of eq. (3) against the trace's ground truth at step
+  /// t + h, where t is the last processed step. Requires t + h to lie
+  /// within the trace.
+  double rmse_at(std::size_t h) const;
+
+  /// Intermediate RMSE of the current clustering against the ground truth
+  /// at the last processed step (aggregated over all views/dimensions).
+  double intermediate_rmse() const;
+
+  /// Intermediate RMSE restricted to one dimension of one view. With the
+  /// default per-resource clustering, `view` selects the resource and `dim`
+  /// must be 0; with joint clustering, `view` is 0 and `dim` selects the
+  /// resource. This is what the per-resource panels of Figs. 5-7 report.
+  double intermediate_rmse(std::size_t view, std::size_t dim) const;
+
+  // -- component access -------------------------------------------------
+  /// Number of clustering views: num_resources when clustering per
+  /// resource, otherwise 1.
+  std::size_t num_views() const { return trackers_.size(); }
+  const cluster::DynamicClusterTracker& tracker(std::size_t view) const;
+  const collect::FleetCollector& collector() const { return *collector_; }
+  /// Managed forecaster of cluster j, dimension `dim` within `view`.
+  const forecast::ManagedForecaster& model(std::size_t view, std::size_t j,
+                                           std::size_t dim = 0) const;
+  const PipelineOptions& options() const { return options_; }
+  const trace::Trace& trace() const { return trace_; }
+
+ private:
+  std::size_t view_dims() const {
+    return options_.cluster_per_resource ? 1 : trace_.num_resources();
+  }
+  /// Stored-measurement snapshot for a view: N x view_dims().
+  Matrix view_snapshot(std::size_t view) const;
+  /// Ground-truth snapshot for a view at a given step.
+  Matrix view_truth(std::size_t view, std::size_t t) const;
+  /// Clustering features for a view (temporal windowing).
+  Matrix view_features(std::size_t view) const;
+
+  const trace::Trace& trace_;
+  PipelineOptions options_;
+  std::unique_ptr<collect::FleetCollector> collector_;
+  std::vector<cluster::DynamicClusterTracker> trackers_;
+  // Membership forecasting and eq. (12) offsets, one per view.
+  std::vector<OffsetTracker> offsets_;
+  // models_[view][j * view_dims + dim]
+  std::vector<std::vector<std::unique_ptr<forecast::ManagedForecaster>>>
+      models_;
+  // Per-view history of stored snapshots (front = most recent), retained
+  // for the temporal clustering window.
+  std::vector<std::deque<Matrix>> snapshot_history_;
+  std::size_t snapshot_capacity_;
+  std::size_t step_count_ = 0;
+};
+
+}  // namespace resmon::core

@@ -1,0 +1,489 @@
+#include "forecast/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace resmon::forecast {
+
+namespace {
+
+/// Combined sparse lag polynomials of a multiplicative seasonal ARMA, plus
+/// the mean term, built from a flat parameter vector laid out as
+/// [phi_1..phi_p, theta_1..theta_q, PHI_1..PHI_sp, THETA_1..THETA_sq, (mean)].
+struct Polys {
+  std::vector<std::pair<std::size_t, double>> ar;
+  std::vector<std::pair<std::size_t, double>> ma;
+  double mean = 0.0;
+  std::size_t max_ar_lag = 0;
+  double ar_abs_sum = 0.0;
+  double ma_abs_sum = 0.0;
+};
+
+Polys build_polys(const ArimaOrder& o, std::span<const double> params) {
+  Polys out;
+  std::size_t idx = 0;
+  const std::span<const double> phi = params.subspan(idx, o.p);
+  idx += o.p;
+  const std::span<const double> theta = params.subspan(idx, o.q);
+  idx += o.q;
+  const std::span<const double> sphi = params.subspan(idx, o.sp);
+  idx += o.sp;
+  const std::span<const double> stheta = params.subspan(idx, o.sq);
+  idx += o.sq;
+  out.mean = o.needs_mean() ? params[idx] : 0.0;
+
+  const std::size_t s = o.season;
+  // (1 - sum phi_i B^i)(1 - sum PHI_I B^{sI}) on the AR side expands to
+  // coefficients +phi_i at lag i, +PHI_I at lag sI, -phi_i*PHI_I at i+sI.
+  for (std::size_t i = 0; i < o.p; ++i) out.ar.emplace_back(i + 1, phi[i]);
+  for (std::size_t I = 0; I < o.sp; ++I) {
+    out.ar.emplace_back(s * (I + 1), sphi[I]);
+    for (std::size_t i = 0; i < o.p; ++i) {
+      out.ar.emplace_back(s * (I + 1) + i + 1, -phi[i] * sphi[I]);
+    }
+  }
+  // (1 + sum theta_j B^j)(1 + sum THETA_J B^{sJ}) on the MA side:
+  // +theta_j at j, +THETA_J at sJ, +theta_j*THETA_J at j+sJ.
+  for (std::size_t j = 0; j < o.q; ++j) out.ma.emplace_back(j + 1, theta[j]);
+  for (std::size_t J = 0; J < o.sq; ++J) {
+    out.ma.emplace_back(s * (J + 1), stheta[J]);
+    for (std::size_t j = 0; j < o.q; ++j) {
+      out.ma.emplace_back(s * (J + 1) + j + 1, theta[j] * stheta[J]);
+    }
+  }
+  for (const auto& [lag, a] : out.ar) {
+    out.max_ar_lag = std::max(out.max_ar_lag, lag);
+    out.ar_abs_sum += std::fabs(a);
+  }
+  for (const auto& [lag, b] : out.ma) {
+    (void)lag;
+    out.ma_abs_sum += std::fabs(b);
+  }
+  return out;
+}
+
+/// Residual recursion with zero initialization (conditional sum of squares).
+/// Returns the CSS over t >= max_ar_lag and fills e (one residual per w).
+double compute_residuals(std::span<const double> w, const Polys& polys,
+                         std::vector<double>& e, std::size_t* n_eff) {
+  const std::size_t n = w.size();
+  e.assign(n, 0.0);
+  std::vector<double> wc(n);
+  for (std::size_t t = 0; t < n; ++t) wc[t] = w[t] - polys.mean;
+
+  double css = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double acc = wc[t];
+    for (const auto& [lag, a] : polys.ar) {
+      if (t >= lag) acc -= a * wc[t - lag];
+    }
+    for (const auto& [lag, b] : polys.ma) {
+      if (t >= lag) acc -= b * e[t - lag];
+    }
+    e[t] = acc;
+    if (t >= polys.max_ar_lag) css += acc * acc;
+  }
+  if (n_eff != nullptr) {
+    *n_eff = n > polys.max_ar_lag ? n - polys.max_ar_lag : 0;
+  }
+  return css;
+}
+
+std::vector<double> difference(std::span<const double> x, std::size_t lag) {
+  RESMON_REQUIRE(x.size() > lag, "series too short to difference");
+  std::vector<double> out(x.size() - lag);
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    out[t] = x[t + lag] - x[t];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ArimaOrder::to_string() const {
+  std::string out = "(" + std::to_string(p) + "," + std::to_string(d) + "," +
+                    std::to_string(q) + ")";
+  if (has_seasonal()) {
+    out += "(" + std::to_string(sp) + "," + std::to_string(sd) + "," +
+           std::to_string(sq) + ")[" + std::to_string(season) + "]";
+  }
+  return out;
+}
+
+ArimaForecaster::ArimaForecaster(const ArimaOrder& order,
+                                 const ArimaOptions& options)
+    : order_(order), options_(options) {
+  RESMON_REQUIRE(order.d <= 2, "regular differencing d must be <= 2");
+  RESMON_REQUIRE(order.sd <= 1, "seasonal differencing D must be <= 1");
+  if (order.sp > 0 || order.sd > 0 || order.sq > 0) {
+    RESMON_REQUIRE(order.season > 1,
+                   "seasonal terms require a season length > 1");
+  }
+}
+
+void ArimaForecaster::rebuild_polynomials() {
+  const Polys polys = build_polys(order_, params_);
+  ar_lags_ = polys.ar;
+  ma_lags_ = polys.ma;
+  mean_ = polys.mean;
+}
+
+void ArimaForecaster::recompute_chain_and_residuals() {
+  const Polys polys = build_polys(order_, params_);
+  css_ = compute_residuals(chain_.back(), polys, residuals_, &n_effective_);
+}
+
+void ArimaForecaster::fit(std::span<const double> series) {
+  const std::size_t seasonal_loss = order_.sd * order_.season;
+  const std::size_t loss = order_.d + seasonal_loss;
+
+  // Trial polynomials with unit coefficients give the deepest lag the model
+  // will ever reach; the differenced series must comfortably cover it.
+  std::vector<double> ones(order_.num_params(), 0.1);
+  const Polys trial = build_polys(order_, ones);
+  const std::size_t min_len =
+      std::max<std::size_t>(trial.max_ar_lag + 8, 16);
+  if (series.size() < loss + min_len) {
+    throw NumericalError("ARIMA" + order_.to_string() +
+                         ": series too short (" +
+                         std::to_string(series.size()) + " points)");
+  }
+
+  // Build the differencing chain: seasonal differences first, regular after.
+  chain_.clear();
+  chain_.emplace_back(series.begin(), series.end());
+  for (std::size_t i = 0; i < order_.sd; ++i) {
+    chain_.push_back(difference(chain_.back(), order_.season));
+  }
+  for (std::size_t i = 0; i < order_.d; ++i) {
+    chain_.push_back(difference(chain_.back(), 1));
+  }
+  const std::vector<double>& w = chain_.back();
+
+  params_.assign(order_.num_params(), 0.1);
+  if (order_.needs_mean()) {
+    double m = 0.0;
+    for (double v : w) m += v;
+    params_.back() = m / static_cast<double>(w.size());
+  }
+
+  if (!params_.empty()) {
+    const double n = static_cast<double>(w.size());
+    std::vector<double> scratch;
+    auto objective = [&](std::span<const double> candidate) -> double {
+      const Polys polys = build_polys(order_, candidate);
+      const double css = compute_residuals(w, polys, scratch, nullptr);
+      // Soft stationarity/invertibility penalty: keep the combined lag
+      // polynomials inside the (conservative) |coeffs| sum < 1 region.
+      const double excess_ar = std::max(0.0, polys.ar_abs_sum - 0.999);
+      const double excess_ma = std::max(0.0, polys.ma_abs_sum - 0.999);
+      return css * (1.0 + 50.0 * (excess_ar + excess_ma)) +
+             n * (excess_ar + excess_ma);
+    };
+    const optim::OptimResult opt =
+        optim::nelder_mead(objective, params_, options_.optimizer);
+    params_ = opt.x;
+  }
+
+  rebuild_polynomials();
+  recompute_chain_and_residuals();
+  fitted_ = true;
+}
+
+void ArimaForecaster::append_to_chain(double value) {
+  chain_[0].push_back(value);
+  std::size_t level = 1;
+  for (std::size_t i = 0; i < order_.sd; ++i, ++level) {
+    const std::vector<double>& prev = chain_[level - 1];
+    chain_[level].push_back(prev.back() - prev[prev.size() - 1 - order_.season]);
+  }
+  for (std::size_t i = 0; i < order_.d; ++i, ++level) {
+    const std::vector<double>& prev = chain_[level - 1];
+    chain_[level].push_back(prev.back() - prev[prev.size() - 2]);
+  }
+}
+
+void ArimaForecaster::update(double value) {
+  if (!fitted_) throw InvalidState("ARIMA: update before fit");
+  append_to_chain(value);
+
+  // Extend the residual recursion by one step.
+  const std::vector<double>& w = chain_.back();
+  const std::size_t t = w.size() - 1;
+  double acc = w[t] - mean_;
+  for (const auto& [lag, a] : ar_lags_) {
+    if (t >= lag) acc -= a * (w[t - lag] - mean_);
+  }
+  for (const auto& [lag, b] : ma_lags_) {
+    if (t >= lag) acc -= b * residuals_[t - lag];
+  }
+  residuals_.push_back(acc);
+  std::size_t max_ar_lag = 0;
+  for (const auto& [lag, a] : ar_lags_) {
+    (void)a;
+    max_ar_lag = std::max(max_ar_lag, lag);
+  }
+  if (t >= max_ar_lag) {
+    css_ += acc * acc;
+    ++n_effective_;
+  }
+}
+
+double ArimaForecaster::forecast(std::size_t h) const {
+  RESMON_REQUIRE(h >= 1, "forecast horizon must be >= 1");
+  if (!fitted_) throw InvalidState("ARIMA: forecast before fit");
+
+  const std::vector<double>& w = chain_.back();
+  const std::size_t n = w.size();
+
+  // Forecast the stationary (differenced, centered) series: future shocks
+  // are zero, past residuals come from the fitted recursion.
+  std::vector<double> fc(h, 0.0);
+  auto wc_at = [&](long long idx) -> double {
+    // idx relative to w; negative = before data start (treated as mean).
+    if (idx < 0) return 0.0;
+    if (idx < static_cast<long long>(n)) return w[idx] - mean_;
+    return fc[static_cast<std::size_t>(idx) - n];
+  };
+  auto e_at = [&](long long idx) -> double {
+    if (idx < 0 || idx >= static_cast<long long>(n)) return 0.0;
+    return residuals_[idx];
+  };
+  for (std::size_t tau = 0; tau < h; ++tau) {
+    const long long t = static_cast<long long>(n + tau);
+    double acc = 0.0;
+    for (const auto& [lag, a] : ar_lags_) {
+      acc += a * wc_at(t - static_cast<long long>(lag));
+    }
+    for (const auto& [lag, b] : ma_lags_) {
+      acc += b * e_at(t - static_cast<long long>(lag));
+    }
+    fc[tau] = acc;
+  }
+  // Undo centering.
+  for (double& v : fc) v += mean_;
+
+  // Invert the differencing chain, deepest level first (regular diffs were
+  // applied last, so they are inverted first).
+  std::size_t level = chain_.size() - 1;
+  for (std::size_t i = 0; i < order_.d; ++i, --level) {
+    const std::vector<double>& base = chain_[level - 1];
+    double prev = base.back();
+    for (std::size_t tau = 0; tau < h; ++tau) {
+      fc[tau] = prev + fc[tau];
+      prev = fc[tau];
+    }
+  }
+  for (std::size_t i = 0; i < order_.sd; ++i, --level) {
+    const std::vector<double>& base = chain_[level - 1];
+    const std::size_t s = order_.season;
+    for (std::size_t tau = 0; tau < h; ++tau) {
+      // x_{n-1+tau+1} = x_{n-1+tau+1-s} + u_fc[tau]
+      const long long past = static_cast<long long>(base.size()) +
+                             static_cast<long long>(tau) -
+                             static_cast<long long>(s);
+      const double anchor = past < static_cast<long long>(base.size())
+                                ? base[past]
+                                : fc[static_cast<std::size_t>(past) -
+                                     base.size()];
+      fc[tau] = anchor + fc[tau];
+    }
+  }
+  return fc[h - 1];
+}
+
+double ArimaForecaster::forecast_stddev(std::size_t h) const {
+  RESMON_REQUIRE(h >= 1, "forecast horizon must be >= 1");
+  if (!fitted_) throw InvalidState("ARIMA: forecast_stddev before fit");
+
+  // Full autoregressive polynomial including the differencing operators:
+  // A(B) = (1 - sum a_lag B^lag) (1-B)^d (1-B^s)^D = 1 - sum phi_j B^j.
+  // Represent polynomials as dense coefficient vectors in B.
+  auto poly_mul = [](const std::vector<double>& p,
+                     const std::vector<double>& q) {
+    std::vector<double> out(p.size() + q.size() - 1, 0.0);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      for (std::size_t j = 0; j < q.size(); ++j) out[i + j] += p[i] * q[j];
+    }
+    return out;
+  };
+  std::vector<double> a_poly{1.0};
+  {
+    std::size_t max_lag = 0;
+    for (const auto& [lag, coeff] : ar_lags_) {
+      (void)coeff;
+      max_lag = std::max(max_lag, lag);
+    }
+    std::vector<double> stationary(max_lag + 1, 0.0);
+    stationary[0] = 1.0;
+    for (const auto& [lag, coeff] : ar_lags_) stationary[lag] -= coeff;
+    a_poly = stationary;
+  }
+  for (std::size_t i = 0; i < order_.d; ++i) {
+    a_poly = poly_mul(a_poly, {1.0, -1.0});
+  }
+  for (std::size_t i = 0; i < order_.sd; ++i) {
+    std::vector<double> seasonal(order_.season + 1, 0.0);
+    seasonal[0] = 1.0;
+    seasonal[order_.season] = -1.0;
+    a_poly = poly_mul(a_poly, seasonal);
+  }
+  // phi_full[j] (j >= 1) with x_t = sum phi_full_j x_{t-j} + MA + e_t.
+  std::vector<double> phi_full(a_poly.size(), 0.0);
+  for (std::size_t j = 1; j < a_poly.size(); ++j) phi_full[j] = -a_poly[j];
+
+  // MA coefficients b_j (dense).
+  std::vector<double> b;
+  for (const auto& [lag, coeff] : ma_lags_) {
+    if (lag >= b.size()) b.resize(lag + 1, 0.0);
+    b[lag] = coeff;
+  }
+
+  // psi recursion: psi_0 = 1; psi_j = b_j + sum_i phi_full_i psi_{j-i}.
+  std::vector<double> psi(h, 0.0);
+  psi[0] = 1.0;
+  double var_sum = 1.0;
+  for (std::size_t j = 1; j < h; ++j) {
+    double s = j < b.size() ? b[j] : 0.0;
+    for (std::size_t i = 1; i < phi_full.size() && i <= j; ++i) {
+      s += phi_full[i] * psi[j - i];
+    }
+    psi[j] = s;
+    var_sum += s * s;
+  }
+  return std::sqrt(sigma2() * var_sum);
+}
+
+ArimaForecaster::Interval ArimaForecaster::forecast_interval(
+    std::size_t h, double confidence) const {
+  RESMON_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  const double point = forecast(h);
+  const double z = stats::normal_quantile(0.5 + confidence / 2.0);
+  const double se = forecast_stddev(h);
+  return {point - z * se, point, point + z * se};
+}
+
+stats::LjungBoxResult ArimaForecaster::residual_diagnostics(
+    std::size_t lags) const {
+  if (!fitted_) throw InvalidState("ARIMA: diagnostics before fit");
+  return stats::ljung_box(residuals_, lags, order_.num_params());
+}
+
+double ArimaForecaster::css() const {
+  if (!fitted_) throw InvalidState("ARIMA: css before fit");
+  return css_;
+}
+
+double ArimaForecaster::sigma2() const {
+  if (!fitted_) throw InvalidState("ARIMA: sigma2 before fit");
+  if (n_effective_ == 0) return 0.0;
+  return css_ / static_cast<double>(n_effective_);
+}
+
+double ArimaForecaster::aicc() const {
+  if (!fitted_) throw InvalidState("ARIMA: aicc before fit");
+  const double n = static_cast<double>(n_effective_);
+  const double k = static_cast<double>(order_.num_params()) + 1.0;
+  if (n <= k + 1.0) return std::numeric_limits<double>::infinity();
+  const double s2 = std::max(sigma2(), 1e-12);
+  const double log_l =
+      -0.5 * n * (std::log(2.0 * std::numbers::pi * s2) + 1.0);
+  const double aic = -2.0 * log_l + 2.0 * k;
+  return aic + 2.0 * k * (k + 1.0) / (n - k - 1.0);
+}
+
+ArimaGrid ArimaGrid::paper_grid(std::size_t season) {
+  ArimaGrid g;
+  g.max_p = 5;
+  g.max_d = 2;
+  g.max_q = 5;
+  g.max_sp = 2;
+  g.max_sd = 1;
+  g.max_sq = 2;
+  g.season = season;
+  return g;
+}
+
+AutoArimaForecaster::AutoArimaForecaster(const ArimaGrid& grid,
+                                         const ArimaOptions& options)
+    : grid_(grid), options_(options) {}
+
+void AutoArimaForecaster::fit(std::span<const double> series) {
+  candidates_.clear();
+  std::unique_ptr<ArimaForecaster> best;
+  double best_aicc = std::numeric_limits<double>::infinity();
+  std::size_t best_params = 0;
+
+  const bool seasonal = grid_.season > 1;
+  const std::size_t sp_hi = seasonal ? grid_.max_sp : 0;
+  const std::size_t sd_hi = seasonal ? grid_.max_sd : 0;
+  const std::size_t sq_hi = seasonal ? grid_.max_sq : 0;
+
+  for (std::size_t p = 0; p <= grid_.max_p; ++p) {
+    for (std::size_t d = 0; d <= grid_.max_d; ++d) {
+      for (std::size_t q = 0; q <= grid_.max_q; ++q) {
+        for (std::size_t sp = 0; sp <= sp_hi; ++sp) {
+          for (std::size_t sd = 0; sd <= sd_hi; ++sd) {
+            for (std::size_t sq = 0; sq <= sq_hi; ++sq) {
+              ArimaOrder order{.p = p, .d = d, .q = q, .sp = sp, .sd = sd,
+                               .sq = sq, .season = grid_.season};
+              if (order.num_params() == 0 && d == 0 && sd == 0) {
+                continue;  // empty model: no dynamics, no mean, no trend
+              }
+              auto model =
+                  std::make_unique<ArimaForecaster>(order, options_);
+              double aicc;
+              try {
+                model->fit(series);
+                aicc = model->aicc();
+              } catch (const NumericalError&) {
+                continue;  // series too short for this order
+              }
+              candidates_.push_back({order, aicc});
+              const std::size_t np = order.num_params();
+              if (aicc < best_aicc - 1e-9 ||
+                  (std::fabs(aicc - best_aicc) <= 1e-9 &&
+                   np < best_params)) {
+                best_aicc = aicc;
+                best_params = np;
+                best = std::move(model);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (best == nullptr) {
+    throw NumericalError(
+        "AutoArima: no candidate order could be fitted (series too short?)");
+  }
+  model_ = std::move(best);
+}
+
+void AutoArimaForecaster::update(double value) {
+  if (model_ == nullptr) throw InvalidState("AutoArima: update before fit");
+  model_->update(value);
+}
+
+double AutoArimaForecaster::forecast(std::size_t h) const {
+  if (model_ == nullptr) throw InvalidState("AutoArima: forecast before fit");
+  return model_->forecast(h);
+}
+
+std::string AutoArimaForecaster::name() const {
+  return model_ == nullptr ? "AutoARIMA" : "Auto" + model_->name();
+}
+
+const ArimaForecaster& AutoArimaForecaster::selected() const {
+  if (model_ == nullptr) throw InvalidState("AutoArima: not fitted");
+  return *model_;
+}
+
+}  // namespace resmon::forecast

@@ -1,0 +1,149 @@
+#include "forecast/holt_winters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace resmon::forecast {
+
+HoltWintersForecaster::HoltWintersForecaster(
+    const HoltWintersOptions& options)
+    : options_(options) {
+  RESMON_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
+                 "HoltWinters: damping must be in (0,1]");
+  RESMON_REQUIRE(options.season != 1, "HoltWinters: season of 1 is invalid");
+  for (const double p : {options.alpha, options.beta, options.gamma}) {
+    RESMON_REQUIRE(p >= 0.0 && p <= 1.0,
+                   "HoltWinters: smoothing parameters must be in [0,1]");
+  }
+}
+
+double HoltWintersForecaster::run(std::span<const double> series,
+                                  double alpha, double beta, double gamma,
+                                  double* level_out, double* trend_out,
+                                  std::vector<double>* season_out) const {
+  const std::size_t s = options_.season;
+  const bool seasonal = s > 1 && series.size() >= 2 * s;
+  const double phi = options_.damping;
+
+  // Initialization: level = first value (or first-season mean), trend from
+  // the first difference(s), seasonal indices from the first season's
+  // deviations.
+  double level;
+  double trend;
+  std::vector<double> season_state;
+  std::size_t start;
+  if (seasonal) {
+    double mean0 = 0.0;
+    for (std::size_t i = 0; i < s; ++i) mean0 += series[i];
+    mean0 /= static_cast<double>(s);
+    level = mean0;
+    double mean1 = 0.0;
+    for (std::size_t i = s; i < 2 * s; ++i) mean1 += series[i];
+    mean1 /= static_cast<double>(s);
+    trend = (mean1 - mean0) / static_cast<double>(s);
+    season_state.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      season_state[i] = series[i] - mean0;
+    }
+    start = s;
+  } else {
+    level = series[0];
+    trend = series.size() > 1 ? series[1] - series[0] : 0.0;
+    start = 1;
+  }
+
+  double sse = 0.0;
+  for (std::size_t t = start; t < series.size(); ++t) {
+    const double season_term =
+        seasonal ? season_state[t % s] : 0.0;
+    const double predicted = level + phi * trend + season_term;
+    const double err = series[t] - predicted;
+    sse += err * err;
+
+    const double deseason = series[t] - season_term;
+    const double new_level =
+        alpha * deseason + (1.0 - alpha) * (level + phi * trend);
+    trend = beta * (new_level - level) + (1.0 - beta) * phi * trend;
+    level = new_level;
+    if (seasonal) {
+      season_state[t % s] =
+          gamma * (series[t] - new_level) + (1.0 - gamma) * season_state[t % s];
+    }
+  }
+
+  if (level_out != nullptr) *level_out = level;
+  if (trend_out != nullptr) *trend_out = trend;
+  if (season_out != nullptr) *season_out = std::move(season_state);
+  return sse;
+}
+
+void HoltWintersForecaster::fit(std::span<const double> series) {
+  RESMON_REQUIRE(series.size() >= 3, "HoltWinters: series too short");
+
+  alpha_ = options_.alpha;
+  beta_ = options_.beta;
+  gamma_ = options_.gamma;
+  if (options_.optimize) {
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+    auto objective = [&](std::span<const double> p) {
+      // Out-of-range parameters are clamped and penalized so the optimizer
+      // stays in the valid box.
+      double penalty = 0.0;
+      for (const double v : p) {
+        penalty += std::max(0.0, v - 1.0) + std::max(0.0, -v);
+      }
+      return run(series, clamp01(p[0]), clamp01(p[1]), clamp01(p[2]),
+                 nullptr, nullptr, nullptr) *
+                 (1.0 + penalty) +
+             penalty;
+    };
+    const optim::OptimResult r = optim::nelder_mead(
+        objective, {alpha_, beta_, gamma_}, options_.optimizer);
+    alpha_ = clamp01(r.x[0]);
+    beta_ = clamp01(r.x[1]);
+    gamma_ = clamp01(r.x[2]);
+  }
+
+  sse_ = run(series, alpha_, beta_, gamma_, &level_, &trend_, &seasonal_);
+  season_phase_ = seasonal_.empty() ? 0 : series.size() % options_.season;
+  fitted_ = true;
+}
+
+void HoltWintersForecaster::update(double value) {
+  if (!fitted_) throw InvalidState("HoltWinters: update before fit");
+  const double phi = options_.damping;
+  const double season_term =
+      seasonal_.empty() ? 0.0 : seasonal_[season_phase_];
+  const double deseason = value - season_term;
+  const double new_level =
+      alpha_ * deseason + (1.0 - alpha_) * (level_ + phi * trend_);
+  trend_ = beta_ * (new_level - level_) + (1.0 - beta_) * phi * trend_;
+  level_ = new_level;
+  if (!seasonal_.empty()) {
+    seasonal_[season_phase_] =
+        gamma_ * (value - new_level) + (1.0 - gamma_) * seasonal_[season_phase_];
+    season_phase_ = (season_phase_ + 1) % seasonal_.size();
+  }
+}
+
+double HoltWintersForecaster::forecast(std::size_t h) const {
+  RESMON_REQUIRE(h >= 1, "forecast horizon must be >= 1");
+  if (!fitted_) throw InvalidState("HoltWinters: forecast before fit");
+  // Damped trend: level + (phi + phi^2 + ... + phi^h) * trend.
+  const double phi = options_.damping;
+  double damp_sum = 0.0;
+  double p = phi;
+  for (std::size_t i = 0; i < h; ++i) {
+    damp_sum += p;
+    p *= phi;
+  }
+  double season_term = 0.0;
+  if (!seasonal_.empty()) {
+    season_term = seasonal_[(season_phase_ + h - 1) % seasonal_.size()];
+  }
+  return level_ + damp_sum * trend_ + season_term;
+}
+
+}  // namespace resmon::forecast

@@ -1,0 +1,72 @@
+// Holt-Winters exponential smoothing forecaster.
+//
+// Not part of the paper's evaluation, but the standard model production
+// monitoring systems reach for first; included as an ablation point between
+// sample-and-hold and ARIMA (see bench/ablation_models). Additive level +
+// damped additive trend, with optional additive seasonality. Smoothing
+// parameters are chosen by minimizing the one-step-ahead sum of squared
+// errors with Nelder-Mead.
+#pragma once
+
+#include "common/optim.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace resmon::forecast {
+
+struct HoltWintersOptions {
+  /// Season length; 0 disables the seasonal component.
+  std::size_t season = 0;
+  /// Trend damping factor phi in (0, 1]; 1 = undamped Holt trend.
+  double damping = 0.98;
+  /// When true, fit() optimizes (alpha, beta, gamma) by CSS; otherwise the
+  /// fixed values below are used.
+  bool optimize = true;
+  double alpha = 0.3;  ///< level smoothing
+  double beta = 0.05;  ///< trend smoothing
+  double gamma = 0.1;  ///< seasonal smoothing
+  optim::NelderMeadOptions optimizer{.max_iterations = 200,
+                                     .initial_step = 0.15,
+                                     .f_tolerance = 1e-10,
+                                     .x_tolerance = 1e-8};
+};
+
+class HoltWintersForecaster final : public Forecaster {
+ public:
+  explicit HoltWintersForecaster(const HoltWintersOptions& options = {});
+
+  void fit(std::span<const double> series) override;
+  void update(double value) override;
+  double forecast(std::size_t h) const override;
+  bool is_fitted() const override { return fitted_; }
+  std::string name() const override {
+    return options_.season > 1 ? "HoltWinters" : "Holt";
+  }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+  /// One-step-ahead SSE of the fitted parameters over the training series.
+  double training_sse() const { return sse_; }
+
+ private:
+  /// Run the smoothing recursion over `series` with the given parameters,
+  /// returning the one-step SSE and leaving the final state in the out
+  /// parameters.
+  double run(std::span<const double> series, double alpha, double beta,
+             double gamma, double* level_out, double* trend_out,
+             std::vector<double>* season_out) const;
+
+  HoltWintersOptions options_;
+  bool fitted_ = false;
+  double alpha_ = 0.3;
+  double beta_ = 0.05;
+  double gamma_ = 0.1;
+  double sse_ = 0.0;
+
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;   // length = season (empty if disabled)
+  std::size_t season_phase_ = 0;   // index of the *next* seasonal slot
+};
+
+}  // namespace resmon::forecast

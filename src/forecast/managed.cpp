@@ -1,0 +1,55 @@
+#include "forecast/managed.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace resmon::forecast {
+
+ManagedForecaster::ManagedForecaster(std::unique_ptr<Forecaster> model,
+                                     const RetrainSchedule& schedule)
+    : model_(std::move(model)), schedule_(schedule) {
+  RESMON_REQUIRE(model_ != nullptr, "ManagedForecaster requires a model");
+  RESMON_REQUIRE(schedule.initial_steps >= 2,
+                 "initial collection phase must have at least 2 steps");
+  RESMON_REQUIRE(schedule.retrain_interval >= 1,
+                 "retrain interval must be at least 1 step");
+}
+
+void ManagedForecaster::observe(double value) {
+  history_.push_back(value);
+
+  const bool due =
+      history_.size() == schedule_.initial_steps ||
+      (history_.size() > schedule_.initial_steps &&
+       (history_.size() - schedule_.initial_steps) %
+               schedule_.retrain_interval ==
+           0);
+  if (due) {
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      model_->fit(history_);
+      ++fits_completed_;
+    } catch (const NumericalError&) {
+      // Not enough usable data yet (e.g. seasonal ARIMA with a long season);
+      // stay in the fallback regime until the next scheduled fit.
+    }
+    training_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  } else if (ready()) {
+    model_->update(value);
+  }
+}
+
+double ManagedForecaster::forecast(std::size_t h) const {
+  RESMON_REQUIRE(h >= 1, "forecast horizon must be >= 1");
+  if (history_.empty()) {
+    throw InvalidState("ManagedForecaster: no observations yet");
+  }
+  if (!ready()) return history_.back();
+  return model_->forecast(h);
+}
+
+}  // namespace resmon::forecast

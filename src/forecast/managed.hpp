@@ -1,0 +1,57 @@
+// ManagedForecaster: the paper's training schedule around a Forecaster.
+//
+// "When the system starts for the first time, there is an initial data
+//  collection phase where there is no forecasting model available to use.
+//  ... The transient state of each model gets updated whenever a new
+//  measurement is available. The models are retrained periodically at a
+//  given time interval using all the historical cluster centroids." (§V-C)
+#pragma once
+
+#include <memory>
+
+#include "forecast/forecaster.hpp"
+
+namespace resmon::forecast {
+
+/// Retraining schedule. Paper defaults: initial phase of 1000 steps, then
+/// retrain every 288 steps (one day at 5-minute sampling).
+struct RetrainSchedule {
+  std::size_t initial_steps = 1000;
+  std::size_t retrain_interval = 288;
+};
+
+/// Feeds a centroid series into a Forecaster, (re)fitting it on the schedule
+/// and updating its transient state in between. Before the first fit,
+/// forecasts fall back to the last observed value (sample-and-hold), so the
+/// pipeline always has an answer.
+class ManagedForecaster {
+ public:
+  ManagedForecaster(std::unique_ptr<Forecaster> model,
+                    const RetrainSchedule& schedule);
+
+  /// Record one new observation (one per time step).
+  void observe(double value);
+
+  /// True once the underlying model has been trained at least once.
+  bool ready() const { return fits_completed_ > 0; }
+
+  /// Forecast h >= 1 steps past the last observation. Uses the trained
+  /// model when ready, otherwise holds the last observation.
+  double forecast(std::size_t h) const;
+
+  std::size_t observations() const { return history_.size(); }
+  std::size_t fits_completed() const { return fits_completed_; }
+  const Forecaster& model() const { return *model_; }
+
+  /// Total wall-clock seconds spent inside model->fit() so far (Table II).
+  double total_training_seconds() const { return training_seconds_; }
+
+ private:
+  std::unique_ptr<Forecaster> model_;
+  RetrainSchedule schedule_;
+  std::vector<double> history_;
+  std::size_t fits_completed_ = 0;
+  double training_seconds_ = 0.0;
+};
+
+}  // namespace resmon::forecast

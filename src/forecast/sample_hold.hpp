@@ -1,0 +1,38 @@
+// Sample-and-hold forecaster: the paper's simplest baseline (§VI-D1).
+// The forecast for any horizon is the most recent observation.
+#pragma once
+
+#include "forecast/forecaster.hpp"
+
+#include "common/error.hpp"
+
+namespace resmon::forecast {
+
+class SampleHoldForecaster final : public Forecaster {
+ public:
+  void fit(std::span<const double> series) override {
+    RESMON_REQUIRE(!series.empty(), "SampleHold: empty series");
+    last_ = series.back();
+    fitted_ = true;
+  }
+
+  void update(double value) override {
+    if (!fitted_) throw InvalidState("SampleHold: update before fit");
+    last_ = value;
+  }
+
+  double forecast(std::size_t h) const override {
+    RESMON_REQUIRE(h >= 1, "forecast horizon must be >= 1");
+    if (!fitted_) throw InvalidState("SampleHold: forecast before fit");
+    return last_;
+  }
+
+  bool is_fitted() const override { return fitted_; }
+  std::string name() const override { return "SampleHold"; }
+
+ private:
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace resmon::forecast

@@ -1,0 +1,157 @@
+#include "gaussian/gaussian_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace resmon::gaussian {
+
+GaussianModel::GaussianModel(std::vector<double> mean, Matrix cov)
+    : mean_(std::move(mean)), cov_(std::move(cov)) {}
+
+GaussianModel GaussianModel::fit(const Matrix& train, double ridge) {
+  RESMON_REQUIRE(train.rows() >= 2,
+                 "GaussianModel needs at least two samples");
+  const std::size_t t = train.rows();
+  const std::size_t n = train.cols();
+
+  std::vector<double> mean(n, 0.0);
+  for (std::size_t row = 0; row < t; ++row) {
+    for (std::size_t i = 0; i < n; ++i) mean[i] += train(row, i);
+  }
+  for (double& m : mean) m /= static_cast<double>(t);
+
+  Matrix cov(n, n);
+  for (std::size_t row = 0; row < t; ++row) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double di = train(row, i) - mean[i];
+      for (std::size_t j = i; j < n; ++j) {
+        cov(i, j) += di * (train(row, j) - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(t - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+    cov(i, i) += ridge;
+  }
+  return GaussianModel(std::move(mean), std::move(cov));
+}
+
+std::vector<double> GaussianModel::infer(
+    const std::vector<std::size_t>& monitors,
+    std::span<const double> observed) const {
+  RESMON_REQUIRE(monitors.size() == observed.size(),
+                 "monitor/observation count mismatch");
+  RESMON_REQUIRE(!monitors.empty(), "need at least one monitor");
+  const std::size_t n = num_nodes();
+  const std::size_t k = monitors.size();
+  for (const std::size_t m : monitors) {
+    RESMON_REQUIRE(m < n, "monitor index out of range");
+  }
+
+  // Sigma_oo and the centered observation vector.
+  Matrix s_oo(k, k);
+  std::vector<double> delta(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    delta[a] = observed[a] - mean_[monitors[a]];
+    for (std::size_t b = 0; b < k; ++b) {
+      s_oo(a, b) = cov_(monitors[a], monitors[b]);
+    }
+  }
+  // alpha = Sigma_oo^{-1} (x_o - mu_o); then x_u = mu_u + Sigma_uo alpha.
+  const std::vector<double> alpha = solve_spd(s_oo, delta);
+
+  std::vector<double> out(mean_);
+  std::vector<bool> is_monitor(n, false);
+  for (std::size_t a = 0; a < k; ++a) is_monitor[monitors[a]] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_monitor[i]) continue;
+    double acc = mean_[i];
+    for (std::size_t a = 0; a < k; ++a) {
+      acc += cov_(i, monitors[a]) * alpha[a];
+    }
+    out[i] = acc;
+  }
+  for (std::size_t a = 0; a < k; ++a) out[monitors[a]] = observed[a];
+  return out;
+}
+
+double GaussianModel::conditional_variance(
+    const std::vector<std::size_t>& monitors) const {
+  RESMON_REQUIRE(!monitors.empty(), "need at least one monitor");
+  const std::size_t n = num_nodes();
+  const std::size_t k = monitors.size();
+
+  Matrix s_oo(k, k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      s_oo(a, b) = cov_(monitors[a], monitors[b]);
+    }
+  }
+  const Matrix l = cholesky(s_oo);
+
+  std::vector<bool> is_monitor(n, false);
+  for (const std::size_t m : monitors) is_monitor[m] = true;
+
+  // For each unobserved node i: var_i = Sigma_ii - c_i^T Sigma_oo^{-1} c_i
+  // where c_i = Sigma_{o,i}. Using the Cholesky factor, solve L y = c_i and
+  // subtract ||y||^2.
+  double total = 0.0;
+  std::vector<double> c(k), y(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_monitor[i]) continue;
+    for (std::size_t a = 0; a < k; ++a) c[a] = cov_(monitors[a], i);
+    for (std::size_t a = 0; a < k; ++a) {
+      double s = c[a];
+      for (std::size_t b = 0; b < a; ++b) s -= l(a, b) * y[b];
+      y[a] = s / l(a, a);
+    }
+    double reduction = 0.0;
+    for (std::size_t a = 0; a < k; ++a) reduction += y[a] * y[a];
+    total += std::max(0.0, cov_(i, i) - reduction);
+  }
+  return total;
+}
+
+OnlineGaussianModel::OnlineGaussianModel(std::size_t num_nodes)
+    : mean_(num_nodes, 0.0),
+      comoment_(num_nodes, num_nodes),
+      delta_(num_nodes, 0.0) {
+  RESMON_REQUIRE(num_nodes > 0, "OnlineGaussianModel needs nodes");
+}
+
+void OnlineGaussianModel::observe(std::span<const double> snapshot) {
+  RESMON_REQUIRE(snapshot.size() == mean_.size(),
+                 "OnlineGaussianModel: snapshot size mismatch");
+  ++count_;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  const std::size_t n = mean_.size();
+  // Welford: delta = x - mean_old; mean += delta/n;
+  // M += delta * (x - mean_new)^T, kept symmetric.
+  for (std::size_t i = 0; i < n; ++i) delta_[i] = snapshot[i] - mean_[i];
+  for (std::size_t i = 0; i < n; ++i) mean_[i] += delta_[i] * inv_n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = delta_[i];
+    for (std::size_t j = i; j < n; ++j) {
+      const double upd = di * (snapshot[j] - mean_[j]);
+      comoment_(i, j) += upd;
+      if (j != i) comoment_(j, i) += upd;
+    }
+  }
+}
+
+GaussianModel OnlineGaussianModel::finalize(double ridge) const {
+  RESMON_REQUIRE(count_ >= 2,
+                 "OnlineGaussianModel needs at least two samples");
+  const std::size_t n = mean_.size();
+  Matrix cov = comoment_;
+  cov *= 1.0 / static_cast<double>(count_ - 1);
+  for (std::size_t i = 0; i < n; ++i) cov(i, i) += ridge;
+  return GaussianModel(mean_, std::move(cov));
+}
+
+}  // namespace resmon::gaussian

@@ -1,0 +1,75 @@
+// Multivariate Gaussian model over node measurements — the machinery behind
+// the comparison baseline of §VI-E (Silvestri et al., ICDCS 2015 [3]).
+//
+// During a training phase the central node receives every node's
+// measurements and estimates a mean vector and covariance matrix; during the
+// testing phase only K "monitor" nodes report, and the remaining nodes are
+// inferred by conditional-Gaussian regression on the monitors.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace resmon::gaussian {
+
+/// Gaussian model of the joint distribution of one resource across nodes.
+class GaussianModel {
+ public:
+  /// Estimate from a training matrix with one row per time step and one
+  /// column per node. A small ridge is added to the covariance diagonal for
+  /// numerical stability. Requires at least 2 rows.
+  static GaussianModel fit(const Matrix& train, double ridge = 1e-6);
+
+  std::size_t num_nodes() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const Matrix& covariance() const { return cov_; }
+
+  /// Conditional-mean inference: given observed values at `monitors`
+  /// (parallel to `observed`), return the inferred values for all nodes
+  /// (monitors keep their observed values).
+  std::vector<double> infer(const std::vector<std::size_t>& monitors,
+                            std::span<const double> observed) const;
+
+  /// Total conditional variance of the non-monitor nodes given the monitor
+  /// set: tr(Sigma_uu - Sigma_uo Sigma_oo^{-1} Sigma_ou). The selection
+  /// algorithms minimize this quantity.
+  double conditional_variance(const std::vector<std::size_t>& monitors) const;
+
+ private:
+  friend class OnlineGaussianModel;
+  GaussianModel(std::vector<double> mean, Matrix cov);
+
+  std::vector<double> mean_;
+  Matrix cov_;
+};
+
+/// Streaming estimator of the same model: one observe() per time step with
+/// the full fleet snapshot, Welford-style updates of the mean vector and
+/// the co-moment matrix. Matches [3]'s *online* setting, where the
+/// training phase accumulates statistics sample by sample; finalize() at
+/// any point yields a GaussianModel numerically equal to the batch fit on
+/// the samples seen so far.
+class OnlineGaussianModel {
+ public:
+  explicit OnlineGaussianModel(std::size_t num_nodes);
+
+  /// Incorporate one snapshot (one value per node).
+  void observe(std::span<const double> snapshot);
+
+  std::size_t num_nodes() const { return mean_.size(); }
+  std::size_t samples() const { return count_; }
+  const std::vector<double>& mean() const { return mean_; }
+
+  /// Snapshot the accumulated statistics into a usable model.
+  /// Requires at least 2 samples.
+  GaussianModel finalize(double ridge = 1e-6) const;
+
+ private:
+  std::vector<double> mean_;
+  Matrix comoment_;  // sum of (x - mean) (x - mean)^T, updated online
+  std::vector<double> delta_;  // scratch
+  std::size_t count_ = 0;
+};
+
+}  // namespace resmon::gaussian

@@ -1,0 +1,208 @@
+#include "gaussian/monitor_experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.hpp"
+#include "common/rng.hpp"
+#include "gaussian/selection.hpp"
+
+namespace resmon::gaussian {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Training-phase data as a (train_steps x nodes) matrix for the Gaussian
+/// model, and as a (nodes x train_steps) point matrix for K-means.
+Matrix training_matrix(const trace::Trace& trace,
+                       const MonitorExperimentOptions& o) {
+  Matrix train(o.train_steps, trace.num_nodes());
+  for (std::size_t t = 0; t < o.train_steps; ++t) {
+    for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+      train(t, i) = trace.value(i, t, o.resource);
+    }
+  }
+  return train;
+}
+
+Matrix node_points(const trace::Trace& trace,
+                   const MonitorExperimentOptions& o) {
+  Matrix points(trace.num_nodes(), o.train_steps);
+  for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+    for (std::size_t t = 0; t < o.train_steps; ++t) {
+      points(i, t) = trace.value(i, t, o.resource);
+    }
+  }
+  return points;
+}
+
+/// Nearest-monitor assignment by Euclidean distance on training series.
+std::vector<std::size_t> assign_to_monitors(
+    const Matrix& points, const std::vector<std::size_t>& monitors) {
+  std::vector<std::size_t> owner(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    std::size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::max();
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      const double d2 =
+          squared_distance(points.row(i), points.row(monitors[m]));
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = m;
+      }
+    }
+    owner[i] = best;  // index into `monitors`
+  }
+  return owner;
+}
+
+/// Test-phase RMSE for cluster-style estimation: each node's estimate is the
+/// current value of its assigned monitor.
+double cluster_test_rmse(const trace::Trace& trace,
+                         const MonitorExperimentOptions& o,
+                         const std::vector<std::size_t>& monitors,
+                         const std::vector<std::size_t>& owner) {
+  double se = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = o.train_steps; t < o.train_steps + o.test_steps; ++t) {
+    for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+      const double estimate =
+          trace.value(monitors[owner[i]], t, o.resource);
+      const double truth = trace.value(i, t, o.resource);
+      se += (estimate - truth) * (estimate - truth);
+      ++count;
+    }
+  }
+  return std::sqrt(se / static_cast<double>(count));
+}
+
+/// Test-phase RMSE for Gaussian conditional inference.
+double gaussian_test_rmse(const trace::Trace& trace,
+                          const MonitorExperimentOptions& o,
+                          const GaussianModel& model,
+                          const std::vector<std::size_t>& monitors) {
+  double se = 0.0;
+  std::size_t count = 0;
+  std::vector<double> observed(monitors.size());
+  for (std::size_t t = o.train_steps; t < o.train_steps + o.test_steps; ++t) {
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      observed[m] = trace.value(monitors[m], t, o.resource);
+    }
+    const std::vector<double> inferred = model.infer(monitors, observed);
+    for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+      const double truth = trace.value(i, t, o.resource);
+      se += (inferred[i] - truth) * (inferred[i] - truth);
+      ++count;
+    }
+  }
+  return std::sqrt(se / static_cast<double>(count));
+}
+
+}  // namespace
+
+std::string to_string(MonitorMethod method) {
+  switch (method) {
+    case MonitorMethod::kProposed:
+      return "Proposed";
+    case MonitorMethod::kMinimumDistance:
+      return "Min.-distance";
+    case MonitorMethod::kTopW:
+      return "Top-W";
+    case MonitorMethod::kTopWUpdate:
+      return "Top-W-Update";
+    case MonitorMethod::kBatchSelection:
+      return "Batch Selection";
+  }
+  throw InvalidArgument("unknown monitor method");
+}
+
+MonitorExperimentResult run_monitor_experiment(
+    const trace::Trace& trace, MonitorMethod method,
+    const MonitorExperimentOptions& o) {
+  RESMON_REQUIRE(o.resource < trace.num_resources(),
+                 "monitor experiment: resource out of range");
+  RESMON_REQUIRE(o.num_monitors >= 1 &&
+                     o.num_monitors < trace.num_nodes(),
+                 "monitor experiment: K must be in [1, N)");
+  RESMON_REQUIRE(trace.num_steps() >= o.train_steps + o.test_steps,
+                 "monitor experiment: trace too short");
+
+  MonitorExperimentResult result;
+  Rng rng(o.seed);
+
+  switch (method) {
+    case MonitorMethod::kProposed: {
+      const auto t0 = Clock::now();
+      const Matrix points = node_points(trace, o);
+      const cluster::KMeansResult km =
+          cluster::kmeans(points, o.num_monitors, rng);
+      // Monitor per cluster: the member closest to the centroid.
+      std::vector<std::size_t> monitors(o.num_monitors);
+      std::vector<double> best_d2(
+          o.num_monitors, std::numeric_limits<double>::max());
+      for (std::size_t i = 0; i < points.rows(); ++i) {
+        const std::size_t j = km.assignment[i];
+        const double d2 =
+            squared_distance(points.row(i), km.centroids.row(j));
+        if (d2 < best_d2[j]) {
+          best_d2[j] = d2;
+          monitors[j] = i;
+        }
+      }
+      // Owner of node i = the monitor of its K-means cluster.
+      std::vector<std::size_t> owner(points.rows());
+      for (std::size_t i = 0; i < points.rows(); ++i) {
+        owner[i] = km.assignment[i];
+      }
+      result.selection_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      result.monitors = monitors;
+      result.rmse = cluster_test_rmse(trace, o, monitors, owner);
+      return result;
+    }
+    case MonitorMethod::kMinimumDistance: {
+      const auto t0 = Clock::now();
+      const Matrix points = node_points(trace, o);
+      // K distinct random monitors.
+      std::vector<std::size_t> ids(points.rows());
+      for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+      for (std::size_t j = 0; j < o.num_monitors; ++j) {
+        std::swap(ids[j], ids[j + rng.index(ids.size() - j)]);
+      }
+      std::vector<std::size_t> monitors(ids.begin(),
+                                        ids.begin() + o.num_monitors);
+      const std::vector<std::size_t> owner =
+          assign_to_monitors(points, monitors);
+      result.selection_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      result.monitors = monitors;
+      result.rmse = cluster_test_rmse(trace, o, monitors, owner);
+      return result;
+    }
+    case MonitorMethod::kTopW:
+    case MonitorMethod::kTopWUpdate:
+    case MonitorMethod::kBatchSelection: {
+      const auto t0 = Clock::now();
+      const Matrix train = training_matrix(trace, o);
+      const GaussianModel model = GaussianModel::fit(train);
+      std::vector<std::size_t> monitors;
+      if (method == MonitorMethod::kTopW) {
+        monitors = select_top_w(model, o.num_monitors);
+      } else if (method == MonitorMethod::kTopWUpdate) {
+        monitors = select_top_w_update(model, o.num_monitors);
+      } else {
+        monitors = select_batch(model, o.num_monitors, rng);
+      }
+      result.selection_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      result.monitors = monitors;
+      result.rmse = gaussian_test_rmse(trace, o, model, monitors);
+      return result;
+    }
+  }
+  throw InvalidArgument("unknown monitor method");
+}
+
+}  // namespace resmon::gaussian

@@ -1,0 +1,109 @@
+#include "gaussian/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace resmon::gaussian {
+
+namespace {
+
+void check_k(const GaussianModel& model, std::size_t k) {
+  RESMON_REQUIRE(k >= 1 && k < model.num_nodes(),
+                 "monitor count must be in [1, N)");
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_top_w(const GaussianModel& model,
+                                      std::size_t k) {
+  check_k(model, k);
+  const std::size_t n = model.num_nodes();
+  const Matrix& cov = model.covariance();
+
+  std::vector<double> weight(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      weight[i] += std::fabs(cov(i, j));
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return weight[a] > weight[b];
+  });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::size_t> select_top_w_update(const GaussianModel& model,
+                                             std::size_t k) {
+  check_k(model, k);
+  const std::size_t n = model.num_nodes();
+
+  std::vector<std::size_t> monitors;
+  std::vector<bool> chosen(n, false);
+  monitors.reserve(k);
+  for (std::size_t pick = 0; pick < k; ++pick) {
+    std::size_t best = n;
+    double best_var = std::numeric_limits<double>::max();
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (chosen[cand]) continue;
+      monitors.push_back(cand);
+      const double var = model.conditional_variance(monitors);
+      monitors.pop_back();
+      if (var < best_var) {
+        best_var = var;
+        best = cand;
+      }
+    }
+    monitors.push_back(best);
+    chosen[best] = true;
+  }
+  std::sort(monitors.begin(), monitors.end());
+  return monitors;
+}
+
+std::vector<std::size_t> select_batch(const GaussianModel& model,
+                                      std::size_t k, Rng& rng,
+                                      std::size_t max_rounds,
+                                      std::size_t candidates_per_slot) {
+  check_k(model, k);
+  const std::size_t n = model.num_nodes();
+
+  std::vector<std::size_t> batch = select_top_w(model, k);
+  std::vector<bool> in_batch(n, false);
+  for (const std::size_t m : batch) in_batch[m] = true;
+  double current = model.conditional_variance(batch);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t slot = 0; slot < k; ++slot) {
+      for (std::size_t c = 0; c < candidates_per_slot; ++c) {
+        const std::size_t cand = rng.index(n);
+        if (in_batch[cand]) continue;
+        const std::size_t old = batch[slot];
+        batch[slot] = cand;
+        const double var = model.conditional_variance(batch);
+        if (var < current) {
+          current = var;
+          in_batch[old] = false;
+          in_batch[cand] = true;
+          improved = true;
+        } else {
+          batch[slot] = old;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  std::sort(batch.begin(), batch.end());
+  return batch;
+}
+
+}  // namespace resmon::gaussian

@@ -1,0 +1,37 @@
+// Monitor-selection algorithms of the Gaussian baseline [3] (§VI-E):
+// Top-W, Top-W-Update and Batch Selection. All three choose K monitor nodes
+// from the training-phase Gaussian model; they differ in how much work they
+// spend re-evaluating the model as monitors are added.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/gaussian_model.hpp"
+
+#include "common/rng.hpp"
+
+namespace resmon::gaussian {
+
+/// Top-W: rank nodes once by total absolute covariance weight
+/// w_i = sum_j |Sigma_ij| and take the top K. One pass, no updates.
+std::vector<std::size_t> select_top_w(const GaussianModel& model,
+                                      std::size_t k);
+
+/// Top-W-Update: greedy selection; after each pick the value of every
+/// remaining candidate is re-evaluated as the total conditional variance of
+/// the non-monitors given the tentative monitor set. Most accurate and by
+/// far the most expensive of the three (matching Table IV).
+std::vector<std::size_t> select_top_w_update(const GaussianModel& model,
+                                             std::size_t k);
+
+/// Batch Selection: local search over whole candidate batches — start from
+/// the Top-W batch, then try swapping each member against sampled
+/// non-members, keeping swaps that reduce total conditional variance.
+/// `max_rounds` full sweeps are performed.
+std::vector<std::size_t> select_batch(const GaussianModel& model,
+                                      std::size_t k, Rng& rng,
+                                      std::size_t max_rounds = 2,
+                                      std::size_t candidates_per_slot = 8);
+
+}  // namespace resmon::gaussian

@@ -1,0 +1,117 @@
+#include "trace/loader.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace resmon::trace {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+InMemoryTrace load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw Error("load_csv: empty input");
+  }
+  const std::vector<std::string> header = split_csv_line(line);
+  RESMON_REQUIRE(header.size() >= 3,
+                 "trace CSV needs node,step and at least one resource column");
+  const std::size_t num_resources = header.size() - 2;
+
+  struct Row {
+    std::size_t node;
+    std::size_t step;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows;
+  std::size_t max_node = 0;
+  std::size_t max_step = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    if (fields.size() != header.size()) {
+      throw Error("load_csv: line " + std::to_string(line_no) +
+                  " has wrong field count");
+    }
+    Row row;
+    try {
+      row.node = std::stoul(fields[0]);
+      row.step = std::stoul(fields[1]);
+      row.values.reserve(num_resources);
+      for (std::size_t r = 0; r < num_resources; ++r) {
+        row.values.push_back(std::stod(fields[2 + r]));
+      }
+    } catch (const std::exception&) {
+      throw Error("load_csv: malformed number on line " +
+                  std::to_string(line_no));
+    }
+    max_node = std::max(max_node, row.node);
+    max_step = std::max(max_step, row.step);
+    rows.push_back(std::move(row));
+  }
+  RESMON_REQUIRE(!rows.empty(), "trace CSV contains no data rows");
+
+  const std::size_t n = max_node + 1;
+  const std::size_t steps = max_step + 1;
+  InMemoryTrace trace(n, steps, num_resources);
+
+  // Track which cells were provided so gaps can be sample-and-held.
+  std::vector<bool> seen(n * steps, false);
+  for (const Row& row : rows) {
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      trace.set_value(row.node, row.step, r, row.values[r]);
+    }
+    seen[row.node * steps + row.step] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      if (seen[i * steps + t]) continue;
+      // Hold the previous observed value; leading gaps stay at zero.
+      if (t > 0) {
+        for (std::size_t r = 0; r < num_resources; ++r) {
+          trace.set_value(i, t, r, trace.value(i, t - 1, r));
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+InMemoryTrace load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("load_csv_file: cannot open " + path);
+  return load_csv(in);
+}
+
+void save_csv(const Trace& trace, std::ostream& out) {
+  out << "node,step";
+  for (std::size_t r = 0; r < trace.num_resources(); ++r) {
+    out << ',' << resource_name(r);
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+    for (std::size_t t = 0; t < trace.num_steps(); ++t) {
+      out << i << ',' << t;
+      for (std::size_t r = 0; r < trace.num_resources(); ++r) {
+        out << ',' << trace.value(i, t, r);
+      }
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace resmon::trace

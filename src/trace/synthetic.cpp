@@ -1,0 +1,272 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace resmon::trace {
+
+SyntheticProfile alibaba_profile() {
+  SyntheticProfile p;
+  p.name = "alibaba";
+  p.num_nodes = 120;
+  p.num_steps = 3000;
+  p.num_groups = 6;
+  p.diurnal_period = 1440.0;  // 1-minute sampling -> 1440 steps per day.
+  p.diurnal_amplitude_cpu = 0.12;
+  p.diurnal_amplitude_memory = 0.05;
+  p.ar_coefficient = 0.95;
+  p.group_innovation_std = 0.03;       // volatile co-located workloads
+  p.node_noise_std = 0.04;
+  p.node_offset_std = 0.05;
+  p.regime_switch_probability = 0.003;
+  p.spike_probability = 0.05;
+  p.spike_magnitude = 0.35;
+  return p;
+}
+
+SyntheticProfile bitbrains_profile() {
+  SyntheticProfile p;
+  p.name = "bitbrains";
+  p.num_nodes = 80;
+  p.num_steps = 2600;
+  p.num_groups = 4;
+  p.diurnal_period = 288.0;  // 5-minute sampling.
+  p.diurnal_amplitude_cpu = 0.2;
+  p.diurnal_amplitude_memory = 0.08;
+  p.ar_coefficient = 0.96;
+  p.group_innovation_std = 0.025;
+  p.node_noise_std = 0.05;  // bursty business-critical VMs
+  p.node_offset_std = 0.07;
+  p.regime_switch_probability = 0.002;
+  p.spike_probability = 0.05;
+  p.spike_magnitude = 0.35;
+  return p;
+}
+
+SyntheticProfile google_profile() {
+  SyntheticProfile p;
+  p.name = "google";
+  p.num_nodes = 150;
+  p.num_steps = 3000;
+  p.num_groups = 8;
+  p.diurnal_period = 288.0;  // 5-minute sampling.
+  p.diurnal_amplitude_cpu = 0.1;
+  p.diurnal_amplitude_memory = 0.04;
+  p.ar_coefficient = 0.98;  // borg bin-packing keeps machines steadier
+  p.group_innovation_std = 0.015;
+  p.node_noise_std = 0.03;
+  p.node_offset_std = 0.04;
+  p.regime_switch_probability = 0.0025;
+  p.spike_probability = 0.03;
+  p.spike_magnitude = 0.2;
+  return p;
+}
+
+SyntheticProfile sensors_profile() {
+  SyntheticProfile p;
+  p.name = "sensors";
+  p.num_nodes = 54;  // the Intel lab deployment had 54 motes
+  p.num_steps = 2500;
+  p.num_groups = 1;  // one shared environmental signal
+  p.diurnal_period = 288.0;
+  p.diurnal_amplitude_cpu = 0.25;    // "temperature": strong diurnal swing
+  p.diurnal_amplitude_memory = 0.2;  // "humidity"
+  p.ar_coefficient = 0.995;
+  p.group_innovation_std = 0.004;
+  p.node_noise_std = 0.008;  // sensors track the environment closely
+  p.volatility_quiet = 1.0;  // environmental noise is not bursty
+  p.volatility_active = 1.0;
+  p.volatility_switch_probability = 0.0;
+  p.node_offset_std = 0.04;
+  p.node_offset_drift_std = 0.0;  // sensor calibration does not wander
+  p.group_jump_probability = 0.0;  // the environment has no deployments
+  p.replica_fraction = 0.0;        // every mote is a distinct sensor
+  p.regime_switch_probability = 0.0;  // motes do not migrate
+  p.spike_probability = 0.0;
+  p.spike_magnitude = 0.0;
+  return p;
+}
+
+SyntheticProfile profile_by_name(const std::string& name) {
+  if (name == "alibaba") return alibaba_profile();
+  if (name == "bitbrains") return bitbrains_profile();
+  if (name == "google") return google_profile();
+  if (name == "sensors") return sensors_profile();
+  throw InvalidArgument("unknown trace profile: " + name);
+}
+
+SyntheticProfile scale_to_paper(SyntheticProfile profile) {
+  if (profile.name == "alibaba") {
+    profile.num_nodes = 4000;
+    profile.num_steps = 11519;
+  } else if (profile.name == "bitbrains") {
+    profile.num_nodes = 500;
+    profile.num_steps = 8259;
+  } else if (profile.name == "google") {
+    profile.num_nodes = 12476;
+    profile.num_steps = 8350;
+  } else if (profile.name == "sensors") {
+    profile.num_nodes = 54;
+    profile.num_steps = 3456;  // 12 days at 5-minute sampling
+  }
+  return profile;
+}
+
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+double quantize(double v, double granularity) {
+  if (granularity <= 0.0) return v;
+  return std::round(v / granularity) * granularity;
+}
+
+}  // namespace
+
+InMemoryTrace generate(const SyntheticProfile& profile, std::uint64_t seed) {
+  RESMON_REQUIRE(profile.num_groups > 0, "profile needs at least one group");
+  RESMON_REQUIRE(profile.ar_coefficient >= 0.0 && profile.ar_coefficient < 1.0,
+                 "AR(1) coefficient must be in [0,1) for stationarity");
+  RESMON_REQUIRE(profile.regime_switch_probability >= 0.0 &&
+                     profile.regime_switch_probability <= 1.0,
+                 "switch probability must be a probability");
+
+  const std::size_t n = profile.num_nodes;
+  const std::size_t steps = profile.num_steps;
+  const std::size_t d = profile.num_resources;
+  const std::size_t g = profile.num_groups;
+
+  Rng rng(seed);
+  InMemoryTrace trace(n, steps, d);
+
+  // Static per-group characteristics. Group base levels are spread evenly
+  // across the configured range (with jitter) and diurnal phases are
+  // clustered around a common phase: machines in one datacenter see the
+  // same user-demand cycle, which keeps group signals from constantly
+  // crossing each other (and keeps cluster identities meaningful).
+  std::vector<double> base(g * d);
+  std::vector<double> phase(g);
+  const double common_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t j = 0; j < g; ++j) {
+    phase[j] = common_phase + rng.normal(0.0, 0.3);
+    const double spread = profile.base_max - profile.base_min;
+    const double center =
+        g == 1 ? profile.base_min + 0.5 * spread
+               : profile.base_min + spread * static_cast<double>(j) /
+                                        static_cast<double>(g - 1);
+    for (std::size_t r = 0; r < d; ++r) {
+      base[j * d + r] = center + rng.normal(0.0, 0.02);
+    }
+  }
+
+  // Static per-node characteristics.
+  std::vector<double> offset(n * d);
+  std::vector<std::size_t> group(n);
+  std::vector<bool> active(n);  // volatility regime per node
+  for (std::size_t i = 0; i < n; ++i) {
+    group[i] = rng.index(g);
+    active[i] = rng.bernoulli(0.5);
+    for (std::size_t r = 0; r < d; ++r) {
+      offset[i * d + r] = rng.normal(0.0, profile.node_offset_std);
+    }
+  }
+
+  auto amplitude = [&](std::size_t r) {
+    return r == kCpu ? profile.diurnal_amplitude_cpu
+                     : profile.diurnal_amplitude_memory;
+  };
+
+  std::vector<double> ar_state(g * d, 0.0);   // AR(1) component per group.
+  std::vector<double> signal(g * d, 0.0);     // full group signal this step.
+  std::vector<double> node_noise(n * d, 0.0);  // AR(1) component per node.
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Weekly cycle: weekends carry less load.
+    const std::size_t day = static_cast<std::size_t>(
+        static_cast<double>(t) / profile.diurnal_period);
+    const bool weekend = day % 7 >= 5;
+    const double week_scale =
+        weekend ? 1.0 - profile.weekend_dampening : 1.0;
+
+    // Evolve group signals.
+    for (std::size_t j = 0; j < g; ++j) {
+      if (rng.bernoulli(profile.group_jump_probability)) {
+        // Permanent load shift: move the group's base, keep it in a range
+        // that leaves room for the diurnal swing.
+        const double jump = rng.normal(0.0, profile.group_jump_std);
+        for (std::size_t r = 0; r < d; ++r) {
+          base[j * d + r] = std::clamp(base[j * d + r] + jump, 0.1, 0.85);
+        }
+      }
+      for (std::size_t r = 0; r < d; ++r) {
+        double& u = ar_state[j * d + r];
+        u = profile.ar_coefficient * u +
+            rng.normal(0.0, profile.group_innovation_std);
+        const double diurnal =
+            amplitude(r) *
+            std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                         profile.diurnal_period +
+                     phase[j]);
+        signal[j * d + r] = week_scale * (base[j * d + r] + diurnal) + u;
+      }
+    }
+    // Evolve node group membership (workload migration) and volatility
+    // regime (bursty vs quiet periods).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (g > 1 && rng.bernoulli(profile.regime_switch_probability)) {
+        std::size_t next = rng.index(g - 1);
+        if (next >= group[i]) ++next;  // uniform over the *other* groups
+        group[i] = next;
+      }
+      if (rng.bernoulli(profile.volatility_switch_probability)) {
+        active[i] = !active[i];
+      }
+      if (profile.node_offset_drift_std > 0.0) {
+        for (std::size_t r = 0; r < d; ++r) {
+          offset[i * d + r] +=
+              rng.normal(0.0, profile.node_offset_drift_std);
+        }
+      }
+    }
+    // Emit node measurements.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool spiking = rng.bernoulli(profile.spike_probability);
+      const double innovation_std =
+          profile.node_noise_std * (active[i] ? profile.volatility_active
+                                              : profile.volatility_quiet);
+      for (std::size_t r = 0; r < d; ++r) {
+        double& u = node_noise[i * d + r];
+        u = profile.node_noise_ar * u + rng.normal(0.0, innovation_std);
+        double v = signal[group[i] * d + r] + offset[i * d + r] + u;
+        if (spiking) v += profile.spike_magnitude;
+        trace.set_value(i, t, r,
+                        quantize(clamp01(v), profile.quantization));
+      }
+    }
+  }
+
+  // Replica post-pass: the last `replica_fraction` of nodes mirror a
+  // randomly chosen earlier node up to small private noise.
+  const std::size_t replicas = static_cast<std::size_t>(
+      profile.replica_fraction * static_cast<double>(n));
+  if (replicas > 0 && replicas < n) {
+    const std::size_t originals = n - replicas;
+    for (std::size_t i = originals; i < n; ++i) {
+      const std::size_t partner = rng.index(originals);
+      for (std::size_t t = 0; t < steps; ++t) {
+        for (std::size_t r = 0; r < d; ++r) {
+          const double v = trace.value(partner, t, r) +
+                           rng.normal(0.0, profile.replica_noise_std);
+          trace.set_value(i, t, r,
+                          quantize(clamp01(v), profile.quantization));
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace resmon::trace

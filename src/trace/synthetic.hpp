@@ -1,0 +1,136 @@
+// Synthetic trace generation.
+//
+// The generator reproduces the statistical properties the paper's algorithms
+// depend on (§III): machines form latent behavioural groups whose membership
+// drifts over time, so spatial correlation is strong in the short term but
+// weak in the long term; per-node series mix a diurnal component, an AR(1)
+// group signal, bursty noise and occasional regime shifts.
+//
+// Profiles are provided that stand in for the three evaluation datasets
+// (Alibaba, Bitbrains, Google) and for the Intel Berkeley sensor data used in
+// the Fig. 1 motivation (strong long-term correlation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace resmon::trace {
+
+/// Parameters of the synthetic workload generator. See generate() for the
+/// exact generative model.
+struct SyntheticProfile {
+  std::string name = "custom";
+
+  std::size_t num_nodes = 100;
+  std::size_t num_steps = 2500;
+  std::size_t num_resources = 2;
+
+  /// Number of latent behavioural groups (applications / services).
+  std::size_t num_groups = 5;
+
+  /// Steps per diurnal cycle (288 = one day at 5-minute sampling).
+  double diurnal_period = 288.0;
+  /// Weekly pattern: fraction by which group base levels and diurnal
+  /// amplitude are reduced on "weekend" days (day = floor(t / period),
+  /// days 5 and 6 of each 7). 0 disables the weekly cycle.
+  double weekend_dampening = 0.0;
+  /// Diurnal amplitude per resource index (CPU swings more than memory).
+  double diurnal_amplitude_cpu = 0.15;
+  double diurnal_amplitude_memory = 0.06;
+
+  /// AR(1) persistence and innovation std-dev of each group's signal.
+  double ar_coefficient = 0.97;
+  double group_innovation_std = 0.02;
+  /// Permanent group-level load shifts (service deployments, tenant moves):
+  /// with this per-group per-step probability the group's base level jumps
+  /// by N(0, group_jump_std) and stays there. These shifts are what break
+  /// models anchored at historical statistics (Gaussian means/covariances,
+  /// §VI-E) while live cluster tracking follows them.
+  double group_jump_probability = 0.002;
+  double group_jump_std = 0.12;
+
+  /// Per-node noise innovation std-dev. The per-node component is an AR(1)
+  /// process (utilization is persistent at minute scale), not i.i.d.
+  double node_noise_std = 0.03;
+  /// AR(1) persistence of the per-node noise component.
+  double node_noise_ar = 0.8;
+  /// Volatility clustering: each node alternates between a quiet and an
+  /// active regime (2-state Markov chain) that scales node_noise_std.
+  /// Real utilization traces are bursty; this is the property that makes
+  /// error-adaptive transmission beat uniform sampling (Fig. 4).
+  double volatility_quiet = 0.1;    ///< noise multiplier in the quiet state
+  double volatility_active = 2.8;   ///< noise multiplier in the active state
+  double volatility_switch_probability = 0.04;  ///< per node per step
+  /// Std-dev of each node's initial offset from its group signal.
+  double node_offset_std = 0.05;
+  /// Per-step random-walk drift of each node's offset (machines are slowly
+  /// re-purposed over days). This is what makes long-term statistics go
+  /// stale: a model anchored at training-phase means mispredicts the test
+  /// phase, while tracking live values does not (§III, §VI-E).
+  double node_offset_drift_std = 0.002;
+
+  /// Per-node, per-step probability of migrating to another group
+  /// (models task re-scheduling; drives cluster evolution).
+  double regime_switch_probability = 0.002;
+
+  /// Short utilization spikes (stragglers, cron jobs).
+  double spike_probability = 0.01;
+  double spike_magnitude = 0.25;
+
+  /// Fraction of nodes that are near-exact replicas of another node
+  /// (load-balanced instances of the same service). Replicas make the
+  /// fleet's covariance matrix severely ill-conditioned, which is what
+  /// destabilizes Gaussian inference on real traces (§VI-E / Fig. 12)
+  /// while leaving cluster-based estimation untouched.
+  double replica_fraction = 0.2;
+  /// Private noise of a replica around its partner's values.
+  double replica_noise_std = 0.003;
+
+  /// Measurements are rounded to this granularity, mimicking monitoring
+  /// agents that report integer percentages. 0 disables quantization.
+  double quantization = 0.001;
+
+  /// Base level range for group signals.
+  double base_min = 0.25;
+  double base_max = 0.65;
+};
+
+/// Profile approximating the Alibaba cluster trace v2018: 1-minute sampling
+/// over 8 days, volatile CPU, moderately many groups.
+SyntheticProfile alibaba_profile();
+
+/// Profile approximating the Bitbrains GWA-T-12 `Rnd` trace: 5-minute
+/// sampling, strong diurnal pattern, bursty VMs.
+SyntheticProfile bitbrains_profile();
+
+/// Profile approximating the Google cluster-usage trace v2: 5-minute
+/// sampling over 29 days, many machines, smoother utilization.
+SyntheticProfile google_profile();
+
+/// Profile approximating the Intel Berkeley sensor-lab data: one global
+/// environmental signal shared by all nodes with small offsets, yielding the
+/// strong long-term spatial correlation shown in Fig. 1.
+SyntheticProfile sensors_profile();
+
+/// Look up a profile by dataset name ("alibaba", "bitbrains", "google",
+/// "sensors"); throws InvalidArgument for unknown names.
+SyntheticProfile profile_by_name(const std::string& name);
+
+/// The paper-scale node/step counts for each dataset (used by `--full`).
+SyntheticProfile scale_to_paper(SyntheticProfile profile);
+
+/// Generate a deterministic trace from the profile and seed.
+///
+/// Generative model, per resource r and time step t:
+///   group signal   s_{g,r,t} = base_{g,r} + amp_r * sin(2*pi*t/period + phase_g)
+///                              + u_{g,r,t},   u AR(1) with the profile's
+///                              persistence/innovation, reflected into range
+///   node value     x_{i,r,t} = clamp01(s_{group_i(t),r,t} + offset_{i,r}
+///                              + noise + spike) then quantized.
+/// group_i(t) performs an independent random walk over groups with the
+/// profile's switch probability.
+InMemoryTrace generate(const SyntheticProfile& profile, std::uint64_t seed);
+
+}  // namespace resmon::trace

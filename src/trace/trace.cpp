@@ -1,0 +1,56 @@
+#include "trace/trace.hpp"
+
+namespace resmon::trace {
+
+std::string resource_name(std::size_t resource) {
+  switch (resource) {
+    case kCpu:
+      return "CPU";
+    case kMemory:
+      return "Memory";
+    default:
+      return "Resource" + std::to_string(resource);
+  }
+}
+
+std::vector<double> Trace::measurement(std::size_t node, std::size_t t) const {
+  std::vector<double> m(num_resources());
+  for (std::size_t r = 0; r < num_resources(); ++r) {
+    m[r] = value(node, t, r);
+  }
+  return m;
+}
+
+std::vector<double> Trace::series(std::size_t node,
+                                  std::size_t resource) const {
+  std::vector<double> s(num_steps());
+  for (std::size_t t = 0; t < num_steps(); ++t) {
+    s[t] = value(node, t, resource);
+  }
+  return s;
+}
+
+InMemoryTrace::InMemoryTrace(std::size_t num_nodes, std::size_t num_steps,
+                             std::size_t num_resources)
+    : num_nodes_(num_nodes),
+      num_steps_(num_steps),
+      num_resources_(num_resources),
+      data_(num_nodes * num_steps * num_resources, 0.0) {
+  RESMON_REQUIRE(num_nodes > 0, "trace needs at least one node");
+  RESMON_REQUIRE(num_steps > 0, "trace needs at least one time step");
+  RESMON_REQUIRE(num_resources > 0, "trace needs at least one resource");
+}
+
+SubTrace::SubTrace(std::shared_ptr<const Trace> base,
+                   std::vector<std::size_t> nodes, std::size_t num_steps)
+    : base_(std::move(base)), nodes_(std::move(nodes)), num_steps_(num_steps) {
+  RESMON_REQUIRE(base_ != nullptr, "SubTrace requires a base trace");
+  RESMON_REQUIRE(!nodes_.empty(), "SubTrace requires at least one node");
+  RESMON_REQUIRE(num_steps_ > 0 && num_steps_ <= base_->num_steps(),
+                 "SubTrace step count out of range");
+  for (const std::size_t n : nodes_) {
+    RESMON_REQUIRE(n < base_->num_nodes(), "SubTrace node index out of range");
+  }
+}
+
+}  // namespace resmon::trace

@@ -1,0 +1,115 @@
+// In-process transport between local nodes and the central controller.
+//
+// The paper's system is a star topology: every machine may push its latest
+// measurement to the controller each slot. Channel simulates that link and
+// accounts for messages/bytes so experiments can report the communication
+// cost a transmission policy actually incurs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::transport {
+
+/// One uplink message: node i's measurement x_{i,t}.
+struct MeasurementMessage {
+  std::size_t node = 0;
+  std::size_t step = 0;
+  std::vector<double> values;
+
+  /// Serialized size used for bandwidth accounting: header (node id + step)
+  /// plus one 8-byte float per resource.
+  std::size_t wire_size() const { return 16 + 8 * values.size(); }
+};
+
+/// Failure-injection knobs for the uplink. Defaults model a reliable
+/// in-order link; drops/delays simulate a congested or flaky network.
+struct ChannelOptions {
+  /// Probability that a sent message is lost. Lost messages still consume
+  /// uplink bandwidth (the sender paid for the transmission).
+  double drop_probability = 0.0;
+  /// Maximum extra delivery delay, in drain() slots; each message gets a
+  /// uniform delay in [0, max_delay_slots], so messages can arrive out of
+  /// order.
+  std::size_t max_delay_slots = 0;
+  std::uint64_t seed = 0;
+};
+
+/// In-process message channel with traffic accounting and optional
+/// drop/delay failure injection.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(const ChannelOptions& options);
+
+  /// Enqueue a message for delivery to the central node.
+  void send(MeasurementMessage message);
+
+  /// Deliver the messages due this slot (the central node drains the
+  /// channel once per time slot; delayed messages surface later).
+  std::vector<MeasurementMessage> drain();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  struct InFlight {
+    MeasurementMessage message;
+    std::size_t slots_remaining = 0;
+  };
+
+  ChannelOptions options_;
+  Rng rng_;
+  std::deque<InFlight> queue_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+/// The central node's view of the system: z_t of §IV — the most recent
+/// measurement received from each node, with its age.
+class CentralStore {
+ public:
+  CentralStore(std::size_t num_nodes, std::size_t num_resources);
+
+  /// Record a received measurement. Messages may arrive out of order after
+  /// delays; stale messages (older than what is stored) are ignored.
+  void apply(const MeasurementMessage& message);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_resources() const { return num_resources_; }
+
+  /// True once at least one measurement has been received from `node`.
+  bool has(std::size_t node) const { return last_step_[node] >= 0; }
+
+  /// True once every node has reported at least once.
+  bool complete() const;
+
+  /// z_{i,t}: the stored measurement for `node`. Requires has(node).
+  const std::vector<double>& stored(std::size_t node) const;
+
+  /// Time step of the stored measurement. Requires has(node).
+  std::size_t last_update_step(std::size_t node) const;
+
+  /// Age of the stored measurement at `current_step` (p in §IV).
+  std::size_t staleness(std::size_t node, std::size_t current_step) const;
+
+  /// Scalar view: stored value of one resource for every node (the
+  /// clustering input when clustering per-resource scalars).
+  std::vector<double> resource_snapshot(std::size_t resource) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t num_resources_;
+  std::vector<std::vector<double>> values_;
+  std::vector<long long> last_step_;  // -1 = nothing received yet
+};
+
+}  // namespace resmon::transport

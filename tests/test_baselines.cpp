@@ -1,0 +1,118 @@
+#include "cluster/baselines.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace resmon::cluster {
+namespace {
+
+trace::InMemoryTrace small_trace() {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 12;
+  p.num_steps = 80;
+  return trace::generate(p, 42);
+}
+
+TEST(StaticClustering, AssignmentIsFixed) {
+  const trace::InMemoryTrace t = small_trace();
+  StaticClustering sc(t, 0, 3, 1);
+  EXPECT_EQ(sc.assignment().size(), t.num_nodes());
+  for (const std::size_t a : sc.assignment()) EXPECT_LT(a, 3u);
+}
+
+TEST(StaticClustering, AtRecomputesCentroidsFromSnapshot) {
+  const trace::InMemoryTrace t = small_trace();
+  StaticClustering sc(t, 0, 2, 2);
+  Matrix snapshot(t.num_nodes(), 1);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) snapshot(i, 0) = 0.5;
+  const Clustering c = sc.at(snapshot);
+  // All snapshot values equal -> every non-empty centroid is 0.5.
+  std::set<std::size_t> used(c.assignment.begin(), c.assignment.end());
+  for (const std::size_t j : used) {
+    EXPECT_NEAR(c.centroids(j, 0), 0.5, 1e-12);
+  }
+}
+
+TEST(StaticClustering, ValidatesArguments) {
+  const trace::InMemoryTrace t = small_trace();
+  EXPECT_THROW(StaticClustering(t, 5, 2, 1), InvalidArgument);
+  EXPECT_THROW(StaticClustering(t, 0, 0, 1), InvalidArgument);
+  EXPECT_THROW(StaticClustering(t, 0, 100, 1), InvalidArgument);
+  StaticClustering sc(t, 0, 2, 1);
+  EXPECT_THROW(sc.at(Matrix(3, 1)), InvalidArgument);
+}
+
+TEST(StaticClustering, GroupsSimilarSeriesTogether) {
+  // Build a trace with two obvious node groups (low and high).
+  trace::InMemoryTrace t(6, 50, 1);
+  for (std::size_t step = 0; step < 50; ++step) {
+    for (std::size_t i = 0; i < 3; ++i) t.set_value(i, step, 0, 0.2);
+    for (std::size_t i = 3; i < 6; ++i) t.set_value(i, step, 0, 0.8);
+  }
+  StaticClustering sc(t, 0, 2, 3);
+  EXPECT_EQ(sc.assignment()[0], sc.assignment()[1]);
+  EXPECT_EQ(sc.assignment()[0], sc.assignment()[2]);
+  EXPECT_EQ(sc.assignment()[3], sc.assignment()[4]);
+  EXPECT_NE(sc.assignment()[0], sc.assignment()[3]);
+}
+
+TEST(MinimumDistance, CentroidsAreNodeValues) {
+  MinimumDistanceClustering md(3, 7);
+  Matrix snapshot(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    snapshot(i, 0) = static_cast<double>(i) / 10.0;
+  }
+  const Clustering c = md.at(snapshot);
+  // Each centroid must equal some node's snapshot value.
+  for (std::size_t j = 0; j < 3; ++j) {
+    bool found = false;
+    for (std::size_t i = 0; i < 10 && !found; ++i) {
+      found = std::abs(c.centroids(j, 0) - snapshot(i, 0)) < 1e-12;
+    }
+    EXPECT_TRUE(found) << "centroid " << j;
+  }
+}
+
+TEST(MinimumDistance, AssignsToNearestMonitor) {
+  MinimumDistanceClustering md(2, 3);
+  Matrix snapshot(6, 1);
+  for (std::size_t i = 0; i < 3; ++i) snapshot(i, 0) = 0.1;
+  for (std::size_t i = 3; i < 6; ++i) snapshot(i, 0) = 0.9;
+  const Clustering c = md.at(snapshot);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double own =
+        squared_distance(snapshot.row(i), c.centroids.row(c.assignment[i]));
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_LE(own, squared_distance(snapshot.row(i), c.centroids.row(j)) +
+                         1e-12);
+    }
+  }
+}
+
+TEST(MinimumDistance, SelectionChangesBetweenCalls) {
+  MinimumDistanceClustering md(2, 11);
+  Matrix snapshot(30, 1);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 30; ++i) snapshot(i, 0) = rng.uniform();
+  const Clustering a = md.at(snapshot);
+  bool any_diff = false;
+  for (int trial = 0; trial < 5 && !any_diff; ++trial) {
+    const Clustering b = md.at(snapshot);
+    any_diff = b.centroids(0, 0) != a.centroids(0, 0) ||
+               b.centroids(1, 0) != a.centroids(1, 0);
+  }
+  EXPECT_TRUE(any_diff);  // random re-selection each step
+}
+
+TEST(MinimumDistance, ValidatesArguments) {
+  EXPECT_THROW(MinimumDistanceClustering(0, 1), InvalidArgument);
+  MinimumDistanceClustering md(5, 1);
+  EXPECT_THROW(md.at(Matrix(3, 1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace resmon::cluster

@@ -1,0 +1,221 @@
+#include "collect/adaptive_transmitter.hpp"
+#include "collect/fleet_collector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace resmon::collect {
+namespace {
+
+std::vector<double> scalar(double v) { return {v}; }
+
+TEST(AdaptiveTransmitter, ValidatesOptions) {
+  EXPECT_THROW(AdaptiveTransmitter({.max_frequency = 0.0}), InvalidArgument);
+  EXPECT_THROW(AdaptiveTransmitter({.max_frequency = 1.5}), InvalidArgument);
+  EXPECT_THROW(AdaptiveTransmitter({.v0 = 0.0}), InvalidArgument);
+  EXPECT_THROW(AdaptiveTransmitter({.gamma = 1.0}), InvalidArgument);
+}
+
+TEST(AdaptiveTransmitter, AlwaysTransmitsFirstMeasurement) {
+  AdaptiveTransmitter tx({.max_frequency = 0.1});
+  EXPECT_TRUE(tx.decide(0, scalar(0.5)));
+  EXPECT_EQ(tx.transmissions(), 1u);
+}
+
+TEST(AdaptiveTransmitter, QueueFollowsEquation9) {
+  AdaptiveTransmitter tx({.max_frequency = 0.3});
+  tx.decide(0, scalar(0.5));  // transmits: Q += 1 - 0.3
+  EXPECT_NEAR(tx.queue_length(), 0.7, 1e-12);
+  // Large positive queue suppresses transmission: Q -= B.
+  tx.decide(1, scalar(0.5));
+  EXPECT_NEAR(tx.queue_length(), 0.4, 1e-12);
+}
+
+TEST(AdaptiveTransmitter, EmptyMeasurementThrows) {
+  AdaptiveTransmitter tx({});
+  EXPECT_THROW(tx.decide(0, std::vector<double>{}), InvalidArgument);
+}
+
+TEST(AdaptiveTransmitter, PenaltyIsMeanSquaredDeviation) {
+  AdaptiveTransmitter tx({.max_frequency = 0.3});
+  tx.decide(0, std::vector<double>{0.0, 0.0});  // first: transmit
+  tx.decide(1, std::vector<double>{0.3, 0.4});
+  // F = (0.09 + 0.16) / 2.
+  EXPECT_NEAR(tx.last_penalty(), 0.125, 1e-12);
+}
+
+TEST(AdaptiveTransmitter, LongRunFrequencyMeetsConstraint) {
+  // Random-walk measurements; the drift-plus-penalty rule must keep the
+  // long-run transmission frequency at (or below) B.
+  for (const double b : {0.1, 0.3, 0.5}) {
+    AdaptiveTransmitter tx({.max_frequency = b});
+    Rng rng(17);
+    double x = 0.5;
+    const std::size_t steps = 5000;
+    for (std::size_t t = 0; t < steps; ++t) {
+      x = std::clamp(x + rng.normal(0.0, 0.05), 0.0, 1.0);
+      tx.decide(t, scalar(x));
+    }
+    EXPECT_NEAR(tx.actual_frequency(), b, 0.03) << "B = " << b;
+  }
+}
+
+TEST(AdaptiveTransmitter, LargeV0TransmitsOnLargeChanges) {
+  // With a sizeable V0, a big measurement jump must trigger transmission
+  // even if the queue is positive.
+  AdaptiveTransmitter tx({.max_frequency = 0.3, .v0 = 10.0});
+  tx.decide(0, scalar(0.1));  // initial transmit, Q = 0.7
+  EXPECT_TRUE(tx.decide(1, scalar(0.9)));  // V*F = ~2 > Q
+}
+
+TEST(AdaptiveTransmitter, ConstantSignalWithClampStaysSilent) {
+  AdaptiveTransmitter tx(
+      {.max_frequency = 0.3, .v0 = 1.0, .clamp_queue = true});
+  tx.decide(0, scalar(0.4));
+  std::size_t transmissions_after_first = 0;
+  for (std::size_t t = 1; t < 200; ++t) {
+    if (tx.decide(t, scalar(0.4))) ++transmissions_after_first;
+  }
+  EXPECT_EQ(transmissions_after_first, 0u);
+  EXPECT_GE(tx.queue_length(), 0.0);
+}
+
+TEST(AdaptiveTransmitter, UnclampedQueueMeansEqualityConstraint) {
+  // Per the paper, without clamping the constraint is met with equality
+  // even when the signal is flat (transmissions still happen).
+  AdaptiveTransmitter tx({.max_frequency = 0.25, .clamp_queue = false});
+  for (std::size_t t = 0; t < 2000; ++t) {
+    tx.decide(t, scalar(0.4));
+  }
+  EXPECT_NEAR(tx.actual_frequency(), 0.25, 0.02);
+}
+
+TEST(UniformTransmitter, TransmitsAtFixedInterval) {
+  UniformTransmitter tx(0.25);
+  std::vector<bool> pattern;
+  for (std::size_t t = 0; t < 8; ++t) {
+    pattern.push_back(tx.decide(t, scalar(0.0)));
+  }
+  // credit starts at 1.0: transmits at t=0, then whenever the accumulated
+  // credit reaches a full message again (t=3, t=7, ... for B=0.25).
+  EXPECT_TRUE(pattern[0]);
+  EXPECT_FALSE(pattern[1]);
+  EXPECT_FALSE(pattern[2]);
+  EXPECT_TRUE(pattern[3]);
+  EXPECT_FALSE(pattern[4]);
+  EXPECT_FALSE(pattern[5]);
+  EXPECT_FALSE(pattern[6]);
+  EXPECT_TRUE(pattern[7]);
+}
+
+TEST(UniformTransmitter, FrequencyMatchesB) {
+  for (const double b : {0.05, 0.3, 0.7, 1.0}) {
+    UniformTransmitter tx(b);
+    for (std::size_t t = 0; t < 1000; ++t) tx.decide(t, scalar(0.0));
+    EXPECT_NEAR(tx.actual_frequency(), b, 0.01) << "B = " << b;
+  }
+}
+
+TEST(UniformTransmitter, RejectsInvalidB) {
+  EXPECT_THROW(UniformTransmitter(0.0), InvalidArgument);
+  EXPECT_THROW(UniformTransmitter(1.1), InvalidArgument);
+}
+
+// ---- FleetCollector -------------------------------------------------
+
+TEST(FleetCollector, StoreCompleteAfterFirstStep) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 10;
+  p.num_steps = 50;
+  const trace::InMemoryTrace t = trace::generate(p, 3);
+  for (const PolicyKind kind :
+       {PolicyKind::kAdaptive, PolicyKind::kUniform, PolicyKind::kAlways}) {
+    FleetCollector fleet(t, make_policy_factory(kind, 0.3));
+    fleet.step(0);
+    EXPECT_TRUE(fleet.store().complete());
+  }
+}
+
+TEST(FleetCollector, StepsMustBeConsecutive) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 4;
+  p.num_steps = 10;
+  const trace::InMemoryTrace t = trace::generate(p, 3);
+  FleetCollector fleet(t, make_policy_factory(PolicyKind::kAlways, 1.0));
+  fleet.step(0);
+  EXPECT_THROW(fleet.step(2), InvalidArgument);
+}
+
+TEST(FleetCollector, AlwaysPolicyKeepsStoreFresh) {
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 6;
+  p.num_steps = 30;
+  const trace::InMemoryTrace t = trace::generate(p, 5);
+  FleetCollector fleet(t, make_policy_factory(PolicyKind::kAlways, 1.0));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) {
+    fleet.step(step);
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      EXPECT_EQ(fleet.store().staleness(i, step), 0u);
+      EXPECT_DOUBLE_EQ(fleet.store().stored(i)[0], t.value(i, step, 0));
+    }
+  }
+}
+
+TEST(FleetCollector, BetaIndicatorsMatchStoreUpdates) {
+  trace::SyntheticProfile p = trace::bitbrains_profile();
+  p.num_nodes = 8;
+  p.num_steps = 60;
+  const trace::InMemoryTrace t = trace::generate(p, 6);
+  FleetCollector fleet(t, make_policy_factory(PolicyKind::kAdaptive, 0.3));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) {
+    const std::vector<bool> beta = fleet.step(step);
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      if (beta[i]) {
+        EXPECT_EQ(fleet.store().last_update_step(i), step);
+        EXPECT_DOUBLE_EQ(fleet.store().stored(i)[0], t.value(i, step, 0));
+      }
+    }
+  }
+}
+
+TEST(FleetCollector, ChannelAccountsForTraffic) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 5;
+  p.num_steps = 40;
+  const trace::InMemoryTrace t = trace::generate(p, 7);
+  FleetCollector fleet(t, make_policy_factory(PolicyKind::kUniform, 0.5));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) fleet.step(step);
+  std::uint64_t transmissions = 0;
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    transmissions += fleet.policy(i).transmissions();
+  }
+  EXPECT_EQ(fleet.channel().messages_sent(), transmissions);
+  EXPECT_EQ(fleet.channel().bytes_sent(),
+            transmissions * (16 + 8 * t.num_resources()));
+}
+
+// Property sweep: fleet-average adaptive frequency tracks B on real-ish
+// workloads (the Fig. 3 property).
+class FleetFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FleetFrequencyTest, FleetFrequencyTracksBudget) {
+  const double b = GetParam();
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 20;
+  p.num_steps = 2000;
+  const trace::InMemoryTrace t = trace::generate(p, 11);
+  FleetCollector fleet(t, make_policy_factory(PolicyKind::kAdaptive, b));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) fleet.step(step);
+  EXPECT_NEAR(fleet.average_actual_frequency(), b, 0.05) << "B = " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, FleetFrequencyTest,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5));
+
+}  // namespace
+}  // namespace resmon::collect

@@ -1,0 +1,195 @@
+#include "cluster/dynamic_cluster.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::cluster {
+namespace {
+
+/// Two 1-D groups around lo and hi with per-point jitter.
+Matrix two_groups(double lo, double hi, std::size_t per_group, Rng& rng) {
+  Matrix points(2 * per_group, 1);
+  for (std::size_t i = 0; i < per_group; ++i) {
+    points(i, 0) = lo + rng.normal(0.0, 0.02);
+    points(per_group + i, 0) = hi + rng.normal(0.0, 0.02);
+  }
+  return points;
+}
+
+TEST(DynamicCluster, ValidatesOptions) {
+  EXPECT_THROW(DynamicClusterTracker({.k = 0}, 1), InvalidArgument);
+  EXPECT_THROW(DynamicClusterTracker({.k = 2, .history_m = 0}, 1),
+               InvalidArgument);
+  EXPECT_THROW(
+      DynamicClusterTracker({.k = 2, .history_m = 5, .history_capacity = 2},
+                            1),
+      InvalidArgument);
+}
+
+TEST(DynamicCluster, FirstUpdateProducesKClusters) {
+  DynamicClusterTracker tracker({.k = 2}, 1);
+  Rng rng(1);
+  const Clustering& c = tracker.update(two_groups(0.2, 0.8, 10, rng));
+  EXPECT_EQ(c.assignment.size(), 20u);
+  EXPECT_EQ(c.centroids.rows(), 2u);
+  std::set<std::size_t> labels(c.assignment.begin(), c.assignment.end());
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(DynamicCluster, LabelsStayStableAcrossSteps) {
+  // The same two groups drift slightly each step; the re-indexing must keep
+  // each group under the same label for the whole run.
+  DynamicClusterTracker tracker({.k = 2, .history_m = 1}, 2);
+  Rng rng(2);
+  const Clustering& first = tracker.update(two_groups(0.2, 0.8, 10, rng));
+  const std::size_t lo_label = first.assignment[0];
+  const std::size_t hi_label = first.assignment[10];
+  ASSERT_NE(lo_label, hi_label);
+
+  for (std::size_t t = 1; t < 30; ++t) {
+    const double drift = 0.002 * static_cast<double>(t);
+    const Clustering& c =
+        tracker.update(two_groups(0.2 + drift, 0.8 - drift, 10, rng));
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(c.assignment[i], lo_label) << "t=" << t;
+      EXPECT_EQ(c.assignment[10 + i], hi_label) << "t=" << t;
+    }
+  }
+}
+
+TEST(DynamicCluster, CentroidSeriesTracksGroupMeans) {
+  DynamicClusterTracker tracker({.k = 2}, 3);
+  Rng rng(3);
+  for (std::size_t t = 0; t < 10; ++t) {
+    tracker.update(two_groups(0.3, 0.7, 8, rng));
+  }
+  const Clustering& c = tracker.history(0);
+  const std::size_t lo_label = c.assignment[0];
+  const std::vector<double> series = tracker.centroid_series(lo_label, 0);
+  ASSERT_EQ(series.size(), 10u);
+  for (const double v : series) EXPECT_NEAR(v, 0.3, 0.05);
+}
+
+TEST(DynamicCluster, MembershipSwitchIsTracked) {
+  // Move half of the low group to the high group mid-run; their labels
+  // must change while the cluster labels themselves stay aligned.
+  DynamicClusterTracker tracker({.k = 2}, 4);
+  Rng rng(4);
+  const Clustering& first = tracker.update(two_groups(0.2, 0.8, 10, rng));
+  const std::size_t lo_label = first.assignment[0];
+  const std::size_t hi_label = first.assignment[10];
+
+  for (std::size_t t = 1; t < 5; ++t) {
+    tracker.update(two_groups(0.2, 0.8, 10, rng));
+  }
+  // Points 0..4 migrate to the high level.
+  Matrix migrated = two_groups(0.2, 0.8, 10, rng);
+  for (std::size_t i = 0; i < 5; ++i) migrated(i, 0) = 0.8;
+  const Clustering& after = tracker.update(migrated);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(after.assignment[i], hi_label);
+  }
+  for (std::size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(after.assignment[i], lo_label);
+  }
+}
+
+TEST(DynamicCluster, HistoryCapacityIsEnforced) {
+  DynamicClusterTracker tracker({.k = 2, .history_capacity = 3}, 5);
+  Rng rng(5);
+  for (std::size_t t = 0; t < 10; ++t) {
+    tracker.update(two_groups(0.2, 0.8, 5, rng));
+  }
+  EXPECT_EQ(tracker.history_size(), 3u);
+  EXPECT_EQ(tracker.steps(), 10u);
+  EXPECT_THROW(tracker.history(3), InvalidArgument);
+}
+
+TEST(DynamicCluster, CentroidSeriesKeptInFullDespiteCapacity) {
+  DynamicClusterTracker tracker({.k = 2, .history_capacity = 2}, 6);
+  Rng rng(6);
+  for (std::size_t t = 0; t < 7; ++t) {
+    tracker.update(two_groups(0.1, 0.9, 5, rng));
+  }
+  EXPECT_EQ(tracker.centroid_series(0).size(), 7u);
+}
+
+TEST(DynamicCluster, NodeCountMustStayConstant) {
+  DynamicClusterTracker tracker({.k = 2}, 7);
+  Rng rng(7);
+  tracker.update(two_groups(0.2, 0.8, 5, rng));
+  EXPECT_THROW(tracker.update(two_groups(0.2, 0.8, 6, rng)),
+               InvalidArgument);
+}
+
+TEST(DynamicCluster, TooFewPointsThrows) {
+  DynamicClusterTracker tracker({.k = 5}, 8);
+  EXPECT_THROW(tracker.update(Matrix(3, 1)), InvalidArgument);
+}
+
+TEST(DynamicCluster, SeparateFeatureAndValueSpaces) {
+  // Cluster on a 2-step window feature but report centroids in value space.
+  DynamicClusterTracker tracker({.k = 2}, 9);
+  Rng rng(9);
+  const Matrix values = two_groups(0.2, 0.8, 6, rng);
+  Matrix features(12, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    features(i, 0) = values(i, 0);
+    features(i, 1) = values(i, 0);
+  }
+  const Clustering& c = tracker.update(features, values);
+  EXPECT_EQ(c.centroids.cols(), 1u);
+  const std::size_t lo = c.assignment[0];
+  EXPECT_NEAR(c.centroids(lo, 0), 0.2, 0.05);
+}
+
+TEST(DynamicCluster, JaccardSimilarityAlsoKeepsLabelsStable) {
+  DynamicClusterTracker tracker(
+      {.k = 2, .similarity = SimilarityKind::kJaccard}, 10);
+  Rng rng(10);
+  const Clustering& first = tracker.update(two_groups(0.2, 0.8, 10, rng));
+  const std::size_t lo_label = first.assignment[0];
+  for (std::size_t t = 1; t < 20; ++t) {
+    const Clustering& c = tracker.update(two_groups(0.2, 0.8, 10, rng));
+    EXPECT_EQ(c.assignment[0], lo_label) << "t=" << t;
+  }
+}
+
+// Property sweep over M: deeper similarity lookback must still keep labels
+// of persistent groups stable.
+class LookbackTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LookbackTest, StableUnderLookbackM) {
+  const std::size_t m = GetParam();
+  DynamicClusterTracker tracker(
+      {.k = 3, .history_m = m, .history_capacity = std::max<std::size_t>(m, 16)},
+      11);
+  Rng rng(11 + m);
+  auto three_groups = [&]() {
+    Matrix points(15, 1);
+    for (std::size_t i = 0; i < 5; ++i) {
+      points(i, 0) = 0.1 + rng.normal(0.0, 0.01);
+      points(5 + i, 0) = 0.5 + rng.normal(0.0, 0.01);
+      points(10 + i, 0) = 0.9 + rng.normal(0.0, 0.01);
+    }
+    return points;
+  };
+  const Clustering& first = tracker.update(three_groups());
+  const std::size_t labels[3] = {first.assignment[0], first.assignment[5],
+                                 first.assignment[10]};
+  for (std::size_t t = 1; t < 25; ++t) {
+    const Clustering& c = tracker.update(three_groups());
+    EXPECT_EQ(c.assignment[0], labels[0]);
+    EXPECT_EQ(c.assignment[5], labels[1]);
+    EXPECT_EQ(c.assignment[10], labels[2]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, LookbackTest, ::testing::Values(1, 2, 5, 12));
+
+}  // namespace
+}  // namespace resmon::cluster

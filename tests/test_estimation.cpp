@@ -1,0 +1,196 @@
+#include "core/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resmon::core {
+namespace {
+
+cluster::Clustering make_clustering(std::vector<std::size_t> assignment,
+                                    Matrix centroids) {
+  cluster::Clustering c;
+  c.assignment = std::move(assignment);
+  c.centroids = std::move(centroids);
+  return c;
+}
+
+// ---- alpha_scale ---------------------------------------------------------
+
+TEST(AlphaScale, OneWhenPointStaysNearOwnCentroid) {
+  // Centroids at 0.2 and 0.8; a small delta from 0.2 stays in cluster 0.
+  Matrix centroids{{0.2}, {0.8}};
+  const std::vector<double> delta{0.1};
+  EXPECT_DOUBLE_EQ(alpha_scale(delta, centroids, 0), 1.0);
+}
+
+TEST(AlphaScale, ClampsAtBisectorBetweenCentroids) {
+  // Bisector between 0.2 and 0.8 is 0.5, i.e. delta 0.3 from c0. A delta
+  // of 0.6 must be scaled by 0.5 so that c0 + alpha*delta = 0.5.
+  Matrix centroids{{0.2}, {0.8}};
+  const std::vector<double> delta{0.6};
+  EXPECT_NEAR(alpha_scale(delta, centroids, 0), 0.5, 1e-12);
+}
+
+TEST(AlphaScale, DeltaAwayFromOtherCentroidIsUnclamped) {
+  Matrix centroids{{0.5}, {0.9}};
+  const std::vector<double> delta{-0.4};  // away from 0.9
+  EXPECT_DOUBLE_EQ(alpha_scale(delta, centroids, 0), 1.0);
+}
+
+TEST(AlphaScale, NearestOfSeveralCentroidsBinds) {
+  Matrix centroids{{0.0}, {1.0}, {0.4}};
+  // From c0 toward both others; the closer bisector (0.2, from the 0.4
+  // centroid) binds: alpha = 0.2 / 0.8 = 0.25.
+  const std::vector<double> delta{0.8};
+  EXPECT_NEAR(alpha_scale(delta, centroids, 0), 0.25, 1e-12);
+}
+
+TEST(AlphaScale, WorksInTwoDimensions) {
+  Matrix centroids{{0.0, 0.0}, {1.0, 0.0}};
+  // Delta orthogonal to the centroid gap is never clamped.
+  const std::vector<double> up{0.0, 5.0};
+  EXPECT_DOUBLE_EQ(alpha_scale(up, centroids, 0), 1.0);
+  // Delta along the gap is clamped at the bisector x = 0.5.
+  const std::vector<double> along{1.0, 0.0};
+  EXPECT_NEAR(alpha_scale(along, centroids, 0), 0.5, 1e-12);
+}
+
+TEST(AlphaScale, ZeroDeltaGivesOne) {
+  Matrix centroids{{0.1}, {0.9}};
+  const std::vector<double> delta{0.0};
+  EXPECT_DOUBLE_EQ(alpha_scale(delta, centroids, 0), 1.0);
+}
+
+TEST(AlphaScale, ValidatesArguments) {
+  Matrix centroids{{0.1}, {0.9}};
+  const std::vector<double> delta{0.1};
+  EXPECT_THROW(alpha_scale(delta, centroids, 5), InvalidArgument);
+  const std::vector<double> wrong_dim{0.1, 0.2};
+  EXPECT_THROW(alpha_scale(wrong_dim, centroids, 0), InvalidArgument);
+}
+
+TEST(AlphaScale, ScaledPointIsStillNearestToOwnCentroid) {
+  // Property: after scaling, c_j + alpha*delta is never strictly closer to
+  // another centroid.
+  Matrix centroids{{0.1}, {0.45}, {0.8}};
+  for (double raw = -1.0; raw <= 1.0; raw += 0.05) {
+    const std::vector<double> delta{raw};
+    const double alpha = alpha_scale(delta, centroids, 1);
+    const double point = centroids(1, 0) + alpha * delta[0];
+    const double own = std::fabs(point - centroids(1, 0));
+    EXPECT_LE(own, std::fabs(point - centroids(0, 0)) + 1e-9) << raw;
+    EXPECT_LE(own, std::fabs(point - centroids(2, 0)) + 1e-9) << raw;
+  }
+}
+
+// ---- OffsetTracker -------------------------------------------------------
+
+TEST(OffsetTracker, RejectsZeroClusters) {
+  EXPECT_THROW(OffsetTracker(5, 0), InvalidArgument);
+}
+
+TEST(OffsetTracker, QueriesBeforePushThrow) {
+  OffsetTracker tracker(5, 2);
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_THROW(tracker.modal_cluster(0), InvalidState);
+  EXPECT_THROW(tracker.offset(0, 0), InvalidState);
+}
+
+TEST(OffsetTracker, PushValidatesShapes) {
+  OffsetTracker tracker(5, 2);
+  Matrix snapshot(3, 1);
+  // Wrong cluster count.
+  EXPECT_THROW(
+      tracker.push(make_clustering({0, 0, 0}, Matrix(3, 1)), snapshot),
+      InvalidArgument);
+  // Assignment size mismatch.
+  EXPECT_THROW(tracker.push(make_clustering({0, 0}, Matrix(2, 1)), snapshot),
+               InvalidArgument);
+  // Dimension mismatch between snapshot and centroids.
+  EXPECT_THROW(
+      tracker.push(make_clustering({0, 0, 0}, Matrix(2, 2)), snapshot),
+      InvalidArgument);
+}
+
+TEST(OffsetTracker, ModalClusterPicksMostFrequent) {
+  OffsetTracker tracker(2, 2);  // M' = 2 -> window of 3
+  Matrix snapshot(1, 1);
+  Matrix centroids{{0.2}, {0.8}};
+  tracker.push(make_clustering({0}, centroids), snapshot);
+  tracker.push(make_clustering({1}, centroids), snapshot);
+  tracker.push(make_clustering({1}, centroids), snapshot);
+  EXPECT_EQ(tracker.modal_cluster(0), 1u);
+}
+
+TEST(OffsetTracker, ModalClusterTiesBreakLow) {
+  OffsetTracker tracker(1, 3);  // window of 2
+  Matrix snapshot(1, 1);
+  Matrix centroids{{0.1}, {0.5}, {0.9}};
+  tracker.push(make_clustering({2}, centroids), snapshot);
+  tracker.push(make_clustering({1}, centroids), snapshot);
+  EXPECT_EQ(tracker.modal_cluster(0), 1u);  // 1 and 2 tie; lower wins
+}
+
+TEST(OffsetTracker, WindowIsBounded) {
+  OffsetTracker tracker(1, 2);  // keeps at most M' + 1 = 2 entries
+  Matrix snapshot(1, 1);
+  Matrix centroids{{0.2}, {0.8}};
+  for (int i = 0; i < 10; ++i) {
+    tracker.push(make_clustering({0}, centroids), snapshot);
+  }
+  EXPECT_EQ(tracker.steps(), 2u);
+}
+
+TEST(OffsetTracker, OffsetIsAverageOfInClusterDeviations) {
+  // Node sits 0.05 above its centroid on every step -> offset = 0.05.
+  OffsetTracker tracker(2, 2);
+  Matrix centroids{{0.2}, {0.8}};
+  Matrix snapshot(1, 1);
+  snapshot(0, 0) = 0.25;
+  for (int i = 0; i < 3; ++i) {
+    tracker.push(make_clustering({0}, centroids), snapshot);
+  }
+  EXPECT_NEAR(tracker.offset(0, 0)[0], 0.05, 1e-12);
+}
+
+TEST(OffsetTracker, OffsetClampedWhenDeviationCrossesBisector) {
+  // Node at 0.7 relative to centroid 0.2 with the other centroid at 0.8:
+  // the bisector is 0.5, so alpha = 0.3/0.5 and the contribution per step
+  // is 0.3 (point pinned at the bisector).
+  OffsetTracker tracker(0, 2);
+  Matrix centroids{{0.2}, {0.8}};
+  Matrix snapshot(1, 1);
+  snapshot(0, 0) = 0.7;
+  tracker.push(make_clustering({1}, centroids), snapshot);
+  EXPECT_NEAR(tracker.offset(0, 0)[0], 0.3, 1e-12);
+}
+
+TEST(OffsetTracker, OffsetRelativeToRequestedCluster) {
+  OffsetTracker tracker(0, 2);
+  Matrix centroids{{0.2}, {0.8}};
+  Matrix snapshot(1, 1);
+  snapshot(0, 0) = 0.75;
+  tracker.push(make_clustering({1}, centroids), snapshot);
+  // Relative to cluster 1 the deviation is -0.05 (in-cluster, alpha = 1).
+  EXPECT_NEAR(tracker.offset(0, 1)[0], -0.05, 1e-12);
+}
+
+TEST(OffsetTracker, NodeCountMustStayConstant) {
+  OffsetTracker tracker(3, 2);
+  Matrix centroids{{0.2}, {0.8}};
+  tracker.push(make_clustering({0, 1}, centroids), Matrix(2, 1));
+  EXPECT_THROW(
+      tracker.push(make_clustering({0, 1, 0}, centroids), Matrix(3, 1)),
+      InvalidArgument);
+}
+
+TEST(OffsetTracker, ClusterIndexValidated) {
+  OffsetTracker tracker(3, 2);
+  Matrix centroids{{0.2}, {0.8}};
+  tracker.push(make_clustering({0}, centroids), Matrix(1, 1));
+  EXPECT_THROW(tracker.offset(0, 7), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace resmon::core

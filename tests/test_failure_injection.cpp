@@ -1,0 +1,183 @@
+// Failure-injection tests: lossy/delayed channels, the deadband policy, and
+// the pipeline's behaviour under an unreliable uplink.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "collect/deadband_transmitter.hpp"
+#include "collect/fleet_collector.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "trace/synthetic.hpp"
+#include "transport/channel.hpp"
+
+namespace resmon {
+namespace {
+
+// ---- lossy / delayed channel ---------------------------------------------
+
+TEST(LossyChannel, ValidatesDropProbability) {
+  EXPECT_THROW(transport::Channel({.drop_probability = 1.5}),
+               InvalidArgument);
+}
+
+TEST(LossyChannel, DropsApproximatelyTheConfiguredFraction) {
+  transport::Channel ch({.drop_probability = 0.3, .seed = 7});
+  for (int i = 0; i < 5000; ++i) {
+    ch.send({.node = 0, .step = static_cast<std::size_t>(i), .values = {0.1}});
+    ch.drain();
+  }
+  const double drop_rate =
+      static_cast<double>(ch.messages_dropped()) /
+      static_cast<double>(ch.messages_sent());
+  EXPECT_NEAR(drop_rate, 0.3, 0.03);
+}
+
+TEST(LossyChannel, DroppedMessagesStillConsumeBandwidth) {
+  transport::Channel ch({.drop_probability = 1.0, .seed = 1});
+  ch.send({.node = 0, .step = 0, .values = {0.1}});
+  EXPECT_EQ(ch.messages_sent(), 1u);
+  EXPECT_EQ(ch.messages_dropped(), 1u);
+  EXPECT_GT(ch.bytes_sent(), 0u);
+  EXPECT_TRUE(ch.drain().empty());
+}
+
+TEST(DelayedChannel, MessagesSurfaceWithinMaxDelay) {
+  transport::Channel ch({.max_delay_slots = 3, .seed = 2});
+  for (int i = 0; i < 100; ++i) {
+    ch.send(
+        {.node = static_cast<std::size_t>(i), .step = 0, .values = {0.1}});
+  }
+  std::size_t delivered = 0;
+  for (int slot = 0; slot <= 3; ++slot) {
+    delivered += ch.drain().size();
+  }
+  EXPECT_EQ(delivered, 100u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(DelayedChannel, ZeroDelayIsImmediate) {
+  transport::Channel ch({.max_delay_slots = 0, .seed = 3});
+  ch.send({.node = 0, .step = 0, .values = {0.5}});
+  EXPECT_EQ(ch.drain().size(), 1u);
+}
+
+TEST(DelayedChannel, OutOfOrderDeliveryKeepsFreshestInStore) {
+  // Older messages surfacing after newer ones must not overwrite them.
+  transport::CentralStore store(1, 1);
+  store.apply({.node = 0, .step = 10, .values = {0.9}});
+  store.apply({.node = 0, .step = 4, .values = {0.1}});  // late arrival
+  EXPECT_DOUBLE_EQ(store.stored(0)[0], 0.9);
+}
+
+// ---- deadband policy -------------------------------------------------------
+
+TEST(Deadband, ValidatesOptions) {
+  EXPECT_THROW(collect::DeadbandTransmitter({.delta = 0.0}),
+               InvalidArgument);
+  EXPECT_THROW(collect::DeadbandTransmitter({.adaptation_rate = 1.0}),
+               InvalidArgument);
+  EXPECT_THROW(
+      collect::DeadbandTransmitter({.min_delta = 0.5, .max_delta = 0.1}),
+      InvalidArgument);
+}
+
+TEST(Deadband, TransmitsFirstMeasurement) {
+  collect::DeadbandTransmitter tx({});
+  EXPECT_TRUE(tx.decide(0, std::vector<double>{0.5}));
+}
+
+TEST(Deadband, FixedDeltaSendsOnlyOnChange) {
+  collect::DeadbandTransmitter tx(
+      {.delta = 0.1, .target_frequency = 0.0});  // calibration off
+  EXPECT_TRUE(tx.decide(0, std::vector<double>{0.5}));
+  EXPECT_FALSE(tx.decide(1, std::vector<double>{0.55}));  // within band
+  EXPECT_TRUE(tx.decide(2, std::vector<double>{0.7}));    // outside band
+  EXPECT_EQ(tx.transmissions(), 2u);
+}
+
+TEST(Deadband, CalibrationTracksTargetFrequency) {
+  collect::DeadbandTransmitter tx(
+      {.delta = 0.5, .target_frequency = 0.3, .adaptation_rate = 0.05});
+  Rng rng(4);
+  double x = 0.5;
+  for (std::size_t t = 0; t < 5000; ++t) {
+    x = std::clamp(x + rng.normal(0.0, 0.05), 0.0, 1.0);
+    tx.decide(t, std::vector<double>{x});
+  }
+  EXPECT_NEAR(tx.actual_frequency(), 0.3, 0.06);
+}
+
+TEST(Deadband, FleetFactorySupportsIt) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 10;
+  p.num_steps = 500;
+  const trace::InMemoryTrace t = trace::generate(p, 5);
+  collect::FleetCollector fleet(
+      t, collect::make_policy_factory(collect::PolicyKind::kDeadband, 0.3));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) fleet.step(step);
+  EXPECT_NEAR(fleet.average_actual_frequency(), 0.3, 0.1);
+}
+
+// ---- pipeline under failure ------------------------------------------------
+
+core::PipelineOptions lossy_options(double drop, std::size_t delay) {
+  core::PipelineOptions o;
+  o.num_clusters = 3;
+  o.schedule = {.initial_steps = 50, .retrain_interval = 100};
+  o.channel.drop_probability = drop;
+  o.channel.max_delay_slots = delay;
+  o.channel.seed = 9;
+  return o;
+}
+
+TEST(PipelineFailures, SurvivesDropsAndDelays) {
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 20;
+  p.num_steps = 300;
+  const trace::InMemoryTrace t = trace::generate(p, 6);
+  core::MonitoringPipeline pipeline(t, lossy_options(0.2, 2));
+  pipeline.run(300);
+  EXPECT_TRUE(pipeline.done());
+  const Matrix f = pipeline.forecast_all(1);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_TRUE(std::isfinite(f(i, r)));
+    }
+  }
+}
+
+TEST(PipelineFailures, LossRaisesCollectionError) {
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 25;
+  p.num_steps = 400;
+  const trace::InMemoryTrace t = trace::generate(p, 7);
+
+  auto run_rmse = [&](double drop) {
+    core::MonitoringPipeline pipeline(t, lossy_options(drop, 0));
+    core::RmseAccumulator acc;
+    while (!pipeline.done()) {
+      pipeline.step();
+      if (!pipeline.collector().store().complete()) continue;  // warm-up
+      acc.add(pipeline.rmse_at(0));
+    }
+    return acc.value();
+  };
+  // 40% loss must hurt the stored view relative to a reliable uplink.
+  EXPECT_GT(run_rmse(0.4), run_rmse(0.0));
+}
+
+TEST(PipelineFailures, DroppedInitialMeasurementsDelayClusteringSafely) {
+  // With 90% loss the store may take a while to become complete; the
+  // pipeline must keep collecting without throwing and eventually cluster.
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 10;
+  p.num_steps = 200;
+  const trace::InMemoryTrace t = trace::generate(p, 8);
+  core::MonitoringPipeline pipeline(t, lossy_options(0.9, 0));
+  pipeline.run(200);
+  EXPECT_TRUE(pipeline.done());
+}
+
+}  // namespace
+}  // namespace resmon

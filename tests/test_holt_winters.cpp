@@ -1,0 +1,146 @@
+#include "forecast/holt_winters.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace resmon::forecast {
+namespace {
+
+std::vector<double> linear_series(double intercept, double slope,
+                                  std::size_t n, double noise,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = intercept + slope * static_cast<double>(t) +
+           rng.normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(HoltWinters, ValidatesOptions) {
+  EXPECT_THROW(HoltWintersForecaster({.damping = 0.0}), InvalidArgument);
+  EXPECT_THROW(HoltWintersForecaster({.damping = 1.5}), InvalidArgument);
+  EXPECT_THROW(HoltWintersForecaster({.season = 1}), InvalidArgument);
+  EXPECT_THROW(HoltWintersForecaster({.alpha = 1.5}), InvalidArgument);
+}
+
+TEST(HoltWinters, UsageBeforeFitThrows) {
+  HoltWintersForecaster f;
+  EXPECT_FALSE(f.is_fitted());
+  EXPECT_THROW(f.forecast(1), InvalidState);
+  EXPECT_THROW(f.update(0.1), InvalidState);
+}
+
+TEST(HoltWinters, TooShortSeriesThrows) {
+  HoltWintersForecaster f;
+  EXPECT_THROW(f.fit(std::vector<double>{0.1, 0.2}), InvalidArgument);
+}
+
+TEST(HoltWinters, ConstantSeriesForecastsConstant) {
+  std::vector<double> x(100, 0.42);
+  HoltWintersForecaster f;
+  f.fit(x);
+  EXPECT_NEAR(f.forecast(1), 0.42, 1e-6);
+  EXPECT_NEAR(f.forecast(20), 0.42, 1e-6);
+}
+
+TEST(HoltWinters, TracksLinearTrend) {
+  const std::vector<double> x = linear_series(0.1, 0.002, 400, 0.005, 1);
+  HoltWintersForecaster f({.damping = 1.0});
+  f.fit(x);
+  // True next values: 0.1 + 0.002 * (400 + h - 1).
+  EXPECT_NEAR(f.forecast(1), 0.1 + 0.002 * 400, 0.02);
+  EXPECT_NEAR(f.forecast(10), 0.1 + 0.002 * 409, 0.03);
+}
+
+TEST(HoltWinters, DampedTrendFlattensAtLongHorizons) {
+  const std::vector<double> x = linear_series(0.2, 0.003, 300, 0.0, 2);
+  HoltWintersForecaster damped({.damping = 0.8});
+  HoltWintersForecaster undamped({.damping = 1.0});
+  damped.fit(x);
+  undamped.fit(x);
+  // The damped forecast extends the trend less far.
+  EXPECT_LT(damped.forecast(50), undamped.forecast(50));
+}
+
+TEST(HoltWinters, SeasonalModelTracksSeasonality) {
+  Rng rng(3);
+  std::vector<double> x(600);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.5 +
+           0.2 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                          24.0) +
+           rng.normal(0.0, 0.01);
+  }
+  HoltWintersForecaster f({.season = 24});
+  f.fit(x);
+  for (const std::size_t h : {1u, 6u, 12u, 24u}) {
+    const double expected =
+        0.5 + 0.2 * std::sin(2.0 * std::numbers::pi *
+                             static_cast<double>(x.size() + h - 1) / 24.0);
+    EXPECT_NEAR(f.forecast(h), expected, 0.06) << "h = " << h;
+  }
+}
+
+TEST(HoltWinters, UpdateAdvancesState) {
+  const std::vector<double> x = linear_series(0.3, 0.0, 200, 0.01, 4);
+  HoltWintersForecaster f;
+  f.fit(x);
+  // Feed a clear level shift; the forecast must follow it.
+  for (int i = 0; i < 50; ++i) f.update(0.8);
+  EXPECT_NEAR(f.forecast(1), 0.8, 0.1);
+}
+
+TEST(HoltWinters, OptimizedFitBeatsArbitraryParameters) {
+  Rng rng(5);
+  std::vector<double> x(500);
+  double s = 0.0;
+  for (double& v : x) {
+    s = 0.9 * s + rng.normal(0.0, 0.03);
+    v = 0.5 + s;
+  }
+  HoltWintersForecaster optimized({.optimize = true});
+  HoltWintersForecaster fixed(
+      {.optimize = false, .alpha = 0.9, .beta = 0.9, .gamma = 0.0});
+  optimized.fit(x);
+  fixed.fit(x);
+  EXPECT_LE(optimized.training_sse(), fixed.training_sse());
+}
+
+TEST(HoltWinters, FittedParametersStayInRange) {
+  const std::vector<double> x = linear_series(0.4, 0.001, 300, 0.02, 6);
+  HoltWintersForecaster f;
+  f.fit(x);
+  EXPECT_GE(f.alpha(), 0.0);
+  EXPECT_LE(f.alpha(), 1.0);
+  EXPECT_GE(f.beta(), 0.0);
+  EXPECT_LE(f.beta(), 1.0);
+}
+
+TEST(HoltWinters, FactoryCreatesIt) {
+  const auto f = make_forecaster(ForecasterKind::kHoltWinters, 1);
+  EXPECT_EQ(f->name(), "Holt");
+  EXPECT_EQ(forecaster_kind_from_string("holt-winters"),
+            ForecasterKind::kHoltWinters);
+  EXPECT_EQ(to_string(ForecasterKind::kHoltWinters), "HoltWinters");
+}
+
+TEST(HoltWinters, SeasonFallsBackWhenSeriesTooShort) {
+  // Season 50 but only 60 points: seasonal init needs 2 seasons, so the
+  // model silently runs non-seasonally and must still produce forecasts.
+  const std::vector<double> x = linear_series(0.5, 0.0, 60, 0.01, 7);
+  HoltWintersForecaster f({.season = 50});
+  f.fit(x);
+  EXPECT_TRUE(std::isfinite(f.forecast(5)));
+}
+
+}  // namespace
+}  // namespace resmon::forecast

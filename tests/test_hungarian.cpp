@@ -1,0 +1,147 @@
+#include "cluster/hungarian.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::cluster {
+namespace {
+
+/// Exhaustive max-weight assignment by permutation enumeration (reference
+/// for cross-checking the Hungarian result on small instances).
+double brute_force_max(const Matrix& w) {
+  std::vector<std::size_t> perm(w.rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e18;
+  do {
+    double s = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) s += w(r, perm[r]);
+    best = std::max(best, s);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, TrivialOneByOne) {
+  Matrix w{{5.0}};
+  const auto a = max_weight_assignment(w);
+  EXPECT_EQ(a[0], 0u);
+}
+
+TEST(Hungarian, KnownTwoByTwo) {
+  // Choosing the diagonal gives 1 + 1 = 2; anti-diagonal gives 10 + 10.
+  Matrix w{{1.0, 10.0}, {10.0, 1.0}};
+  const auto a = max_weight_assignment(w);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_DOUBLE_EQ(assignment_value(w, a), 20.0);
+}
+
+TEST(Hungarian, KnownThreeByThreeMinCost) {
+  Matrix cost{{4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  const auto a = min_cost_assignment(cost);
+  // Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+  EXPECT_DOUBLE_EQ(assignment_value(cost, a), 5.0);
+}
+
+TEST(Hungarian, IdentityIsOptimalForDiagonalDominance) {
+  Matrix w{{10.0, 0.0, 0.0}, {0.0, 10.0, 0.0}, {0.0, 0.0, 10.0}};
+  const auto a = max_weight_assignment(w);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_EQ(a[r], r);
+}
+
+TEST(Hungarian, ResultIsAPermutation) {
+  Rng rng(1);
+  const std::size_t n = 9;
+  Matrix w(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) w(r, c) = rng.uniform();
+  }
+  const auto a = max_weight_assignment(w);
+  std::set<std::size_t> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), n);
+  for (const std::size_t c : a) EXPECT_LT(c, n);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 2 + seed % 5;  // n in [2, 6]
+    Matrix w(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) w(r, c) = rng.uniform(0.0, 10.0);
+    }
+    const auto a = max_weight_assignment(w);
+    EXPECT_NEAR(assignment_value(w, a), brute_force_max(w), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Hungarian, HandlesNegativeWeights) {
+  Matrix w{{-5.0, -1.0}, {-2.0, -10.0}};
+  const auto a = max_weight_assignment(w);
+  EXPECT_DOUBLE_EQ(assignment_value(w, a), -3.0);  // -1 + -2
+}
+
+TEST(Hungarian, HandlesTiesDeterministically) {
+  Matrix w{{1.0, 1.0}, {1.0, 1.0}};
+  const auto a = max_weight_assignment(w);
+  EXPECT_DOUBLE_EQ(assignment_value(w, a), 2.0);
+}
+
+TEST(Hungarian, AllZeroWeightsStillPermutes) {
+  Matrix w(4, 4);
+  const auto a = max_weight_assignment(w);
+  std::set<std::size_t> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Hungarian, ValidatesInput) {
+  EXPECT_THROW(min_cost_assignment(Matrix(2, 3)), InvalidArgument);
+  EXPECT_THROW(min_cost_assignment(Matrix()), InvalidArgument);
+}
+
+TEST(Hungarian, AssignmentValueChecksSize) {
+  Matrix w(3, 3);
+  EXPECT_THROW(assignment_value(w, {0, 1}), InvalidArgument);
+}
+
+// Property sweep: on larger random instances the Hungarian result must be
+// at least as good as a greedy row-by-row assignment.
+class HungarianGreedyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HungarianGreedyTest, BeatsOrMatchesGreedy) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 13);
+  Matrix w(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) w(r, c) = rng.uniform();
+  }
+  const auto a = max_weight_assignment(w);
+
+  std::vector<bool> taken(n, false);
+  double greedy = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t best = 0;
+    double best_w = -1.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!taken[c] && w(r, c) > best_w) {
+        best_w = w(r, c);
+        best = c;
+      }
+    }
+    taken[best] = true;
+    greedy += best_w;
+  }
+  EXPECT_GE(assignment_value(w, a), greedy - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianGreedyTest,
+                         ::testing::Values(3, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace resmon::cluster

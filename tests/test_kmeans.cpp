@@ -1,0 +1,185 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::cluster {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_blob` points each.
+Matrix make_blobs(std::size_t per_blob, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}};
+  Matrix points(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = centers[b][0] + rng.normal(0.0, 0.3);
+      points(b * per_blob + i, 1) = centers[b][1] + rng.normal(0.0, 0.3);
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  const Matrix points = make_blobs(20, rng);
+  const KMeansResult r = kmeans(points, 3, rng);
+
+  // All points of one blob share one label, and labels differ across blobs.
+  std::set<std::size_t> labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t label = r.assignment[b * 20];
+    labels.insert(label);
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(r.assignment[b * 20 + i], label) << "blob " << b;
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, CentroidsNearBlobCenters) {
+  Rng rng(2);
+  const Matrix points = make_blobs(30, rng);
+  const KMeansResult r = kmeans(points, 3, rng);
+  // Each true center must be within 1.0 of some centroid.
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}};
+  for (const auto& c : centers) {
+    double best = 1e9;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double d2 = (r.centroids(j, 0) - c[0]) * (r.centroids(j, 0) - c[0]) +
+                        (r.centroids(j, 1) - c[1]) * (r.centroids(j, 1) - c[1]);
+      best = std::min(best, d2);
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeans, KEqualsOneGivesGlobalMean) {
+  Matrix points{{0.0}, {2.0}, {4.0}};
+  Rng rng(3);
+  const KMeansResult r = kmeans(points, 1, rng);
+  EXPECT_NEAR(r.centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(r.inertia, 8.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNIsZeroInertiaOnDistinctPoints) {
+  Matrix points{{0.0}, {5.0}, {9.0}, {13.0}};
+  Rng rng(4);
+  const KMeansResult r = kmeans(points, 4, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+  std::set<std::size_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(KMeans, AllIdenticalPointsAreHandled) {
+  Matrix points(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    points(i, 0) = 1.0;
+    points(i, 1) = 2.0;
+  }
+  Rng rng(5);
+  const KMeansResult r = kmeans(points, 3, rng);
+  EXPECT_LE(r.inertia, 1e-12);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  Matrix points{{0.0}, {1.0}};
+  Rng rng(6);
+  EXPECT_THROW(kmeans(points, 0, rng), InvalidArgument);
+  EXPECT_THROW(kmeans(points, 3, rng), InvalidArgument);
+  EXPECT_THROW(kmeans(Matrix(), 1, rng), InvalidArgument);
+}
+
+TEST(KMeans, InertiaNeverIncreasesWithLargerK) {
+  Rng rng(7);
+  Matrix points(40, 1);
+  for (std::size_t i = 0; i < 40; ++i) points(i, 0) = rng.uniform();
+  double prev = 1e18;
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    Rng local(99);
+    const KMeansResult r = kmeans(points, k, local, {.restarts = 4});
+    EXPECT_LE(r.inertia, prev + 1e-9) << "k = " << k;
+    prev = r.inertia;
+  }
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  Rng rng(8);
+  Matrix points(25, 2);
+  for (std::size_t i = 0; i < 25; ++i) {
+    points(i, 0) = rng.uniform();
+    points(i, 1) = rng.uniform();
+  }
+  const KMeansResult r = kmeans(points, 4, rng);
+  for (std::size_t i = 0; i < 25; ++i) {
+    const double own =
+        squared_distance(points.row(i), r.centroids.row(r.assignment[i]));
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_LE(own,
+                squared_distance(points.row(i), r.centroids.row(j)) + 1e-9);
+    }
+  }
+}
+
+TEST(CentroidsOf, ComputesMemberMeans) {
+  Matrix points{{0.0}, {2.0}, {10.0}};
+  const std::vector<std::size_t> assignment{0, 0, 1};
+  const Matrix c = centroids_of(points, assignment, 2);
+  EXPECT_NEAR(c(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(c(1, 0), 10.0, 1e-12);
+}
+
+TEST(CentroidsOf, ReportsEmptyClusters) {
+  Matrix points{{1.0}, {2.0}};
+  const std::vector<std::size_t> assignment{0, 0};
+  std::vector<bool> empty;
+  const Matrix c = centroids_of(points, assignment, 3, &empty);
+  EXPECT_FALSE(empty[0]);
+  EXPECT_TRUE(empty[1]);
+  EXPECT_TRUE(empty[2]);
+  EXPECT_DOUBLE_EQ(c(1, 0), 0.0);
+}
+
+TEST(InertiaOf, MatchesKMeansInertia) {
+  Rng rng(9);
+  Matrix points(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    points(i, 0) = rng.uniform();
+    points(i, 1) = rng.uniform();
+  }
+  const KMeansResult r = kmeans(points, 3, rng);
+  EXPECT_NEAR(inertia_of(points, r.assignment, r.centroids), r.inertia,
+              1e-9);
+}
+
+// Property sweep over k: every cluster index returned is < k and every
+// cluster is non-empty (the empty-cluster repair invariant).
+class KMeansSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansSweepTest, LabelsInRangeAndNoEmptyClusters) {
+  const std::size_t k = GetParam();
+  Rng rng(k);
+  Matrix points(50, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) points(i, c) = rng.uniform();
+  }
+  const KMeansResult r = kmeans(points, k, rng);
+  std::vector<std::size_t> counts(k, 0);
+  for (const std::size_t a : r.assignment) {
+    ASSERT_LT(a, k);
+    ++counts[a];
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_GT(counts[j], 0u) << "empty cluster " << j << " with k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace resmon::cluster

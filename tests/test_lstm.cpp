@@ -1,0 +1,188 @@
+#include "forecast/lstm.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace resmon::forecast {
+namespace {
+
+std::vector<double> sine_series(std::size_t n, double period,
+                                double noise_std, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 0.5 +
+           0.3 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                          period) +
+           rng.normal(0.0, noise_std);
+  }
+  return x;
+}
+
+TEST(Lstm, ValidatesOptions) {
+  EXPECT_THROW(LstmForecaster({.hidden_size = 0}), InvalidArgument);
+  EXPECT_THROW(LstmForecaster({.window = 1}), InvalidArgument);
+  EXPECT_THROW(LstmForecaster({.epochs = 0}), InvalidArgument);
+  EXPECT_THROW(LstmForecaster({.stride = 0}), InvalidArgument);
+}
+
+TEST(Lstm, UsageBeforeFitThrows) {
+  LstmForecaster f;
+  EXPECT_THROW(f.forecast(1), InvalidState);
+  EXPECT_THROW(f.update(0.1), InvalidState);
+}
+
+TEST(Lstm, TooShortSeriesThrows) {
+  LstmForecaster f({.window = 8});
+  EXPECT_THROW(f.fit(std::vector<double>(5, 0.1)), InvalidArgument);
+}
+
+TEST(Lstm, ParameterCountMatchesArchitecture) {
+  LstmForecaster f(
+      {.hidden_size = 4, .window = 4, .horizons = {1, 5, 10}});
+  // layer0: 4H*(1) + 4H*H + 4H = 16 + 64 + 16 = 96
+  // layer1: 4H*H + 4H*H + 4H = 64 + 64 + 16 = 144
+  // dense heads: 3 * (H + 1) = 15
+  EXPECT_EQ(f.num_parameters(), 96u + 144u + 15u);
+}
+
+TEST(Lstm, RejectsBadHorizonBuckets) {
+  EXPECT_THROW(LstmForecaster({.horizons = {}}), InvalidArgument);
+  EXPECT_THROW(LstmForecaster({.horizons = {2, 5}}), InvalidArgument);
+  EXPECT_THROW(LstmForecaster({.horizons = {1, 5, 5}}), InvalidArgument);
+}
+
+TEST(Lstm, BackwardMatchesNumericalGradient) {
+  LstmForecaster f({.hidden_size = 4, .window = 6, .horizons = {1, 5}}, 11);
+  Rng rng(2);
+  std::vector<double> w(6);
+  for (double& v : w) v = rng.uniform();
+  EXPECT_LT(f.gradient_check(w, 0.7, 0), 1e-6);
+  EXPECT_LT(f.gradient_check(w, 0.2, 1), 1e-6);
+}
+
+TEST(Lstm, ForecastInterpolatesBetweenHorizonHeads) {
+  const std::vector<double> x = sine_series(300, 25.0, 0.01, 20);
+  LstmForecaster f(
+      {.hidden_size = 6, .window = 8, .epochs = 2, .horizons = {1, 10}},
+      21);
+  f.fit(x);
+  const double f1 = f.forecast(1);
+  const double f10 = f.forecast(10);
+  const double f5 = f.forecast(5);  // interpolated
+  const double lo = std::min(f1, f10);
+  const double hi = std::max(f1, f10);
+  EXPECT_GE(f5, lo - 1e-9);
+  EXPECT_LE(f5, hi + 1e-9);
+  // Beyond the last bucket, the last head's prediction is held.
+  EXPECT_DOUBLE_EQ(f.forecast(10), f.forecast(99));
+}
+
+TEST(Lstm, TrainingReducesLoss) {
+  const std::vector<double> x = sine_series(400, 25.0, 0.0, 1);
+  LstmForecaster one_epoch({.hidden_size = 8, .window = 8, .epochs = 1},
+                           7);
+  one_epoch.fit(x);
+  LstmForecaster many_epochs(
+      {.hidden_size = 8, .window = 8, .epochs = 20}, 7);
+  many_epochs.fit(x);
+  EXPECT_LT(many_epochs.final_training_loss(),
+            one_epoch.final_training_loss());
+}
+
+TEST(Lstm, LearnsCleanSineOneStepAhead) {
+  const double period = 25.0;
+  const std::vector<double> x = sine_series(600, period, 0.0, 2);
+  LstmForecaster f({.hidden_size = 12, .window = 12, .epochs = 30,
+                    .stride = 1, .learning_rate = 5e-3},
+                   3);
+  f.fit(x);
+  // One-step forecast of the next sine value.
+  const double expected =
+      0.5 + 0.3 * std::sin(2.0 * std::numbers::pi *
+                           static_cast<double>(x.size()) / period);
+  EXPECT_NEAR(f.forecast(1), expected, 0.12);
+}
+
+TEST(Lstm, ForecastIsDeterministicGivenSeed) {
+  const std::vector<double> x = sine_series(300, 20.0, 0.01, 4);
+  LstmForecaster a({.hidden_size = 6, .window = 8, .epochs = 3}, 42);
+  LstmForecaster b({.hidden_size = 6, .window = 8, .epochs = 3}, 42);
+  a.fit(x);
+  b.fit(x);
+  EXPECT_DOUBLE_EQ(a.forecast(5), b.forecast(5));
+}
+
+TEST(Lstm, DifferentSeedsGiveDifferentModels) {
+  const std::vector<double> x = sine_series(300, 20.0, 0.01, 5);
+  LstmForecaster a({.hidden_size = 6, .window = 8, .epochs = 2}, 1);
+  LstmForecaster b({.hidden_size = 6, .window = 8, .epochs = 2}, 2);
+  a.fit(x);
+  b.fit(x);
+  EXPECT_NE(a.forecast(1), b.forecast(1));
+}
+
+TEST(Lstm, OutputIsNonNegativeByConstruction) {
+  // ReLU head + min-max denormalization keeps forecasts >= lo.
+  const std::vector<double> x = sine_series(300, 30.0, 0.02, 6);
+  LstmForecaster f({.hidden_size = 6, .window = 8, .epochs = 2}, 7);
+  f.fit(x);
+  const double lo = *std::min_element(x.begin(), x.end());
+  for (const std::size_t h : {1u, 5u, 20u}) {
+    EXPECT_GE(f.forecast(h), lo - 1e-9);
+  }
+}
+
+TEST(Lstm, ConstantSeriesForecastsConstant) {
+  std::vector<double> x(200, 0.37);
+  LstmForecaster f({.hidden_size = 4, .window = 6, .epochs = 5}, 8);
+  f.fit(x);
+  EXPECT_NEAR(f.forecast(1), 0.37, 0.2);
+}
+
+TEST(Lstm, UpdateShiftsTheInputWindow) {
+  const std::vector<double> x = sine_series(300, 25.0, 0.0, 9);
+  LstmForecaster f({.hidden_size = 8, .window = 10, .epochs = 10}, 10);
+  f.fit(x);
+  const double before = f.forecast(1);
+  // Feeding several new points should change the forecast.
+  for (int i = 0; i < 5; ++i) {
+    f.update(0.9);
+  }
+  const double after = f.forecast(1);
+  EXPECT_NE(before, after);
+}
+
+TEST(Lstm, HorizonZeroRejected) {
+  const std::vector<double> x = sine_series(100, 10.0, 0.0, 11);
+  LstmForecaster f({.hidden_size = 4, .window = 6, .epochs = 1}, 12);
+  f.fit(x);
+  EXPECT_THROW(f.forecast(0), InvalidArgument);
+}
+
+// Property sweep: multi-step forecasts on a smooth series stay within the
+// normalized data envelope for all tested horizons.
+class LstmHorizonTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LstmHorizonTest, IteratedForecastStaysInRange) {
+  const std::size_t h = GetParam();
+  const std::vector<double> x = sine_series(400, 30.0, 0.01, 13);
+  LstmForecaster f({.hidden_size = 8, .window = 10, .epochs = 5}, 14);
+  f.fit(x);
+  const double fc = f.forecast(h);
+  EXPECT_TRUE(std::isfinite(fc));
+  EXPECT_GE(fc, -0.5);
+  EXPECT_LE(fc, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, LstmHorizonTest,
+                         ::testing::Values(1, 3, 10, 25));
+
+}  // namespace
+}  // namespace resmon::forecast

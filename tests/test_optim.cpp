@@ -1,0 +1,124 @@
+#include "common/optim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace resmon::optim {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic1D) {
+  auto f = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const OptimResult r = nelder_mead(f, {0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+  EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(NelderMead, MinimizesShiftedSphere3D) {
+  auto f = [](std::span<const double> x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i + 1);
+      s += d * d;
+    }
+    return s;
+  };
+  const OptimResult r = nelder_mead(f, {0.0, 0.0, 0.0},
+                                    {.max_iterations = 2000});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-2);
+  EXPECT_NEAR(r.x[2], 3.0, 1e-2);
+}
+
+TEST(NelderMead, MakesProgressOnRosenbrock) {
+  auto f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const OptimResult r =
+      nelder_mead(f, {-1.2, 1.0}, {.max_iterations = 5000});
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], 1.0, 0.1);
+}
+
+TEST(NelderMead, ReportsConvergenceOnEasyProblem) {
+  auto f = [](std::span<const double> x) { return x[0] * x[0]; };
+  const OptimResult r = nelder_mead(f, {1.0}, {.max_iterations = 5000});
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  auto f = [](std::span<const double> x) { return std::fabs(x[0]); };
+  const OptimResult r = nelder_mead(f, {100.0}, {.max_iterations = 3});
+  EXPECT_LE(r.iterations, 3u);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  auto f = [](std::span<const double>) { return 0.0; };
+  EXPECT_THROW(nelder_mead(f, {}), InvalidArgument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  std::vector<double> params{5.0, -3.0};
+  Adam adam(2, {.learning_rate = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> grad{2.0 * (params[0] - 1.0),
+                                   2.0 * (params[1] + 2.0)};
+    adam.step(params, grad);
+  }
+  EXPECT_NEAR(params[0], 1.0, 1e-2);
+  EXPECT_NEAR(params[1], -2.0, 1e-2);
+}
+
+TEST(Adam, FirstStepIsBoundedByLearningRate) {
+  std::vector<double> params{0.0};
+  Adam adam(1, {.learning_rate = 0.01});
+  adam.step(params, std::vector<double>{1000.0});
+  // Bias-corrected Adam moves by ~lr regardless of gradient magnitude.
+  EXPECT_NEAR(params[0], -0.01, 1e-4);
+}
+
+TEST(Adam, DimensionMismatchThrows) {
+  Adam adam(2);
+  std::vector<double> params{0.0, 0.0};
+  EXPECT_THROW(adam.step(params, std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+TEST(Adam, ZeroDimensionThrows) { EXPECT_THROW(Adam(0), InvalidArgument); }
+
+TEST(Adam, TracksStepCount) {
+  Adam adam(1);
+  std::vector<double> p{0.0};
+  const std::vector<double> g{1.0};
+  adam.step(p, g);
+  adam.step(p, g);
+  EXPECT_EQ(adam.steps_taken(), 2u);
+}
+
+// Property sweep: Nelder-Mead finds the minimum of |x - c| + (y - c)^2 for
+// a range of offsets c.
+class NelderMeadOffsetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NelderMeadOffsetTest, FindsShiftedMinimum) {
+  const double c = GetParam();
+  auto f = [c](std::span<const double> x) {
+    return std::fabs(x[0] - c) + (x[1] - c) * (x[1] - c);
+  };
+  const OptimResult r =
+      nelder_mead(f, {0.0, 0.0}, {.max_iterations = 4000});
+  EXPECT_NEAR(r.x[0], c, 0.05);
+  EXPECT_NEAR(r.x[1], c, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, NelderMeadOffsetTest,
+                         ::testing::Values(-2.0, -0.3, 0.0, 0.7, 4.0));
+
+}  // namespace
+}  // namespace resmon::optim

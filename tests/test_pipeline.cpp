@@ -1,0 +1,310 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace resmon::core {
+namespace {
+
+trace::InMemoryTrace small_trace(std::size_t nodes = 20,
+                                 std::size_t steps = 300,
+                                 std::uint64_t seed = 42) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = nodes;
+  p.num_steps = steps;
+  return trace::generate(p, seed);
+}
+
+PipelineOptions fast_options() {
+  PipelineOptions o;
+  o.num_clusters = 3;
+  o.schedule = {.initial_steps = 50, .retrain_interval = 100};
+  return o;
+}
+
+TEST(Pipeline, ValidatesOptions) {
+  const trace::InMemoryTrace t = small_trace();
+  PipelineOptions o = fast_options();
+  o.num_clusters = 0;
+  EXPECT_THROW(MonitoringPipeline(t, o), InvalidArgument);
+  o = fast_options();
+  o.num_clusters = 100;  // > N
+  EXPECT_THROW(MonitoringPipeline(t, o), InvalidArgument);
+  o = fast_options();
+  o.temporal_window = 0;
+  EXPECT_THROW(MonitoringPipeline(t, o), InvalidArgument);
+}
+
+TEST(Pipeline, StepAdvancesAndStopsAtTraceEnd) {
+  const trace::InMemoryTrace t = small_trace(10, 30);
+  MonitoringPipeline p(t, fast_options());
+  EXPECT_EQ(p.current_step(), 0u);
+  p.run(30);
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(p.current_step(), 30u);
+  EXPECT_THROW(p.step(), InvalidArgument);
+}
+
+TEST(Pipeline, PerResourceViewsByDefault) {
+  const trace::InMemoryTrace t = small_trace(10, 20);
+  MonitoringPipeline p(t, fast_options());
+  p.run(5);
+  EXPECT_EQ(p.num_views(), t.num_resources());
+  EXPECT_EQ(p.tracker(0).k(), 3u);
+  EXPECT_THROW(p.tracker(5), InvalidArgument);
+}
+
+TEST(Pipeline, JointClusteringUsesOneView) {
+  const trace::InMemoryTrace t = small_trace(10, 20);
+  PipelineOptions o = fast_options();
+  o.cluster_per_resource = false;
+  MonitoringPipeline p(t, o);
+  p.run(5);
+  EXPECT_EQ(p.num_views(), 1u);
+}
+
+TEST(Pipeline, ForecastBeforeStepThrows) {
+  const trace::InMemoryTrace t = small_trace(10, 20);
+  MonitoringPipeline p(t, fast_options());
+  EXPECT_THROW(p.forecast_all(0), InvalidArgument);
+}
+
+TEST(Pipeline, HorizonZeroReturnsStoredMeasurements) {
+  const trace::InMemoryTrace t = small_trace(10, 20);
+  PipelineOptions o = fast_options();
+  o.policy = collect::PolicyKind::kAlways;  // store always fresh
+  MonitoringPipeline p(t, o);
+  p.run(7);
+  const Matrix z = p.forecast_all(0);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_DOUBLE_EQ(z(i, r), t.value(i, 6, r));
+    }
+  }
+  EXPECT_NEAR(p.rmse_at(0), 0.0, 1e-12);
+}
+
+TEST(Pipeline, WithB1AndKNRmseAtZeroIsZero) {
+  // Full transmission and one cluster per node: stored state is exact.
+  const trace::InMemoryTrace t = small_trace(8, 15);
+  PipelineOptions o = fast_options();
+  o.policy = collect::PolicyKind::kAlways;
+  o.num_clusters = 8;
+  MonitoringPipeline p(t, o);
+  p.run(10);
+  EXPECT_NEAR(p.rmse_at(0), 0.0, 1e-12);
+  // And the intermediate RMSE reflects only clustering granularity (here
+  // every node its own cluster, fresh data -> 0).
+  EXPECT_NEAR(p.intermediate_rmse(), 0.0, 1e-9);
+}
+
+TEST(Pipeline, ForecastsAreFiniteAndInPlausibleRange) {
+  const trace::InMemoryTrace t = small_trace(15, 120);
+  MonitoringPipeline p(t, fast_options());
+  p.run(80);
+  for (const std::size_t h : {1u, 5u, 20u}) {
+    const Matrix f = p.forecast_all(h);
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      for (std::size_t r = 0; r < t.num_resources(); ++r) {
+        EXPECT_TRUE(std::isfinite(f(i, r)));
+        EXPECT_GT(f(i, r), -0.5);
+        EXPECT_LT(f(i, r), 1.5);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, RmseAtValidatesBounds) {
+  const trace::InMemoryTrace t = small_trace(10, 30);
+  MonitoringPipeline p(t, fast_options());
+  p.run(30);
+  EXPECT_THROW(p.rmse_at(5), InvalidArgument);  // t_last + 5 >= 30
+  EXPECT_NO_THROW(p.rmse_at(0));
+}
+
+TEST(Pipeline, ModelsObserveEveryStep) {
+  const trace::InMemoryTrace t = small_trace(12, 60);
+  MonitoringPipeline p(t, fast_options());
+  p.run(60);
+  for (std::size_t v = 0; v < p.num_views(); ++v) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(p.model(v, j).observations(), 60u);
+    }
+  }
+  EXPECT_THROW(p.model(0, 9), InvalidArgument);
+}
+
+TEST(Pipeline, ModelsFitOnSchedule) {
+  const trace::InMemoryTrace t = small_trace(12, 120);
+  PipelineOptions o = fast_options();
+  o.schedule = {.initial_steps = 40, .retrain_interval = 30};
+  MonitoringPipeline p(t, o);
+  p.run(120);
+  // Fits at 40, 70, 100 -> 3 fits.
+  EXPECT_EQ(p.model(0, 0).fits_completed(), 3u);
+}
+
+TEST(Pipeline, SampleHoldForecastHoldsCentroids) {
+  const trace::InMemoryTrace t = small_trace(10, 80);
+  PipelineOptions o = fast_options();
+  o.schedule = {.initial_steps = 10, .retrain_interval = 50};
+  MonitoringPipeline p(t, o);
+  p.run(60);
+  // Sample-and-hold: forecast is independent of horizon.
+  const Matrix f1 = p.forecast_all(1);
+  const Matrix f9 = p.forecast_all(9);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_DOUBLE_EQ(f1(i, r), f9(i, r));
+    }
+  }
+}
+
+TEST(Pipeline, TemporalWindowRunsAndClusters) {
+  const trace::InMemoryTrace t = small_trace(12, 50);
+  PipelineOptions o = fast_options();
+  o.temporal_window = 5;
+  MonitoringPipeline p(t, o);
+  p.run(50);
+  EXPECT_EQ(p.tracker(0).steps(), 50u);
+  EXPECT_TRUE(std::isfinite(p.intermediate_rmse()));
+}
+
+TEST(Pipeline, IntermediateRmseSmallWhenClustersMatchGroups) {
+  // A trace with 3 crisp groups and K=3 must yield a small intermediate
+  // RMSE when everything is transmitted.
+  trace::InMemoryTrace t(9, 40, 1);
+  for (std::size_t step = 0; step < 40; ++step) {
+    for (std::size_t i = 0; i < 3; ++i) t.set_value(i, step, 0, 0.1);
+    for (std::size_t i = 3; i < 6; ++i) t.set_value(i, step, 0, 0.5);
+    for (std::size_t i = 6; i < 9; ++i) t.set_value(i, step, 0, 0.9);
+  }
+  PipelineOptions o = fast_options();
+  o.policy = collect::PolicyKind::kAlways;
+  MonitoringPipeline p(t, o);
+  p.run(40);
+  EXPECT_NEAR(p.intermediate_rmse(), 0.0, 1e-9);
+}
+
+TEST(Pipeline, OffsetImprovesOverBareCentroid) {
+  // Nodes have persistent offsets from their group mean; eq. (12) should
+  // pull per-node forecasts toward the true values compared to centroid-only.
+  trace::InMemoryTrace t(6, 60, 1);
+  const double offsets[6] = {-0.05, 0.0, 0.05, -0.05, 0.0, 0.05};
+  for (std::size_t step = 0; step < 60; ++step) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      t.set_value(i, step, 0, 0.3 + offsets[i]);
+    }
+    for (std::size_t i = 3; i < 6; ++i) {
+      t.set_value(i, step, 0, 0.7 + offsets[i]);
+    }
+  }
+  PipelineOptions o = fast_options();
+  o.policy = collect::PolicyKind::kAlways;
+  o.num_clusters = 2;
+  o.schedule = {.initial_steps = 10, .retrain_interval = 100};
+  MonitoringPipeline p(t, o);
+  p.run(59);
+  // Forecast h=1: with constant signals the centroid forecast is exact for
+  // the group mean; adding the offset should land on each node's value.
+  const Matrix f = p.forecast_all(1);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double truth = t.value(i, 59, 0);
+    EXPECT_NEAR(f(i, 0), truth, 0.02) << "node " << i;
+  }
+}
+
+TEST(Pipeline, DeterministicGivenSeed) {
+  const trace::InMemoryTrace t = small_trace(10, 60);
+  PipelineOptions o = fast_options();
+  o.seed = 7;
+  MonitoringPipeline a(t, o);
+  MonitoringPipeline b(t, o);
+  a.run(60);
+  b.run(60);
+  const Matrix fa = a.forecast_all(3);
+  const Matrix fb = b.forecast_all(3);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_DOUBLE_EQ(fa(i, r), fb(i, r));
+    }
+  }
+}
+
+TEST(Pipeline, DeadbandPolicyRunsEndToEnd) {
+  const trace::InMemoryTrace t = small_trace(12, 150);
+  PipelineOptions o = fast_options();
+  o.policy = collect::PolicyKind::kDeadband;
+  MonitoringPipeline p(t, o);
+  p.run(150);
+  EXPECT_TRUE(p.done());
+  EXPECT_GT(p.collector().average_actual_frequency(), 0.0);
+  EXPECT_TRUE(std::isfinite(p.rmse_at(0)));
+}
+
+TEST(Pipeline, DisablingOffsetChangesForecasts) {
+  const trace::InMemoryTrace t = small_trace(15, 120);
+  PipelineOptions with = fast_options();
+  PipelineOptions without = fast_options();
+  without.use_offset = false;
+  MonitoringPipeline a(t, with);
+  MonitoringPipeline b(t, without);
+  a.run(120);
+  b.run(120);
+  const Matrix fa = a.forecast_all(3);
+  const Matrix fb = b.forecast_all(3);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < t.num_nodes() && !any_diff; ++i) {
+    any_diff = fa(i, 0) != fb(i, 0);
+  }
+  EXPECT_TRUE(any_diff);
+  // Without the offset, all members of one cluster share one forecast:
+  // there can be at most K distinct values per resource.
+  std::set<double> distinct;
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) distinct.insert(fb(i, 0));
+  EXPECT_LE(distinct.size(), without.num_clusters);
+}
+
+TEST(Pipeline, ReindexingOffStillRuns) {
+  const trace::InMemoryTrace t = small_trace(12, 80);
+  PipelineOptions o = fast_options();
+  o.reindex_clusters = false;
+  MonitoringPipeline p(t, o);
+  p.run(80);
+  EXPECT_TRUE(std::isfinite(p.intermediate_rmse()));
+}
+
+TEST(Pipeline, HoltWintersForecasterIntegrates) {
+  const trace::InMemoryTrace t = small_trace(10, 150);
+  PipelineOptions o = fast_options();
+  o.forecaster = forecast::ForecasterKind::kHoltWinters;
+  MonitoringPipeline p(t, o);
+  p.run(150);
+  EXPECT_GT(p.model(0, 0).fits_completed(), 0u);
+  EXPECT_TRUE(std::isfinite(p.rmse_at(0)));
+}
+
+TEST(Pipeline, LowerBGivesNoLowerAccuracyThanTinyB) {
+  // More bandwidth should not hurt: B=0.5 h=0 error <= B=0.05 h=0 error
+  // (time-averaged).
+  const trace::InMemoryTrace t = small_trace(15, 200, 3);
+  auto run_with_b = [&](double b) {
+    PipelineOptions o = fast_options();
+    o.max_frequency = b;
+    MonitoringPipeline p(t, o);
+    RmseAccumulator acc;
+    for (std::size_t step = 0; step < 200; ++step) {
+      p.step();
+      acc.add(p.rmse_at(0));
+    }
+    return acc.value();
+  };
+  EXPECT_LE(run_with_b(0.5), run_with_b(0.05) + 1e-6);
+}
+
+}  // namespace
+}  // namespace resmon::core

@@ -1,0 +1,112 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace resmon {
+namespace {
+
+// ---- Table -----------------------------------------------------------
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, RowWidthMustMatchHeaders) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), InvalidArgument);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b"});
+  t.add_row({1.0, 2.0});
+  t.add_row({std::string("x"), 3.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, CsvOutputIsWellFormed) {
+  Table t({"name", "value"}, 2);
+  t.add_row({std::string("alpha"), 1.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nalpha,1.50\n");
+}
+
+TEST(Table, TextOutputContainsHeadersAndValues) {
+  Table t({"metric", "x"}, 3);
+  t.add_row({std::string("rmse"), 0.125});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsFormatting) {
+  Table t({"v"}, 1);
+  t.add_row({0.16});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n0.2\n");
+}
+
+// ---- Args ------------------------------------------------------------
+
+Args make_args(std::vector<std::string> tokens) {
+  std::vector<const char*> argv;
+  argv.push_back("prog");
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesSpaceSeparatedValue) {
+  const Args a = make_args({"--nodes", "50"});
+  EXPECT_EQ(a.get_int("nodes", 0), 50);
+}
+
+TEST(Args, ParsesEqualsForm) {
+  const Args a = make_args({"--b=0.3"});
+  EXPECT_DOUBLE_EQ(a.get_double("b", 0.0), 0.3);
+}
+
+TEST(Args, BareFlagReadsAsTrue) {
+  const Args a = make_args({"--full"});
+  EXPECT_TRUE(a.get_bool("full"));
+  EXPECT_TRUE(a.has("full"));
+}
+
+TEST(Args, MissingFlagFallsBack) {
+  const Args a = make_args({});
+  EXPECT_EQ(a.get("dataset", "alibaba"), "alibaba");
+  EXPECT_EQ(a.get_int("steps", 42), 42);
+  EXPECT_FALSE(a.get_bool("full"));
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const Args a = make_args({"--verbose", "--nodes", "10"});
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_EQ(a.get_int("nodes", 0), 10);
+}
+
+TEST(Args, PositionalArgumentThrows) {
+  EXPECT_THROW(make_args({"oops"}), InvalidArgument);
+}
+
+TEST(Args, NonNumericIntThrows) {
+  const Args a = make_args({"--n", "abc"});
+  EXPECT_THROW(a.get_int("n", 0), InvalidArgument);
+}
+
+TEST(Args, NonNumericDoubleThrows) {
+  const Args a = make_args({"--x", "abc"});
+  EXPECT_THROW(a.get_double("x", 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace resmon

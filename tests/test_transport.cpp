@@ -1,0 +1,104 @@
+#include "transport/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resmon::transport {
+namespace {
+
+TEST(Channel, DeliversInOrder) {
+  Channel ch;
+  ch.send({.node = 0, .step = 1, .values = {0.5}});
+  ch.send({.node = 1, .step = 1, .values = {0.7}});
+  const auto msgs = ch.drain();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].node, 0u);
+  EXPECT_EQ(msgs[1].node, 1u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Channel, DrainOnEmptyReturnsNothing) {
+  Channel ch;
+  EXPECT_TRUE(ch.drain().empty());
+}
+
+TEST(Channel, CountsMessagesAndBytes) {
+  Channel ch;
+  ch.send({.node = 0, .step = 0, .values = {0.1, 0.2}});
+  EXPECT_EQ(ch.messages_sent(), 1u);
+  EXPECT_EQ(ch.bytes_sent(), 16u + 16u);  // header + 2 doubles
+  ch.send({.node = 1, .step = 0, .values = {0.3, 0.4}});
+  EXPECT_EQ(ch.messages_sent(), 2u);
+}
+
+TEST(MeasurementMessage, WireSizeScalesWithDimension) {
+  MeasurementMessage one{.node = 0, .step = 0, .values = {0.0}};
+  MeasurementMessage four{.node = 0, .step = 0,
+                          .values = {0.0, 0.0, 0.0, 0.0}};
+  EXPECT_EQ(one.wire_size(), 24u);
+  EXPECT_EQ(four.wire_size(), 48u);
+}
+
+TEST(CentralStore, StartsEmpty) {
+  CentralStore store(3, 1);
+  EXPECT_FALSE(store.has(0));
+  EXPECT_FALSE(store.complete());
+  EXPECT_THROW(store.stored(0), InvalidState);
+  EXPECT_THROW(store.last_update_step(0), InvalidState);
+}
+
+TEST(CentralStore, ApplyStoresValueAndStep) {
+  CentralStore store(2, 2);
+  store.apply({.node = 1, .step = 5, .values = {0.3, 0.4}});
+  EXPECT_TRUE(store.has(1));
+  EXPECT_FALSE(store.has(0));
+  EXPECT_EQ(store.last_update_step(1), 5u);
+  EXPECT_DOUBLE_EQ(store.stored(1)[1], 0.4);
+}
+
+TEST(CentralStore, StalenessCountsSinceLastUpdate) {
+  CentralStore store(1, 1);
+  store.apply({.node = 0, .step = 3, .values = {0.1}});
+  EXPECT_EQ(store.staleness(0, 3), 0u);
+  EXPECT_EQ(store.staleness(0, 7), 4u);
+}
+
+TEST(CentralStore, IgnoresStaleOutOfOrderMessages) {
+  CentralStore store(1, 1);
+  store.apply({.node = 0, .step = 5, .values = {0.5}});
+  store.apply({.node = 0, .step = 3, .values = {0.3}});  // older, ignored
+  EXPECT_DOUBLE_EQ(store.stored(0)[0], 0.5);
+  EXPECT_EQ(store.last_update_step(0), 5u);
+}
+
+TEST(CentralStore, CompleteOnceAllNodesReport) {
+  CentralStore store(2, 1);
+  store.apply({.node = 0, .step = 0, .values = {0.1}});
+  EXPECT_FALSE(store.complete());
+  store.apply({.node = 1, .step = 0, .values = {0.2}});
+  EXPECT_TRUE(store.complete());
+}
+
+TEST(CentralStore, ResourceSnapshotExtractsColumn) {
+  CentralStore store(2, 2);
+  store.apply({.node = 0, .step = 0, .values = {0.1, 0.9}});
+  store.apply({.node = 1, .step = 0, .values = {0.2, 0.8}});
+  const std::vector<double> cpu = store.resource_snapshot(0);
+  const std::vector<double> mem = store.resource_snapshot(1);
+  EXPECT_DOUBLE_EQ(cpu[0], 0.1);
+  EXPECT_DOUBLE_EQ(cpu[1], 0.2);
+  EXPECT_DOUBLE_EQ(mem[0], 0.9);
+  EXPECT_DOUBLE_EQ(mem[1], 0.8);
+}
+
+TEST(CentralStore, ValidatesIndicesAndDimensions) {
+  CentralStore store(2, 1);
+  EXPECT_THROW(store.apply({.node = 9, .step = 0, .values = {0.1}}),
+               InvalidArgument);
+  EXPECT_THROW(store.apply({.node = 0, .step = 0, .values = {0.1, 0.2}}),
+               InvalidArgument);
+  EXPECT_THROW(store.resource_snapshot(3), InvalidArgument);
+  EXPECT_THROW(CentralStore(0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace resmon::transport

@@ -1,0 +1,183 @@
+// resmon — command-line front end to the monitoring library.
+//
+// Subcommands:
+//   generate  — write a synthetic cluster trace to CSV
+//               resmon generate --profile alibaba --nodes 100 --steps 2000
+//                      --seed 1 --out trace.csv
+//   monitor   — run the full monitoring pipeline over a CSV trace and print
+//               a bandwidth/accuracy report
+//               resmon monitor --trace trace.csv --b 0.3 --k 3
+//                      --model arima [--h 5] [--report report.csv]
+//   choose-k  — recommend a cluster count for a CSV trace from the
+//               silhouette score over a K sweep
+//               resmon choose-k --trace trace.csv [--kmax 12]
+//
+// The first positional token selects the subcommand; everything after it is
+// ordinary --flag arguments.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/quality.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "trace/loader.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace resmon;
+
+int usage() {
+  std::cerr
+      << "usage: resmon <generate|monitor|choose-k> [--flags]\n"
+         "  generate --profile alibaba|bitbrains|google|sensors\n"
+         "           [--nodes N] [--steps T] [--seed S] --out FILE\n"
+         "  monitor  --trace FILE [--b 0.3] [--k 3]\n"
+         "           [--model hold|arima|auto-arima|lstm|holt-winters]\n"
+         "           [--h 5] [--initial 400] [--retrain 288]\n"
+         "           [--report FILE]\n"
+         "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n";
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  trace::SyntheticProfile profile =
+      trace::profile_by_name(args.get("profile", "alibaba"));
+  if (args.has("nodes")) {
+    profile.num_nodes = static_cast<std::size_t>(args.get_int("nodes", 0));
+  }
+  if (args.has("steps")) {
+    profile.num_steps = static_cast<std::size_t>(args.get_int("steps", 0));
+  }
+  if (args.get_bool("full")) profile = trace::scale_to_paper(profile);
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::cerr << "generate: --out FILE is required\n";
+    return 2;
+  }
+
+  const trace::InMemoryTrace t =
+      trace::generate(profile, args.get_int("seed", 1));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "generate: cannot open " << out_path << "\n";
+    return 1;
+  }
+  trace::save_csv(t, out);
+  std::cout << "wrote " << t.num_nodes() << " nodes x " << t.num_steps()
+            << " steps (" << profile.name << " profile) to " << out_path
+            << "\n";
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  if (trace_path.empty()) {
+    std::cerr << "monitor: --trace FILE is required\n";
+    return 2;
+  }
+  const trace::InMemoryTrace t = trace::load_csv_file(trace_path);
+
+  core::PipelineOptions options;
+  options.max_frequency = args.get_double("b", 0.3);
+  options.num_clusters = static_cast<std::size_t>(args.get_int("k", 3));
+  options.forecaster =
+      forecast::forecaster_kind_from_string(args.get("model", "arima"));
+  options.schedule = {
+      .initial_steps = static_cast<std::size_t>(args.get_int("initial", 400)),
+      .retrain_interval =
+          static_cast<std::size_t>(args.get_int("retrain", 288))};
+  options.seed = args.get_int("seed", 1);
+
+  const std::size_t h = static_cast<std::size_t>(args.get_int("h", 5));
+  core::MonitoringPipeline pipeline(t, options);
+
+  Table report({"step", "RMSE h=0", std::string("RMSE h=") +
+                                        std::to_string(h)});
+  core::RmseAccumulator now, ahead;
+  const std::size_t report_stride = std::max<std::size_t>(
+      1, t.num_steps() / 50);
+  while (!pipeline.done()) {
+    pipeline.step();
+    const std::size_t step = pipeline.current_step() - 1;
+    const double r0 = pipeline.rmse_at(0);
+    now.add(r0);
+    double rh = 0.0;
+    if (step + h < t.num_steps()) {
+      rh = pipeline.rmse_at(h);
+      ahead.add(rh);
+    }
+    if (step % report_stride == 0) {
+      report.add_row({static_cast<double>(step), r0, rh});
+    }
+  }
+
+  std::cout << "trace: " << t.num_nodes() << " nodes x " << t.num_steps()
+            << " steps, " << t.num_resources() << " resources\n"
+            << "budget B = " << options.max_frequency << ", actual "
+            << pipeline.collector().average_actual_frequency() << "\n"
+            << "bytes on the wire: "
+            << pipeline.collector().channel().bytes_sent() << "\n"
+            << "time-averaged RMSE h=0: " << now.value() << "\n"
+            << "time-averaged RMSE h=" << h << ": " << ahead.value()
+            << "\n";
+  if (args.has("report")) {
+    report.save_csv(args.get("report", ""));
+    std::cout << "per-step report written to " << args.get("report", "")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_choose_k(const Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  if (trace_path.empty()) {
+    std::cerr << "choose-k: --trace FILE is required\n";
+    return 2;
+  }
+  const trace::InMemoryTrace t = trace::load_csv_file(trace_path);
+  const std::size_t kmax = std::min<std::size_t>(
+      static_cast<std::size_t>(args.get_int("kmax", 12)), t.num_nodes());
+  // Sample snapshots across the trace and score K on each node's sampled
+  // series of the first resource.
+  const std::size_t stride = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("sample-step", 25)));
+  const std::size_t samples = t.num_steps() / stride;
+  Matrix points(t.num_nodes(), samples);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t s = 0; s < samples; ++s) {
+      points(i, s) = t.value(i, s * stride, 0);
+    }
+  }
+  Rng rng(args.get_int("seed", 1));
+  const cluster::KSelection sel = cluster::choose_k(points, 2, kmax, rng);
+
+  Table table({"K", "inertia", "silhouette"});
+  for (std::size_t i = 0; i < sel.ks.size(); ++i) {
+    table.add_row({static_cast<double>(sel.ks[i]), sel.inertias[i],
+                   sel.silhouettes[i]});
+  }
+  table.print(std::cout);
+  std::cout << "\nrecommended K = " << sel.best_k
+            << " (max silhouette)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "monitor") return cmd_monitor(args);
+    if (command == "choose-k") return cmd_choose_k(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "resmon " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
