@@ -19,11 +19,12 @@ namespace {
 using namespace resmon;
 
 double run_model(const trace::Trace& t, forecast::ForecasterKind kind,
-                 std::size_t h) {
+                 std::size_t h, std::size_t threads) {
   core::PipelineOptions o;
   o.num_clusters = 3;
   o.forecaster = kind;
   o.schedule = {.initial_steps = 400, .retrain_interval = 288};
+  o.num_threads = threads;
   core::MonitoringPipeline pipeline(t, o);
   core::RmseAccumulator acc;
   for (std::size_t step = 0; step < t.num_steps(); ++step) {
@@ -60,9 +61,11 @@ int main(int argc, char** argv) {
   }
 
   Table table({"model", "RMSE h=1", "RMSE h=5", "RMSE h=25"}, 4);
+  const std::size_t threads = args.get_threads();
   for (const auto& [label, kind] : models) {
-    table.add_row({label, run_model(t, kind, 1), run_model(t, kind, 5),
-                   run_model(t, kind, 25)});
+    table.add_row({label, run_model(t, kind, 1, threads),
+                   run_model(t, kind, 5, threads),
+                   run_model(t, kind, 25, threads)});
   }
   bench::emit(table, args);
   std::cout << "\nExpected shape: model-based forecasts beat SampleHold as "

@@ -20,12 +20,13 @@ namespace {
 using namespace resmon;
 
 double run_config(const trace::Trace& t, bool use_offset, bool alpha,
-                  std::size_t h) {
+                  std::size_t h, std::size_t threads) {
   core::PipelineOptions o;
   o.num_clusters = 3;
   o.use_offset = use_offset;
   o.offset_alpha = alpha;
   o.schedule = {.initial_steps = 100, .retrain_interval = 288};
+  o.num_threads = threads;
   core::MonitoringPipeline pipeline(t, o);
   core::RmseAccumulator acc;
   for (std::size_t step = 0; step < t.num_steps(); ++step) {
@@ -55,9 +56,9 @@ int main(int argc, char** argv) {
         trace::generate(profile, args.get_int("seed", 1));
     for (const std::size_t h : {1u, 5u, 25u}) {
       table.add_row({name, static_cast<double>(h),
-                     run_config(t, true, true, h),
-                     run_config(t, true, false, h),
-                     run_config(t, false, false, h)});
+                     run_config(t, true, true, h, args.get_threads()),
+                     run_config(t, true, false, h, args.get_threads()),
+                     run_config(t, false, false, h, args.get_threads())});
     }
   }
   bench::emit(table, args);

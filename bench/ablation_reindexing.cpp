@@ -23,11 +23,13 @@ struct Result {
   double rmse_h5 = 0.0;
 };
 
-Result run_config(const trace::Trace& t, bool reindex) {
+Result run_config(const trace::Trace& t, bool reindex,
+                  std::size_t threads) {
   core::PipelineOptions o;
   o.num_clusters = 3;
   o.reindex_clusters = reindex;
   o.schedule = {.initial_steps = 100, .retrain_interval = 288};
+  o.num_threads = threads;
   core::MonitoringPipeline pipeline(t, o);
   core::RmseAccumulator acc;
   for (std::size_t step = 0; step < t.num_steps(); ++step) {
@@ -71,8 +73,8 @@ int main(int argc, char** argv) {
     trace::SyntheticProfile profile = bench::profile_from_args(args, name);
     const trace::InMemoryTrace t =
         trace::generate(profile, args.get_int("seed", 1));
-    const Result with = run_config(t, true);
-    const Result without = run_config(t, false);
+    const Result with = run_config(t, true, args.get_threads());
+    const Result without = run_config(t, false, args.get_threads());
     table.add_row({name, std::string("on (paper)"),
                    with.centroid_jumpiness, with.rmse_h5});
     table.add_row({name, std::string("off"), without.centroid_jumpiness,

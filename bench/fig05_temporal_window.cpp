@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       o.max_frequency = args.get_double("b", 0.3);
       o.num_clusters = static_cast<std::size_t>(args.get_int("k", 3));
       o.temporal_window = w;
+      o.num_threads = args.get_threads();
       core::MonitoringPipeline pipeline(t, o);
 
       std::vector<core::RmseAccumulator> acc(t.num_resources());

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     o.forecaster = kind;
     o.schedule = {.initial_steps = t0, .retrain_interval = 288};
     o.seed = 1;  // identical seeds -> identical clustering across pipelines
+    o.num_threads = args.get_threads();
     return core::MonitoringPipeline(t, o);
   };
   core::MonitoringPipeline hold = make_pipeline(

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     o.forecaster = kind;
     o.schedule = {.initial_steps = warmup, .retrain_interval = 288};
     o.seed = 1;
+    o.num_threads = args.get_threads();
     return core::MonitoringPipeline(t, o);
   };
   core::MonitoringPipeline arima =

@@ -19,6 +19,7 @@ std::vector<double> run_mode(const trace::Trace& t, bool per_resource,
   o.max_frequency = args.get_double("b", 0.3);
   o.num_clusters = static_cast<std::size_t>(args.get_int("k", 3));
   o.cluster_per_resource = per_resource;
+  o.num_threads = args.get_threads();
   core::MonitoringPipeline pipeline(t, o);
 
   std::vector<core::RmseAccumulator> acc(t.num_resources());

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
         o.forecaster = forecast::ForecasterKind::kSampleHold;
         o.schedule = {.initial_steps = 100, .retrain_interval = 288};
         o.seed = 1;
+        o.num_threads = args.get_threads();
         core::MonitoringPipeline pipeline(t, o);
 
         core::RmseAccumulator acc;

@@ -5,8 +5,13 @@
 // Top-W-Update. Absolute numbers depend on the machine; the ordering is the
 // result (Top-W-Update re-evaluates the conditional variance of the whole
 // fleet for every candidate at every pick).
+//
+// Also includes BM_PipelineStep, which times the full monitoring pipeline
+// loop at 1/2/4 threads and reports the per-stage wall-time split
+// (collect/cluster/forecast) from MonitoringPipeline::stage_timers().
 #include <benchmark/benchmark.h>
 
+#include "core/pipeline.hpp"
 #include "gaussian/monitor_experiment.hpp"
 #include "trace/synthetic.hpp"
 
@@ -81,6 +86,35 @@ RESMON_TABLE4(BM_TopWUpdate_Google, "google",
               gaussian::MonitorMethod::kTopWUpdate);
 RESMON_TABLE4(BM_Batch_Google, "google",
               gaussian::MonitorMethod::kBatchSelection);
+
+// Full pipeline step loop at several thread counts; counters expose the
+// per-stage split so regressions in one stage are visible directly.
+void BM_PipelineStep(benchmark::State& state) {
+  const trace::InMemoryTrace& t = experiment_trace("alibaba");
+  core::PipelineOptions opts;
+  opts.num_clusters = 10;
+  opts.forecaster = forecast::ForecasterKind::kHoltWinters;
+  opts.schedule = {.initial_steps = 48, .retrain_interval = 24};
+  opts.seed = 1;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t steps = 96;
+  core::StageTimers timers;
+  for (auto _ : state) {
+    core::MonitoringPipeline p(t, opts);
+    p.run(steps);
+    benchmark::DoNotOptimize(p.forecast_all(1));
+    timers = p.stage_timers();
+  }
+  state.counters["collect_s"] = timers.collect_seconds;
+  state.counters["cluster_s"] = timers.cluster_seconds;
+  state.counters["forecast_s"] = timers.forecast_seconds;
+}
+BENCHMARK(BM_PipelineStep)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 }  // namespace
 

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   options.num_clusters = 6;
   options.forecaster = forecast::ForecasterKind::kSampleHold;
   options.schedule = {.initial_steps = 300, .retrain_interval = 288};
+  options.num_threads = args.get_threads();
   core::MonitoringPipeline pipeline(fleet, options);
 
   // Detection rule: flag a node when its distance to its own cluster

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     options.num_clusters = 3;
     options.forecaster = forecast::ForecasterKind::kSampleHold;
     options.schedule = {.initial_steps = 200, .retrain_interval = 288};
+    options.num_threads = args.get_threads();
     core::MonitoringPipeline pipeline(fleet, options);
 
     core::RmseAccumulator now, ahead;

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   options.num_clusters = 3;
   options.forecaster = forecast::ForecasterKind::kArima;
   options.schedule = {.initial_steps = 300, .retrain_interval = 288};
+  options.num_threads = args.get_threads();
   core::MonitoringPipeline pipeline(fleet, options);
 
   // Warm up through the initial data-collection phase.

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   options.forecaster = forecast::forecaster_kind_from_string(
       args.get("model", "arima"));
   options.schedule = {.initial_steps = 400, .retrain_interval = 288};
+  options.num_threads = args.get_threads();
 
   core::MonitoringPipeline pipeline(workload, options);
 

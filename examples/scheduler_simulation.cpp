@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   options.num_clusters = 3;
   options.forecaster = forecast::ForecasterKind::kArima;
   options.schedule = {.initial_steps = 400, .retrain_interval = 288};
+  options.num_threads = args.get_threads();
   core::MonitoringPipeline pipeline(fleet, options);
 
   Rng arrivals(99);

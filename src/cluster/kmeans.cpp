@@ -4,9 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace resmon::cluster {
 
 namespace {
+
+/// Fixed chunk grain of the parallel point loops. Determinism requires the
+/// chunk partition to depend only on the point count, never on the thread
+/// count, so this is a constant — do not derive it from pool size.
+constexpr std::size_t kPointGrain = 256;
 
 /// k-means++ seeding: first centroid uniform, then proportional to squared
 /// distance from the nearest chosen centroid.
@@ -71,24 +78,54 @@ KMeansResult run_once(const Matrix& points, std::size_t k, Rng& rng,
   double prev_inertia = std::numeric_limits<double>::max();
   std::vector<std::size_t> counts(k);
 
+  // Per-chunk partial reductions of the two point loops. The partition is
+  // fixed by kPointGrain, each chunk accumulates its slice in index order,
+  // and the merges below walk chunks in order — so the floating-point
+  // operation sequence is identical at every thread count.
+  const std::size_t chunks = ThreadPool::num_chunks(n, kPointGrain);
+  std::vector<double> chunk_inertia(chunks, 0.0);
+  std::vector<Matrix> chunk_sums(chunks, Matrix(k, d));
+  std::vector<std::vector<std::size_t>> chunk_counts(
+      chunks, std::vector<std::size_t>(k, 0));
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // Assignment step.
+    run_chunked(options.pool, n, kPointGrain,
+                [&](std::size_t c, std::size_t begin, std::size_t end) {
+                  double local = 0.0;
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const std::size_t j =
+                        nearest_centroid(result.centroids, points.row(i));
+                    result.assignment[i] = j;
+                    local += squared_distance(result.centroids.row(j),
+                                              points.row(i));
+                  }
+                  chunk_inertia[c] = local;
+                });
     double inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = nearest_centroid(result.centroids, points.row(i));
-      result.assignment[i] = j;
-      inertia += squared_distance(result.centroids.row(j), points.row(i));
-    }
+    for (std::size_t c = 0; c < chunks; ++c) inertia += chunk_inertia[c];
 
     // Update step.
+    run_chunked(options.pool, n, kPointGrain,
+                [&](std::size_t c, std::size_t begin, std::size_t end) {
+                  Matrix& local_sums = chunk_sums[c];
+                  std::fill(local_sums.data().begin(),
+                            local_sums.data().end(), 0.0);
+                  std::vector<std::size_t>& local_counts = chunk_counts[c];
+                  std::fill(local_counts.begin(), local_counts.end(), 0);
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const std::size_t j = result.assignment[i];
+                    ++local_counts[j];
+                    axpy(1.0, points.row(i), local_sums.row(j));
+                  }
+                });
     Matrix sums(k, d);
     std::fill(counts.begin(), counts.end(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = result.assignment[i];
-      ++counts[j];
-      axpy(1.0, points.row(i), sums.row(j));
+    for (std::size_t c = 0; c < chunks; ++c) {
+      sums += chunk_sums[c];
+      for (std::size_t j = 0; j < k; ++j) counts[j] += chunk_counts[c][j];
     }
     for (std::size_t j = 0; j < k; ++j) {
       if (counts[j] == 0) {

@@ -13,12 +13,22 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 
+namespace resmon {
+class ThreadPool;
+}
+
 namespace resmon::cluster {
 
 struct KMeansOptions {
   std::size_t max_iterations = 100;
   std::size_t restarts = 2;    ///< independent k-means++ restarts; best kept.
   double tolerance = 1e-10;    ///< stop when inertia improvement is below.
+  /// Optional worker pool for the assignment and centroid-update loops.
+  /// Results are bit-identical with and without a pool: the loops use a
+  /// fixed chunk partition and merge per-chunk partials in chunk order
+  /// (see common/thread_pool.hpp), and all RNG draws (seeding) stay on the
+  /// calling thread. Non-owning; nullptr = serial.
+  ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {

@@ -2,10 +2,16 @@
 
 #include "collect/adaptive_transmitter.hpp"
 #include "collect/deadband_transmitter.hpp"
+#include "common/thread_pool.hpp"
 
 namespace resmon::collect {
 
 namespace {
+
+/// Chunk grain of the parallel per-node policy loop. Policy decisions write
+/// disjoint per-node state, so the grain only balances task overhead against
+/// load spread; it does not affect results.
+constexpr std::size_t kNodeGrain = 64;
 
 /// Trivial policy that transmits every step; used as the B = 1 reference.
 class AlwaysTransmitter final : public TransmitPolicy {
@@ -29,10 +35,11 @@ class AlwaysTransmitter final : public TransmitPolicy {
 FleetCollector::FleetCollector(
     const trace::Trace& trace,
     const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
-    const transport::ChannelOptions& channel_options)
+    const transport::ChannelOptions& channel_options, ThreadPool* pool)
     : trace_(trace),
       channel_(channel_options),
-      store_(trace.num_nodes(), trace.num_resources()) {
+      store_(trace.num_nodes(), trace.num_resources()),
+      pool_(pool) {
   policies_.reserve(trace.num_nodes());
   for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
     policies_.push_back(make_policy());
@@ -47,13 +54,30 @@ std::vector<bool> FleetCollector::step(std::size_t t) {
   RESMON_REQUIRE(t < trace_.num_steps(), "step beyond end of trace");
   ++next_step_;
 
-  std::vector<bool> beta(policies_.size(), false);
-  for (std::size_t i = 0; i < policies_.size(); ++i) {
-    const std::vector<double> x = trace_.measurement(i, t);
-    if (policies_[i]->decide(t, x)) {
-      beta[i] = true;
-      channel_.send({.node = i, .step = t, .values = x});
-    }
+  // Every node's policy decision is independent, so the decide() calls run
+  // in parallel; per-node results land in disjoint slots (std::vector<bool>
+  // packs bits, hence the byte-wide scratch vector). The channel sends then
+  // happen on this thread in node order, so bandwidth accounting and the
+  // channel's drop/delay RNG draws are identical to the serial path.
+  const std::size_t n = policies_.size();
+  std::vector<std::uint8_t> transmit(n, 0);
+  std::vector<std::vector<double>> measurements(n);
+  run_chunked(pool_, n, kNodeGrain,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  measurements[i] = trace_.measurement(i, t);
+                  if (policies_[i]->decide(t, measurements[i])) {
+                    transmit[i] = 1;
+                  }
+                }
+              });
+
+  std::vector<bool> beta(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (transmit[i] == 0) continue;
+    beta[i] = true;
+    channel_.send(
+        {.node = i, .step = t, .values = std::move(measurements[i])});
   }
   for (const transport::MeasurementMessage& msg : channel_.drain()) {
     store_.apply(msg);

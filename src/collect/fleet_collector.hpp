@@ -13,6 +13,10 @@
 #include "trace/trace.hpp"
 #include "transport/channel.hpp"
 
+namespace resmon {
+class ThreadPool;
+}
+
 namespace resmon::collect {
 
 /// Which transmission policy a fleet uses.
@@ -30,11 +34,15 @@ class FleetCollector {
  public:
   /// Builds a fleet with one policy per node from the given factory.
   /// `channel_options` injects uplink failures (drops/delays); the default
-  /// is a reliable link.
+  /// is a reliable link. `pool` (non-owning, may be nullptr) parallelizes
+  /// the per-node policy stepping; each policy is only ever touched by one
+  /// thread per step and channel sends stay serialized in node order on the
+  /// calling thread, so results are identical at every thread count.
   FleetCollector(
       const trace::Trace& trace,
       const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
-      const transport::ChannelOptions& channel_options = {});
+      const transport::ChannelOptions& channel_options = {},
+      ThreadPool* pool = nullptr);
 
   /// Advance one time step. Must be called with consecutive t starting at 0.
   /// Returns the per-node transmission indicators beta_t.
@@ -57,6 +65,7 @@ class FleetCollector {
   std::vector<std::unique_ptr<TransmitPolicy>> policies_;
   transport::Channel channel_;
   transport::CentralStore store_;
+  ThreadPool* pool_ = nullptr;
   std::size_t next_step_ = 0;
 };
 

@@ -73,6 +73,13 @@ double Args::get_double(const std::string& name, double fallback) const {
   }
 }
 
+std::size_t Args::get_threads(std::size_t fallback) const {
+  const std::int64_t v =
+      get_int("threads", static_cast<std::int64_t>(fallback));
+  if (v < 0) throw InvalidArgument("flag --threads must be >= 0");
+  return static_cast<std::size_t>(v);
+}
+
 bool Args::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;

@@ -23,6 +23,11 @@ class Args {
   /// A flag present with no value (or "true"/"1") reads as true.
   bool get_bool(const std::string& name, bool fallback = false) const;
 
+  /// Worker-thread count from --threads: 0 = hardware concurrency, 1 =
+  /// serial. The default fallback keeps binaries serial when the flag is
+  /// absent. Results never depend on the value (see PipelineOptions).
+  std::size_t get_threads(std::size_t fallback = 1) const;
+
   const std::string& program() const { return program_; }
 
  private:

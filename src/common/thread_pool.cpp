@@ -1,0 +1,130 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace resmon {
+
+/// Shared state of one parallel_for: workers and the caller claim chunk
+/// indices from `next`; the caller waits until `done` reaches `chunks`.
+/// The mutex that guards `done` also publishes every chunk body's writes
+/// to the waiting caller.
+struct ThreadPool::ForLoop {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  ChunkBody body;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable finished;
+  std::size_t done = 0;                    // guarded by mutex
+  std::exception_ptr error;                // guarded by mutex; first failure
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  std::size_t count = num_threads;
+  if (count == 0) {
+    count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::drive(const std::shared_ptr<ForLoop>& loop) {
+  for (;;) {
+    const std::size_t c = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= loop->chunks) return;
+    const std::size_t begin = c * loop->grain;
+    const std::size_t end = std::min(loop->n, begin + loop->grain);
+    std::exception_ptr failure;
+    try {
+      loop->body(c, begin, end);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      if (failure && !loop->error) loop->error = failure;
+      all_done = ++loop->done == loop->chunks;
+    }
+    if (all_done) loop->finished.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const ChunkBody& body) {
+  if (n == 0) return;
+  auto loop = std::make_shared<ForLoop>();
+  loop->n = n;
+  loop->grain = grain == 0 ? 1 : grain;
+  loop->chunks = num_chunks(n, grain);
+  loop->body = body;
+
+  // Helpers beyond chunks - 1 would have nothing to claim: the caller
+  // always takes at least one chunk itself.
+  const std::size_t helpers =
+      std::min(workers_.size(), loop->chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([loop]() { drive(loop); });
+  }
+  drive(loop);
+  {
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->finished.wait(lock,
+                        [&]() { return loop->done == loop->chunks; });
+    if (loop->error) std::rethrow_exception(loop->error);
+  }
+}
+
+void run_chunked(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const ThreadPool::ChunkBody& body) {
+  if (n == 0) return;
+  if (pool != nullptr) {
+    pool->parallel_for(n, grain, body);
+    return;
+  }
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = ThreadPool::num_chunks(n, g);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    body(c, c * g, std::min(n, c * g + g));
+  }
+}
+
+}  // namespace resmon

@@ -1,0 +1,95 @@
+// Fixed-size thread pool with a determinism-preserving parallel_for.
+//
+// Parallelism in resmon must never change results: the pipeline guarantees
+// bit-identical outputs at every thread count. parallel_for therefore uses
+// a chunk partition that depends only on the trip count and the grain —
+// never on how many workers exist — chunks write disjoint state, and
+// callers merge per-chunk partials in chunk order. Which thread executes a
+// chunk is unspecified; what is computed is not.
+//
+// The calling thread participates in chunk execution, so a parallel_for
+// issued from inside a pool task (nested parallelism) always makes
+// progress even when every worker is busy — there is no deadlock by
+// resource exhaustion.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace resmon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1). The destructor drains queued work and joins.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run `task` on a worker; the future carries its result or exception.
+  /// Blocking on the future from inside a pool task can deadlock a fully
+  /// loaded pool — nested parallelism should go through parallel_for,
+  /// whose caller helps execute the work.
+  template <typename F>
+  auto submit(F&& task)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    enqueue([packaged]() { (*packaged)(); });
+    return result;
+  }
+
+  using ChunkBody =
+      std::function<void(std::size_t chunk, std::size_t begin,
+                         std::size_t end)>;
+
+  /// Execute body(chunk, begin, end) over every chunk of [0, n) and wait
+  /// for all of them. The partition is fixed by (n, grain); bodies must
+  /// write disjoint state (reductions go into per-chunk slots, merged by
+  /// the caller in chunk order). The first exception a body throws is
+  /// rethrown here after all chunks finish.
+  void parallel_for(std::size_t n, std::size_t grain, const ChunkBody& body);
+
+  /// Number of chunks parallel_for uses for a given trip count and grain.
+  static std::size_t num_chunks(std::size_t n, std::size_t grain) {
+    const std::size_t g = grain == 0 ? 1 : grain;
+    return (n + g - 1) / g;
+  }
+
+ private:
+  struct ForLoop;
+
+  static void drive(const std::shared_ptr<ForLoop>& loop);
+  void enqueue(std::function<void()> task);
+  void worker_main();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Run `body` over the same fixed chunk partition parallel_for would use:
+/// on the pool when one is given, serially in chunk order otherwise. Serial
+/// and pooled execution perform identical floating-point work, so callers
+/// that merge per-chunk partials in chunk order get bit-identical results
+/// at every thread count (including the no-pool serial path).
+void run_chunked(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const ThreadPool::ChunkBody& body);
+
+}  // namespace resmon

@@ -1,9 +1,20 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace resmon::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
                                        const PipelineOptions& options)
@@ -15,12 +26,26 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
                  "temporal window must be >= 1");
   RESMON_REQUIRE(options.similarity_lookback >= 1, "M must be >= 1");
 
+  // A channel seed of 0 means "unset": derive it from the pipeline seed so
+  // two pipelines with different seeds do not share identical drop/delay
+  // realizations (see ChannelOptions::seed in transport/channel.hpp).
+  if (options_.channel.seed == 0) {
+    options_.channel.seed =
+        options_.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  }
+
+  const std::size_t threads =
+      options_.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+
   collector_ = std::make_unique<collect::FleetCollector>(
       trace,
       collect::make_policy_factory(options.policy, options.max_frequency,
                                    options.v0, options.gamma,
                                    options.clamp_queue),
-      options.channel);
+      options_.channel, pool_.get());
 
   const std::size_t views =
       options.cluster_per_resource ? trace.num_resources() : 1;
@@ -34,6 +59,7 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
   copts.history_capacity = std::max(
       {options.similarity_lookback, options.offset_lookback + 1,
        std::size_t{16}});
+  copts.kmeans.pool = pool_.get();
 
   trackers_.reserve(views);
   offsets_.reserve(views);
@@ -110,10 +136,28 @@ Matrix MonitoringPipeline::view_features(std::size_t view) const {
   return features;
 }
 
+void MonitoringPipeline::update_view(std::size_t view) {
+  Matrix snap = view_snapshot(view);
+  snapshot_history_[view].push_front(std::move(snap));
+  if (snapshot_history_[view].size() > snapshot_capacity_) {
+    snapshot_history_[view].pop_back();
+  }
+
+  const Matrix& values = snapshot_history_[view].front();
+  const cluster::Clustering& clustering =
+      options_.temporal_window == 1
+          ? trackers_[view].update(values)
+          : trackers_[view].update(view_features(view), values);
+  offsets_[view].push(clustering, values);
+}
+
 void MonitoringPipeline::step() {
   RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
   const std::size_t t = step_count_;
+
+  auto start = std::chrono::steady_clock::now();
   collector_->step(t);
+  timers_.collect_seconds += seconds_since(start);
   if (!collector_->store().complete()) {
     // Warm-up: with a lossy/delayed uplink the central node may not have
     // heard from every machine yet; keep collecting until it has. (Every
@@ -123,27 +167,35 @@ void MonitoringPipeline::step() {
     return;
   }
 
-  for (std::size_t v = 0; v < trackers_.size(); ++v) {
-    Matrix snap = view_snapshot(v);
-    snapshot_history_[v].push_front(std::move(snap));
-    if (snapshot_history_[v].size() > snapshot_capacity_) {
-      snapshot_history_[v].pop_back();
-    }
+  // Each view owns its tracker, offset window and snapshot history (and its
+  // own RNG inside the tracker), so views update in parallel; a view's
+  // nested K-means parallel loops fall through to the same pool. Chunk
+  // grain 1 = one task per view.
+  start = std::chrono::steady_clock::now();
+  run_chunked(pool_.get(), trackers_.size(), 1,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t v = begin; v < end; ++v) update_view(v);
+              });
+  timers_.cluster_seconds += seconds_since(start);
 
-    const Matrix& values = snapshot_history_[v].front();
-    const cluster::Clustering& clustering =
-        options_.temporal_window == 1
-            ? trackers_[v].update(values)
-            : trackers_[v].update(view_features(v), values);
-    offsets_[v].push(clustering, values);
-
-    const std::size_t dims = view_dims();
-    for (std::size_t j = 0; j < options_.num_clusters; ++j) {
-      for (std::size_t dim = 0; dim < dims; ++dim) {
-        models_[v][j * dims + dim]->observe(clustering.centroids(j, dim));
-      }
-    }
-  }
+  // Every (view, cluster, dim) forecaster is an independent model fed from
+  // the clustering finished above; retrains run in parallel, one task per
+  // model.
+  start = std::chrono::steady_clock::now();
+  const std::size_t dims = view_dims();
+  const std::size_t per_view = options_.num_clusters * dims;
+  run_chunked(pool_.get(), trackers_.size() * per_view, 1,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t m = begin; m < end; ++m) {
+                  const std::size_t v = m / per_view;
+                  const std::size_t idx = m % per_view;
+                  const cluster::Clustering& clustering =
+                      trackers_[v].history(0);
+                  models_[v][idx]->observe(
+                      clustering.centroids(idx / dims, idx % dims));
+                }
+              });
+  timers_.forecast_seconds += seconds_since(start);
   ++step_count_;
 }
 

@@ -21,6 +21,7 @@
 #include "cluster/dynamic_cluster.hpp"
 #include "collect/fleet_collector.hpp"
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "core/estimation.hpp"
 #include "core/metrics.hpp"
 #include "forecast/managed.hpp"
@@ -65,6 +66,24 @@ struct PipelineOptions {
   bool reindex_clusters = true;
 
   std::uint64_t seed = 1;
+
+  // -- execution -------------------------------------------------------------
+  /// Worker threads for the hot stages of step() (policy stepping, K-means,
+  /// forecaster retraining). 0 = hardware concurrency, 1 = the exact serial
+  /// path (no pool). Results are bit-identical at every value — see the
+  /// "Threading model" section of DESIGN.md.
+  std::size_t num_threads = 1;
+};
+
+/// Cumulative wall-clock seconds spent in each stage of step() (the
+/// breakdown bench/micro_parallel_step and table4_computation_time report).
+struct StageTimers {
+  double collect_seconds = 0.0;   ///< policy stepping + channel + store
+  double cluster_seconds = 0.0;   ///< snapshots, K-means, re-indexing, offsets
+  double forecast_seconds = 0.0;  ///< feeding/retraining managed forecasters
+  double total_seconds() const {
+    return collect_seconds + cluster_seconds + forecast_seconds;
+  }
 };
 
 class MonitoringPipeline {
@@ -115,6 +134,15 @@ class MonitoringPipeline {
   const PipelineOptions& options() const { return options_; }
   const trace::Trace& trace() const { return trace_; }
 
+  /// Per-stage wall-clock breakdown accumulated across step() calls.
+  const StageTimers& stage_timers() const { return timers_; }
+
+  /// Clustering features of a view: the concatenation of the last
+  /// `temporal_window` stored snapshots, N x (view_dims * temporal_window),
+  /// with warm-up slots padded by the oldest available snapshot (Fig. 5).
+  /// Requires at least one clustered step.
+  Matrix view_features(std::size_t view) const;
+
  private:
   std::size_t view_dims() const {
     return options_.cluster_per_resource ? 1 : trace_.num_resources();
@@ -123,11 +151,12 @@ class MonitoringPipeline {
   Matrix view_snapshot(std::size_t view) const;
   /// Ground-truth snapshot for a view at a given step.
   Matrix view_truth(std::size_t view, std::size_t t) const;
-  /// Clustering features for a view (temporal windowing).
-  Matrix view_features(std::size_t view) const;
+  /// One view's share of a step: push the snapshot, cluster, track offsets.
+  void update_view(std::size_t view);
 
   const trace::Trace& trace_;
   PipelineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // present only when num_threads > 1
   std::unique_ptr<collect::FleetCollector> collector_;
   std::vector<cluster::DynamicClusterTracker> trackers_;
   // Membership forecasting and eq. (12) offsets, one per view.
@@ -140,6 +169,7 @@ class MonitoringPipeline {
   std::vector<std::deque<Matrix>> snapshot_history_;
   std::size_t snapshot_capacity_;
   std::size_t step_count_ = 0;
+  StageTimers timers_;
 };
 
 }  // namespace resmon::core

@@ -37,6 +37,12 @@ struct ChannelOptions {
   /// uniform delay in [0, max_delay_slots], so messages can arrive out of
   /// order.
   std::size_t max_delay_slots = 0;
+  /// Seed of the drop/delay RNG. 0 means "unset": a Channel constructed
+  /// directly uses it literally, but MonitoringPipeline replaces an unset
+  /// seed with one derived from PipelineOptions::seed, so two pipelines
+  /// with different seeds never share identical drop/delay realizations.
+  /// Set any nonzero value to pin the channel RNG independently of the
+  /// pipeline seed.
   std::uint64_t seed = 0;
 };
 

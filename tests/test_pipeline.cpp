@@ -164,6 +164,61 @@ TEST(Pipeline, SampleHoldForecastHoldsCentroids) {
   }
 }
 
+TEST(Pipeline, TemporalWindowFeaturesPadWarmupAndHaveWindowedDims) {
+  // Fig. 5 path: clustering features concatenate the last `temporal_window`
+  // stored snapshots. Early steps, where the history is shorter than the
+  // window, must pad with the oldest available snapshot instead of reading
+  // uninitialized slots.
+  const trace::InMemoryTrace t = small_trace(12, 40);
+  PipelineOptions o = fast_options();
+  o.temporal_window = 4;
+  o.policy = collect::PolicyKind::kAlways;  // store complete from step 0
+  MonitoringPipeline p(t, o);
+
+  p.step();
+  // One snapshot in history: N x (view_dims * window) with every slot a
+  // copy of the only snapshot.
+  Matrix f = p.view_features(0);
+  ASSERT_EQ(f.rows(), t.num_nodes());
+  ASSERT_EQ(f.cols(), 4u);  // per-resource views: view_dims = 1
+  for (std::size_t i = 0; i < f.rows(); ++i) {
+    for (std::size_t slot = 0; slot < 4; ++slot) {
+      EXPECT_TRUE(std::isfinite(f(i, slot)));
+      EXPECT_DOUBLE_EQ(f(i, slot), f(i, 0)) << "warm-up padding";
+    }
+    EXPECT_DOUBLE_EQ(f(i, 0), t.value(i, 0, 0));
+  }
+
+  p.step();
+  // Two snapshots: slot 0 = newest, slot 1 = previous, slots 2..3 padded
+  // with the oldest (= slot 1's snapshot).
+  f = p.view_features(0);
+  ASSERT_EQ(f.cols(), 4u);
+  for (std::size_t i = 0; i < f.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(f(i, 0), t.value(i, 1, 0));
+    EXPECT_DOUBLE_EQ(f(i, 1), t.value(i, 0, 0));
+    EXPECT_DOUBLE_EQ(f(i, 2), f(i, 1));
+    EXPECT_DOUBLE_EQ(f(i, 3), f(i, 1));
+  }
+
+  // Past warm-up the window is fully populated with distinct snapshots.
+  p.run(10);
+  f = p.view_features(0);
+  const std::size_t last = p.current_step() - 1;
+  for (std::size_t i = 0; i < f.rows(); ++i) {
+    for (std::size_t slot = 0; slot < 4; ++slot) {
+      EXPECT_DOUBLE_EQ(f(i, slot), t.value(i, last - slot, 0));
+    }
+  }
+
+  // Joint clustering: features are (num_resources * window) wide.
+  PipelineOptions joint = o;
+  joint.cluster_per_resource = false;
+  MonitoringPipeline pj(t, joint);
+  pj.run(3);
+  EXPECT_EQ(pj.view_features(0).cols(), t.num_resources() * 4);
+}
+
 TEST(Pipeline, TemporalWindowRunsAndClusters) {
   const trace::InMemoryTrace t = small_trace(12, 50);
   PipelineOptions o = fast_options();

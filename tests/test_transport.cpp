@@ -1,5 +1,7 @@
 #include "transport/channel.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace resmon::transport {
@@ -88,6 +90,47 @@ TEST(CentralStore, ResourceSnapshotExtractsColumn) {
   EXPECT_DOUBLE_EQ(cpu[1], 0.2);
   EXPECT_DOUBLE_EQ(mem[0], 0.9);
   EXPECT_DOUBLE_EQ(mem[1], 0.8);
+}
+
+TEST(CentralStore, OutOfOrderDeliveryUnderDelayIgnoresStaleMessages) {
+  // End-to-end lossy-link path: a delayed channel reorders messages, and
+  // the store must keep the freshest measurement while staleness() tracks
+  // the age of what was actually applied.
+  Channel ch({.max_delay_slots = 3, .seed = 11});
+  CentralStore store(1, 1);
+  long long freshest = -1;  // newest step applied so far
+  bool saw_stale_arrival = false;
+  const std::size_t sends = 40;
+  for (std::size_t slot = 0; slot < sends + 4; ++slot) {
+    if (slot < sends) {
+      ch.send({.node = 0,
+               .step = slot,
+               .values = {static_cast<double>(slot) * 0.01}});
+    }
+    for (const MeasurementMessage& msg : ch.drain()) {
+      if (static_cast<long long>(msg.step) < freshest) {
+        saw_stale_arrival = true;
+      }
+      freshest = std::max(freshest, static_cast<long long>(msg.step));
+      store.apply(msg);
+      // A stale message must not regress the stored value or its step.
+      EXPECT_EQ(store.last_update_step(0),
+                static_cast<std::size_t>(freshest));
+      EXPECT_DOUBLE_EQ(store.stored(0)[0],
+                       static_cast<double>(freshest) * 0.01);
+    }
+    if (store.has(0)) {
+      // Staleness reflects the delayed arrival: the age of the freshest
+      // applied measurement, not of the latest sent one.
+      EXPECT_EQ(store.staleness(0, slot),
+                slot - static_cast<std::size_t>(freshest));
+    }
+  }
+  // The chosen seed produces at least one reordered arrival, so the
+  // stale-ignore path above actually executed.
+  EXPECT_TRUE(saw_stale_arrival);
+  EXPECT_EQ(store.last_update_step(0), sends - 1);
+  EXPECT_EQ(ch.pending(), 0u);
 }
 
 TEST(CentralStore, ValidatesIndicesAndDimensions) {

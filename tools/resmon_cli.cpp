@@ -37,7 +37,7 @@ int usage() {
          "  monitor  --trace FILE [--b 0.3] [--k 3]\n"
          "           [--model hold|arima|auto-arima|lstm|holt-winters]\n"
          "           [--h 5] [--initial 400] [--retrain 288]\n"
-         "           [--report FILE]\n"
+         "           [--threads 1] [--report FILE]\n"
          "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n";
   return 2;
 }
@@ -90,6 +90,7 @@ int cmd_monitor(const Args& args) {
       .retrain_interval =
           static_cast<std::size_t>(args.get_int("retrain", 288))};
   options.seed = args.get_int("seed", 1);
+  options.num_threads = args.get_threads();
 
   const std::size_t h = static_cast<std::size_t>(args.get_int("h", 5));
   core::MonitoringPipeline pipeline(t, options);
