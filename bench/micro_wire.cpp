@@ -1,0 +1,84 @@
+// Micro-benchmarks for the wire codec: encode and decode throughput of
+// measurement frames at the dimensionalities the experiments use, plus the
+// incremental decoder on a long multi-frame stream in socket-sized chunks.
+// Engineering hygiene, not a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace resmon;
+
+transport::MeasurementMessage make_message(std::size_t dim, Rng& rng) {
+  transport::MeasurementMessage m;
+  m.node = 17;
+  m.step = 12345;
+  for (std::size_t i = 0; i < dim; ++i) m.values.push_back(rng.uniform());
+  return m;
+}
+
+void BM_WireEncodeMeasurement(benchmark::State& state) {
+  Rng rng(1);
+  const transport::MeasurementMessage m =
+      make_message(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::wire::encode(m));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * m.wire_size()));
+}
+BENCHMARK(BM_WireEncodeMeasurement)->Arg(1)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_WireDecodeMeasurement(benchmark::State& state) {
+  Rng rng(2);
+  const transport::MeasurementMessage m =
+      make_message(static_cast<std::size_t>(state.range(0)), rng);
+  const std::vector<std::uint8_t> bytes = net::wire::encode(m);
+  for (auto _ : state) {
+    net::wire::FrameDecoder dec;
+    dec.feed(bytes);
+    benchmark::DoNotOptimize(dec.next());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_WireDecodeMeasurement)->Arg(1)->Arg(2)->Arg(8)->Arg(64);
+
+// A full agent-uplink's worth of traffic through one incremental decoder,
+// fed in read_some-sized chunks like the controller sees it.
+void BM_WireDecodeStream(benchmark::State& state) {
+  const std::size_t frames = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::uint8_t> stream;
+  for (std::size_t t = 0; t < frames; ++t) {
+    transport::MeasurementMessage m = make_message(2, rng);
+    m.step = t;
+    const std::vector<std::uint8_t> bytes = net::wire::encode(m);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  constexpr std::size_t kChunk = 4096;
+  for (auto _ : state) {
+    net::wire::FrameDecoder dec;
+    std::size_t decoded = 0;
+    for (std::size_t off = 0; off < stream.size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, stream.size() - off);
+      dec.feed({stream.data() + off, n});
+      while (dec.next().has_value()) ++decoded;
+    }
+    if (decoded != frames) state.SkipWithError("frame loss in decoder");
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * stream.size()));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * frames));
+}
+BENCHMARK(BM_WireDecodeStream)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Localhost smoke test for the resmon::net socket runtime.
+#
+# Starts one resmon_controller on an ephemeral port, launches N resmon_agent
+# processes against it, and checks that the controller exits 0 after printing
+# "RESULT complete=1 rmse_finite=1" — i.e. the central store saw every node
+# and the forecasting stage produced a finite RMSE over real TCP.
+#
+# Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]}
+NODES=${2:-8}
+STEPS=${3:-200}
+SEED=${4:-1}
+
+CONTROLLER="$BUILD_DIR/tools/resmon_controller"
+AGENT="$BUILD_DIR/tools/resmon_agent"
+[ -x "$CONTROLLER" ] || { echo "missing $CONTROLLER" >&2; exit 2; }
+[ -x "$AGENT" ] || { echo "missing $AGENT" >&2; exit 2; }
+
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$CONTROLLER" --port 0 --nodes "$NODES" --steps "$STEPS" --seed "$SEED" \
+  > "$WORK/controller.log" 2>&1 &
+CONTROLLER_PID=$!
+
+# The controller prints its resolved ephemeral port on the first line.
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on [0-9.]+:[0-9]+' "$WORK/controller.log" \
+           2>/dev/null | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && break
+  kill -0 "$CONTROLLER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "controller never announced its port:" >&2
+  cat "$WORK/controller.log" >&2
+  exit 1
+fi
+
+AGENT_PIDS=()
+for ((node = 0; node < NODES; ++node)); do
+  "$AGENT" --port "$PORT" --node "$node" --nodes "$NODES" \
+    --steps "$STEPS" --seed "$SEED" > "$WORK/agent$node.log" 2>&1 &
+  AGENT_PIDS+=($!)
+done
+
+STATUS=0
+for pid in "${AGENT_PIDS[@]}"; do
+  wait "$pid" || STATUS=1
+done
+wait "$CONTROLLER_PID" || STATUS=1
+
+echo "--- controller ---"
+cat "$WORK/controller.log"
+for ((node = 0; node < NODES; ++node)); do
+  sed "s/^/agent $node: /" "$WORK/agent$node.log" | tail -1
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "net smoke test FAILED" >&2
+  exit 1
+fi
+grep -q 'RESULT complete=1 rmse_finite=1' "$WORK/controller.log" || {
+  echo "controller result line missing or not clean" >&2
+  exit 1
+}
+echo "net smoke test OK ($NODES agents, $STEPS slots)"

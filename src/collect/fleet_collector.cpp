@@ -35,9 +35,12 @@ class AlwaysTransmitter final : public TransmitPolicy {
 FleetCollector::FleetCollector(
     const trace::Trace& trace,
     const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
-    const transport::ChannelOptions& channel_options, ThreadPool* pool)
+    const transport::ChannelOptions& channel_options, ThreadPool* pool,
+    std::unique_ptr<transport::Link> link)
     : trace_(trace),
-      channel_(channel_options),
+      link_(link != nullptr
+                ? std::move(link)
+                : std::make_unique<transport::Channel>(channel_options)),
       store_(trace.num_nodes(), trace.num_resources()),
       pool_(pool) {
   policies_.reserve(trace.num_nodes());
@@ -56,9 +59,9 @@ std::vector<bool> FleetCollector::step(std::size_t t) {
 
   // Every node's policy decision is independent, so the decide() calls run
   // in parallel; per-node results land in disjoint slots (std::vector<bool>
-  // packs bits, hence the byte-wide scratch vector). The channel sends then
+  // packs bits, hence the byte-wide scratch vector). The link sends then
   // happen on this thread in node order, so bandwidth accounting and the
-  // channel's drop/delay RNG draws are identical to the serial path.
+  // link's drop/delay RNG draws are identical to the serial path.
   const std::size_t n = policies_.size();
   std::vector<std::uint8_t> transmit(n, 0);
   std::vector<std::vector<double>> measurements(n);
@@ -76,10 +79,10 @@ std::vector<bool> FleetCollector::step(std::size_t t) {
   for (std::size_t i = 0; i < n; ++i) {
     if (transmit[i] == 0) continue;
     beta[i] = true;
-    channel_.send(
+    link_->send(
         {.node = i, .step = t, .values = std::move(measurements[i])});
   }
-  for (const transport::MeasurementMessage& msg : channel_.drain()) {
+  for (const transport::MeasurementMessage& msg : link_->drain()) {
     store_.apply(msg);
   }
   return beta;

@@ -12,6 +12,7 @@
 #include "collect/transmit_policy.hpp"
 #include "trace/trace.hpp"
 #include "transport/channel.hpp"
+#include "transport/link.hpp"
 
 namespace resmon {
 class ThreadPool;
@@ -36,20 +37,24 @@ class FleetCollector {
   /// `channel_options` injects uplink failures (drops/delays); the default
   /// is a reliable link. `pool` (non-owning, may be nullptr) parallelizes
   /// the per-node policy stepping; each policy is only ever touched by one
-  /// thread per step and channel sends stay serialized in node order on the
+  /// thread per step and link sends stay serialized in node order on the
   /// calling thread, so results are identical at every thread count.
+  /// `link` replaces the default in-process Channel (e.g. with a
+  /// net::LoopbackLink that runs the real wire codec); when provided,
+  /// `channel_options` is ignored — configure the link directly.
   FleetCollector(
       const trace::Trace& trace,
       const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
       const transport::ChannelOptions& channel_options = {},
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr,
+      std::unique_ptr<transport::Link> link = nullptr);
 
   /// Advance one time step. Must be called with consecutive t starting at 0.
   /// Returns the per-node transmission indicators beta_t.
   std::vector<bool> step(std::size_t t);
 
   const transport::CentralStore& store() const { return store_; }
-  const transport::Channel& channel() const { return channel_; }
+  const transport::Link& link() const { return *link_; }
 
   const TransmitPolicy& policy(std::size_t node) const {
     return *policies_[node];
@@ -63,7 +68,7 @@ class FleetCollector {
  private:
   const trace::Trace& trace_;
   std::vector<std::unique_ptr<TransmitPolicy>> policies_;
-  transport::Channel channel_;
+  std::unique_ptr<transport::Link> link_;
   transport::CentralStore store_;
   ThreadPool* pool_ = nullptr;
   std::size_t next_step_ = 0;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "net/loopback.hpp"
+
 namespace resmon::core {
 
 namespace {
@@ -18,6 +20,16 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
                                        const PipelineOptions& options)
+    : MonitoringPipeline(trace, options, /*external=*/false) {}
+
+MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
+                                       const PipelineOptions& options,
+                                       ExternalCollection)
+    : MonitoringPipeline(trace, options, /*external=*/true) {}
+
+MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
+                                       const PipelineOptions& options,
+                                       bool external)
     : trace_(trace), options_(options) {
   RESMON_REQUIRE(options.num_clusters >= 1 &&
                      options.num_clusters <= trace.num_nodes(),
@@ -40,12 +52,23 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
           : options_.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 
-  collector_ = std::make_unique<collect::FleetCollector>(
-      trace,
-      collect::make_policy_factory(options.policy, options.max_frequency,
-                                   options.v0, options.gamma,
-                                   options.clamp_queue),
-      options_.channel, pool_.get());
+  if (external) {
+    // Measurements arrive from other processes via step_external(); the
+    // pipeline only owns the central node's view of them.
+    external_store_ = std::make_unique<transport::CentralStore>(
+        trace.num_nodes(), trace.num_resources());
+  } else {
+    // The in-process uplink runs the real wire codec (LoopbackLink), so
+    // every deterministic run exercises the exact encode/decode path the
+    // TCP runtime uses and bandwidth counts real frame bytes.
+    collector_ = std::make_unique<collect::FleetCollector>(
+        trace,
+        collect::make_policy_factory(options.policy, options.max_frequency,
+                                     options.v0, options.gamma,
+                                     options.clamp_queue),
+        options_.channel, pool_.get(),
+        std::make_unique<net::LoopbackLink>(options_.channel));
+  }
 
   const std::size_t views =
       options.cluster_per_resource ? trace.num_resources() : 1;
@@ -84,7 +107,7 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
 }
 
 Matrix MonitoringPipeline::view_snapshot(std::size_t view) const {
-  const transport::CentralStore& store = collector_->store();
+  const transport::CentralStore& store = this->store();
   const std::size_t n = trace_.num_nodes();
   if (options_.cluster_per_resource) {
     Matrix snap(n, 1);
@@ -152,13 +175,32 @@ void MonitoringPipeline::update_view(std::size_t view) {
 }
 
 void MonitoringPipeline::step() {
+  RESMON_REQUIRE(collector_ != nullptr,
+                 "step() needs in-process collection; use step_external()");
   RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
   const std::size_t t = step_count_;
 
-  auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();
   collector_->step(t);
   timers_.collect_seconds += seconds_since(start);
-  if (!collector_->store().complete()) {
+  finish_step();
+}
+
+void MonitoringPipeline::step_external(
+    std::span<const transport::MeasurementMessage> messages) {
+  RESMON_REQUIRE(external_store_ != nullptr,
+                 "step_external() requires the ExternalCollection mode");
+  RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
+  const auto start = std::chrono::steady_clock::now();
+  for (const transport::MeasurementMessage& m : messages) {
+    external_store_->apply(m);
+  }
+  timers_.collect_seconds += seconds_since(start);
+  finish_step();
+}
+
+void MonitoringPipeline::finish_step() {
+  if (!store().complete()) {
     // Warm-up: with a lossy/delayed uplink the central node may not have
     // heard from every machine yet; keep collecting until it has. (Every
     // built-in policy transmits at t = 0, so on a reliable link this never
@@ -171,7 +213,7 @@ void MonitoringPipeline::step() {
   // own RNG inside the tracker), so views update in parallel; a view's
   // nested K-means parallel loops fall through to the same pool. Chunk
   // grain 1 = one task per view.
-  start = std::chrono::steady_clock::now();
+  auto start = std::chrono::steady_clock::now();
   run_chunked(pool_.get(), trackers_.size(), 1,
               [&](std::size_t, std::size_t begin, std::size_t end) {
                 for (std::size_t v = begin; v < end; ++v) update_view(v);
@@ -210,7 +252,7 @@ Matrix MonitoringPipeline::forecast_all(std::size_t h) const {
   Matrix out(n, d);
 
   if (h == 0) {
-    const transport::CentralStore& store = collector_->store();
+    const transport::CentralStore& store = this->store();
     for (std::size_t i = 0; i < n; ++i) {
       const std::vector<double>& z = store.stored(i);
       for (std::size_t r = 0; r < d; ++r) out(i, r) = z[r];
@@ -291,6 +333,15 @@ double MonitoringPipeline::intermediate_rmse(std::size_t view,
     total += err * err;
   }
   return std::sqrt(total / static_cast<double>(n));
+}
+
+const collect::FleetCollector& MonitoringPipeline::collector() const {
+  if (collector_ == nullptr) {
+    throw InvalidState(
+        "MonitoringPipeline: no in-process collector in "
+        "external-collection mode");
+  }
+  return *collector_;
 }
 
 const cluster::DynamicClusterTracker& MonitoringPipeline::tracker(

@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cluster/dynamic_cluster.hpp"
@@ -86,13 +87,31 @@ struct StageTimers {
   }
 };
 
+/// Tag selecting external collection: measurements arrive from outside the
+/// process (e.g. a net::Controller draining TCP agents) via
+/// step_external() instead of from an in-process FleetCollector.
+struct ExternalCollection {};
+
 class MonitoringPipeline {
  public:
   MonitoringPipeline(const trace::Trace& trace,
                      const PipelineOptions& options);
 
+  /// External-collection variant: no FleetCollector is built; the caller
+  /// feeds each slot's received measurements through step_external().
+  /// PipelineOptions' collection knobs (policy, channel) are unused — the
+  /// remote agents own them.
+  MonitoringPipeline(const trace::Trace& trace,
+                     const PipelineOptions& options, ExternalCollection);
+
   /// Advance one time step (collection + clustering + model feeding).
   void step();
+
+  /// Advance one time step in external-collection mode: apply the
+  /// measurements received for this slot to the central store, then run
+  /// the clustering + forecasting stages. Slots must be fed in order.
+  void step_external(
+      std::span<const transport::MeasurementMessage> messages);
 
   /// Run `count` steps (convenience).
   void run(std::size_t count);
@@ -127,7 +146,11 @@ class MonitoringPipeline {
   /// resource, otherwise 1.
   std::size_t num_views() const { return trackers_.size(); }
   const cluster::DynamicClusterTracker& tracker(std::size_t view) const;
-  const collect::FleetCollector& collector() const { return *collector_; }
+  /// The in-process collector. Throws InvalidState in external-collection
+  /// mode (there is none; the agents live in other processes).
+  const collect::FleetCollector& collector() const;
+  /// The central node's current view z_t, in either collection mode.
+  const transport::CentralStore& central_store() const { return store(); }
   /// Managed forecaster of cluster j, dimension `dim` within `view`.
   const forecast::ManagedForecaster& model(std::size_t view, std::size_t j,
                                            std::size_t dim = 0) const;
@@ -144,8 +167,16 @@ class MonitoringPipeline {
   Matrix view_features(std::size_t view) const;
 
  private:
+  MonitoringPipeline(const trace::Trace& trace,
+                     const PipelineOptions& options, bool external);
+
   std::size_t view_dims() const {
     return options_.cluster_per_resource ? 1 : trace_.num_resources();
+  }
+  /// The central store backing this pipeline: the collector's in normal
+  /// mode, the pipeline-owned one in external-collection mode.
+  const transport::CentralStore& store() const {
+    return collector_ != nullptr ? collector_->store() : *external_store_;
   }
   /// Stored-measurement snapshot for a view: N x view_dims().
   Matrix view_snapshot(std::size_t view) const;
@@ -153,11 +184,16 @@ class MonitoringPipeline {
   Matrix view_truth(std::size_t view, std::size_t t) const;
   /// One view's share of a step: push the snapshot, cluster, track offsets.
   void update_view(std::size_t view);
+  /// Clustering + forecasting stages shared by step() and step_external();
+  /// returns after bumping step_count_.
+  void finish_step();
 
   const trace::Trace& trace_;
   PipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // present only when num_threads > 1
   std::unique_ptr<collect::FleetCollector> collector_;
+  /// Store owned by the pipeline in external-collection mode only.
+  std::unique_ptr<transport::CentralStore> external_store_;
   std::vector<cluster::DynamicClusterTracker> trackers_;
   // Membership forecasting and eq. (12) offsets, one per view.
   std::vector<OffsetTracker> offsets_;

@@ -1,0 +1,126 @@
+#include "net/agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace resmon::net {
+
+Agent::Agent(const AgentOptions& options,
+             std::unique_ptr<collect::TransmitPolicy> policy)
+    : options_(options), policy_(std::move(policy)) {
+  RESMON_REQUIRE(policy_ != nullptr, "Agent needs a transmit policy");
+  RESMON_REQUIRE(options.num_resources > 0,
+                 "Agent needs at least one resource");
+}
+
+bool Agent::try_connect_once() {
+  Socket sock;
+  try {
+    sock = Socket::connect_tcp(options_.host, options_.port,
+                               options_.io_timeout_ms);
+  } catch (const SocketError&) {
+    return false;  // refused or timed out: the backoff loop retries
+  }
+  const wire::HelloFrame hello{.node = options_.node,
+                               .num_resources = options_.num_resources};
+  if (!sock.write_all(wire::encode(hello), options_.io_timeout_ms)) {
+    return false;
+  }
+  // Wait for the ack (one small frame; arrives in one or two reads).
+  wire::FrameDecoder decoder;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.io_timeout_ms);
+  for (;;) {
+    if (!sock.wait_readable(50)) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      continue;
+    }
+    std::uint8_t buf[256];
+    std::size_t n = 0;
+    const IoStatus status = sock.read_some(buf, n);
+    if (status == IoStatus::kClosed) return false;
+    if (status == IoStatus::kOk && !decoder.feed({buf, n})) return false;
+    if (std::optional<wire::Frame> frame = decoder.next()) {
+      const auto* ack = std::get_if<wire::HelloAckFrame>(&*frame);
+      if (ack == nullptr || ack->node != options_.node) return false;
+      if (!ack->accepted) {
+        // A rejected hello is terminal: retrying the same hello cannot
+        // succeed, so this propagates out of the backoff loop.
+        throw SocketError("agent " + std::to_string(options_.node) +
+                          ": controller rejected hello (reason " +
+                          std::to_string(ack->reason) + ")");
+      }
+      sock_ = std::move(sock);
+      ever_connected_ = true;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+  }
+}
+
+void Agent::reconnect_with_backoff() {
+  int backoff = options_.initial_backoff_ms;
+  for (std::size_t attempt = 0; attempt < options_.max_reconnect_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, options_.max_backoff_ms);
+    }
+    // try_connect_once throws only for a rejected hello, which retrying
+    // cannot fix; plain connect/handshake failures return false and retry.
+    if (try_connect_once()) return;
+  }
+  throw SocketError("agent " + std::to_string(options_.node) +
+                    ": could not reach controller at " + options_.host + ":" +
+                    std::to_string(options_.port) + " after " +
+                    std::to_string(options_.max_reconnect_attempts) +
+                    " attempts");
+}
+
+void Agent::connect() {
+  if (connected()) return;
+  reconnect_with_backoff();
+}
+
+void Agent::deliver(const std::vector<std::uint8_t>& bytes) {
+  // At most two write attempts: the current connection, then one fresh
+  // connection after a bounded backoff cycle. Failing on a connection that
+  // was just re-established means the controller is actively closing on
+  // this agent — give up rather than loop.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!connected()) {
+      const bool outage = ever_connected_;
+      reconnect_with_backoff();
+      if (outage) ++reconnects_;
+    }
+    if (sock_.write_all(bytes, options_.io_timeout_ms)) {
+      ++frames_sent_;
+      bytes_sent_ += bytes.size();
+      return;
+    }
+    sock_.close();
+  }
+  throw SocketError("agent " + std::to_string(options_.node) +
+                    ": connection lost and resend failed");
+}
+
+bool Agent::observe(std::size_t t, std::span<const double> x) {
+  RESMON_REQUIRE(x.size() == options_.num_resources,
+                 "Agent::observe: measurement dimension mismatch");
+  const bool beta = policy_->decide(t, x);
+  if (beta) {
+    transport::MeasurementMessage m;
+    m.node = options_.node;
+    m.step = t;
+    m.values.assign(x.begin(), x.end());
+    deliver(wire::encode(m));
+    ++measurements_sent_;
+  } else if (options_.heartbeat_when_silent) {
+    deliver(wire::encode(wire::HeartbeatFrame{
+        .node = options_.node, .step = static_cast<std::uint64_t>(t)}));
+  }
+  return beta;
+}
+
+}  // namespace resmon::net

@@ -1,0 +1,86 @@
+// Agent: one local node's side of the star topology, over a real socket.
+//
+// Wraps a TransmitPolicy (normally the §V-A AdaptiveTransmitter): each time
+// slot the agent observes its measurement, lets the policy decide, and
+// pushes either a measurement frame (policy fired) or a heartbeat frame
+// (slot progress for the controller's barrier). Connection loss triggers
+// bounded reconnect-with-exponential-backoff; the frame of the current slot
+// is resent after a successful reconnect so no slot goes missing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collect/transmit_policy.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace resmon::net {
+
+struct AgentOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t node = 0;
+  std::uint32_t num_resources = 1;
+
+  /// Reconnect policy: at most `max_reconnect_attempts` tries per outage,
+  /// sleeping initial_backoff_ms, 2x, 4x, ... capped at max_backoff_ms.
+  std::size_t max_reconnect_attempts = 8;
+  int initial_backoff_ms = 20;
+  int max_backoff_ms = 1000;
+
+  /// Timeout for the hello/ack handshake and for blocking writes.
+  int io_timeout_ms = 5000;
+
+  /// Send a heartbeat on slots where the policy stays silent (required for
+  /// the controller's slot barrier; disable only for custom protocols).
+  bool heartbeat_when_silent = true;
+};
+
+class Agent {
+ public:
+  Agent(const AgentOptions& options,
+        std::unique_ptr<collect::TransmitPolicy> policy);
+
+  /// Connect and complete the hello/ack handshake, with bounded retries.
+  /// Throws SocketError when the attempts are exhausted or the controller
+  /// rejects the hello.
+  void connect();
+
+  /// Process time slot `t`: the policy decides on `x`, and the resulting
+  /// frame (measurement or heartbeat) is delivered — reconnecting with
+  /// backoff if the connection died. Returns beta_{i,t} (whether a
+  /// measurement was transmitted).
+  bool observe(std::size_t t, std::span<const double> x);
+
+  bool connected() const { return sock_.valid(); }
+  const collect::TransmitPolicy& policy() const { return *policy_; }
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t measurements_sent() const { return measurements_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Successful re-handshakes after a connection loss.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  /// One connect + handshake attempt. Returns false on any failure.
+  bool try_connect_once();
+  /// Bounded backoff loop around try_connect_once(); throws on exhaustion.
+  void reconnect_with_backoff();
+  /// Deliver one encoded frame, reconnecting as needed.
+  void deliver(const std::vector<std::uint8_t>& bytes);
+
+  AgentOptions options_;
+  std::unique_ptr<collect::TransmitPolicy> policy_;
+  Socket sock_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t measurements_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
+};
+
+}  // namespace resmon::net

@@ -1,0 +1,192 @@
+#include "net/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace resmon::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<long long>(0, left.count()));
+}
+
+constexpr int kPumpSliceMs = 20;  ///< poll granularity inside a wait loop
+
+}  // namespace
+
+Controller::Controller(Socket listener, const ControllerOptions& options)
+    : options_(options),
+      listener_(std::move(listener)),
+      progress_(options.num_nodes, -1),
+      inbox_(options.num_nodes),
+      seen_(options.num_nodes, 0) {
+  RESMON_REQUIRE(options.num_nodes > 0, "Controller needs at least one node");
+  RESMON_REQUIRE(options.num_resources > 0,
+                 "Controller needs at least one resource");
+  RESMON_REQUIRE(listener_.valid(), "Controller needs a listening socket");
+  poller_.watch(listener_.fd());
+}
+
+bool Controller::wait_for_agents(std::size_t count, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (nodes_seen_ < count) {
+    const int left = remaining_ms(deadline);
+    if (left == 0) return false;
+    pump(std::min(left, kPumpSliceMs));
+  }
+  return true;
+}
+
+std::optional<std::vector<transport::MeasurementMessage>>
+Controller::collect_slot(std::size_t t, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto slot_complete = [&] {
+    return std::all_of(progress_.begin(), progress_.end(),
+                       [&](long long p) {
+                         return p >= static_cast<long long>(t);
+                       });
+  };
+  while (!slot_complete()) {
+    const int left = remaining_ms(deadline);
+    if (left == 0) return std::nullopt;
+    pump(std::min(left, kPumpSliceMs));
+  }
+
+  std::vector<transport::MeasurementMessage> out;
+  for (std::size_t node = 0; node < options_.num_nodes; ++node) {
+    std::deque<transport::MeasurementMessage>& q = inbox_[node];
+    // Skipped or re-collected slots would leave older frames behind;
+    // discard them so the store only ever moves forward.
+    while (!q.empty() && q.front().step < t) q.pop_front();
+    if (!q.empty() && q.front().step == t) {
+      out.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+  }
+  return out;
+}
+
+void Controller::pump(int timeout_ms) {
+  std::vector<PollEvent> events = poller_.wait(timeout_ms);
+  for (const PollEvent& ev : events) {
+    if (ev.fd == listener_.fd()) {
+      accept_pending();
+      continue;
+    }
+    auto it = connections_.find(ev.fd);
+    if (it == connections_.end()) continue;  // dropped earlier this round
+    if (ev.readable || ev.hangup) {
+      if (!service(it->second)) drop(ev.fd, /*rejected=*/false);
+    }
+  }
+}
+
+void Controller::accept_pending() {
+  while (std::optional<Socket> sock = listener_.accept()) {
+    const int fd = sock->fd();
+    connections_.emplace(fd,
+                         Connection(std::move(*sock), options_.max_payload));
+    poller_.watch(fd);
+  }
+}
+
+bool Controller::service(Connection& conn) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    std::size_t n = 0;
+    const IoStatus status = conn.sock.read_some(buf, n);
+    if (status == IoStatus::kOk) {
+      bytes_received_ += n;
+      if (!conn.decoder.feed({buf, n})) {
+        ++connections_rejected_;
+        return false;  // poisoned stream: drop the connection
+      }
+      while (std::optional<wire::Frame> frame = conn.decoder.next()) {
+        ++frames_received_;
+        if (!handle_frame(conn, std::move(*frame))) {
+          ++connections_rejected_;
+          return false;
+        }
+      }
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) return true;
+    return false;  // kClosed
+  }
+}
+
+bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
+  if (std::holds_alternative<wire::HelloFrame>(frame)) {
+    const wire::HelloFrame hello = std::get<wire::HelloFrame>(frame);
+    HelloReject reject = HelloReject::kNone;
+    if (hello.node >= options_.num_nodes) {
+      reject = HelloReject::kNodeOutOfRange;
+    } else if (hello.num_resources != options_.num_resources) {
+      reject = HelloReject::kDimensionMismatch;
+    } else if (std::any_of(connections_.begin(), connections_.end(),
+                           [&](const auto& kv) {
+                             return kv.second.node ==
+                                    static_cast<long long>(hello.node);
+                           })) {
+      reject = HelloReject::kDuplicateNode;
+    } else if (conn.node >= 0) {
+      reject = HelloReject::kDuplicateNode;  // second hello on one stream
+    }
+    const wire::HelloAckFrame ack{
+        .node = hello.node,
+        .accepted = reject == HelloReject::kNone,
+        .reason = static_cast<std::uint8_t>(reject)};
+    // Best-effort ack; a failed write surfaces as a drop either way.
+    const bool wrote = conn.sock.write_all(wire::encode(ack), 1000);
+    if (reject != HelloReject::kNone || !wrote) return false;
+    conn.node = static_cast<long long>(hello.node);
+    ++connected_nodes_;
+    if (!seen_[hello.node]) {
+      seen_[hello.node] = 1;
+      ++nodes_seen_;
+    }
+    return true;
+  }
+
+  // Every other agent frame requires a completed handshake, and its node id
+  // must match the handshake (one stream speaks for one node).
+  if (std::holds_alternative<transport::MeasurementMessage>(frame)) {
+    transport::MeasurementMessage& m =
+        std::get<transport::MeasurementMessage>(frame);
+    if (conn.node < 0 || m.node != static_cast<std::size_t>(conn.node) ||
+        m.values.size() != options_.num_resources) {
+      return false;
+    }
+    progress_[m.node] =
+        std::max(progress_[m.node], static_cast<long long>(m.step));
+    inbox_[m.node].push_back(std::move(m));
+    return true;
+  }
+  if (std::holds_alternative<wire::HeartbeatFrame>(frame)) {
+    const wire::HeartbeatFrame hb = std::get<wire::HeartbeatFrame>(frame);
+    if (conn.node < 0 || hb.node != static_cast<std::uint32_t>(conn.node)) {
+      return false;
+    }
+    progress_[hb.node] =
+        std::max(progress_[hb.node], static_cast<long long>(hb.step));
+    return true;
+  }
+  // HelloAck is controller -> agent only.
+  return false;
+}
+
+void Controller::drop(int fd, bool rejected) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (rejected) ++connections_rejected_;
+  if (it->second.node >= 0) --connected_nodes_;
+  poller_.unwatch(fd);
+  connections_.erase(it);  // Socket destructor closes the fd
+}
+
+}  // namespace resmon::net

@@ -1,0 +1,114 @@
+// Controller: the central node's socket server.
+//
+// A poll(2) event loop accepts many agent connections, reads whatever bytes
+// are available, runs them through each connection's incremental
+// FrameDecoder, and buffers decoded measurements per node. The slot
+// protocol matches the paper's synchronous model (§IV): every agent sends
+// exactly one frame per time slot — a measurement when its §V-A policy
+// fires, otherwise a heartbeat — so the controller knows slot t is complete
+// once every node's progress reaches t, without any reverse channel.
+// collect_slot() surfaces the slot-t measurements in node order; the caller
+// applies them to a CentralStore / MonitoringPipeline once per slot.
+//
+// Protocol violations (bad magic, CRC mismatch, wrong dimensionality, node
+// id out of range, ...) drop only the offending connection; an agent may
+// reconnect and resume with a fresh hello.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "transport/channel.hpp"
+
+namespace resmon::net {
+
+struct ControllerOptions {
+  std::size_t num_nodes = 0;      ///< N: valid node ids are [0, N)
+  std::size_t num_resources = 0;  ///< d: required hello dimensionality
+  /// Per-connection payload cap handed to the decoders.
+  std::size_t max_payload = wire::kMaxPayloadSize;
+};
+
+/// Hello rejection reasons carried in HelloAckFrame::reason.
+enum class HelloReject : std::uint8_t {
+  kNone = 0,
+  kNodeOutOfRange = 1,
+  kDimensionMismatch = 2,
+  kDuplicateNode = 3,
+};
+
+class Controller {
+ public:
+  /// Takes ownership of a listening socket from Socket::listen_tcp.
+  Controller(Socket listener, const ControllerOptions& options);
+
+  /// Port the listener is bound to (resolves port-0 binds).
+  std::uint16_t port() const { return listener_.local_port(); }
+
+  /// Pump the event loop until `count` distinct nodes have completed the
+  /// hello handshake at least once, or `timeout_ms` elapses. Counts nodes
+  /// ever seen, not live sockets: a fast agent may have pushed its whole
+  /// run into the TCP buffer and disconnected before this is even called,
+  /// and its buffered frames are still perfectly collectable.
+  bool wait_for_agents(std::size_t count, int timeout_ms);
+
+  /// Pump until every node's progress covers slot `t`, then return the
+  /// slot-t measurements in node order (nodes whose policy stayed silent
+  /// contribute nothing). nullopt on timeout. Slots must be collected in
+  /// increasing order starting at 0.
+  std::optional<std::vector<transport::MeasurementMessage>> collect_slot(
+      std::size_t t, int timeout_ms);
+
+  /// Nodes currently connected (hello completed, socket alive).
+  std::size_t connected_agents() const { return connected_nodes_; }
+  /// Distinct nodes that have ever completed a hello handshake.
+  std::size_t nodes_seen() const { return nodes_seen_; }
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  /// Connections dropped for wire-protocol or semantic violations.
+  std::uint64_t connections_rejected() const { return connections_rejected_; }
+
+ private:
+  struct Connection {
+    Socket sock;
+    wire::FrameDecoder decoder;
+    long long node = -1;  ///< -1 until the hello handshake completes
+    Connection(Socket s, std::size_t max_payload)
+        : sock(std::move(s)), decoder(max_payload) {}
+  };
+
+  /// One event-loop iteration: accept, read, decode, dispatch.
+  void pump(int timeout_ms);
+  void accept_pending();
+  /// Read every available byte from `conn`; returns false if the
+  /// connection should be dropped.
+  bool service(Connection& conn);
+  bool handle_frame(Connection& conn, wire::Frame&& frame);
+  void drop(int fd, bool rejected);
+
+  ControllerOptions options_;
+  Socket listener_;
+  Poller poller_;
+  std::unordered_map<int, Connection> connections_;
+  std::size_t connected_nodes_ = 0;
+  std::vector<char> seen_;  ///< per-node: hello ever completed
+  std::size_t nodes_seen_ = 0;
+  /// Highest slot each node has reported (measurement or heartbeat); -1
+  /// until the first frame. Survives reconnects.
+  std::vector<long long> progress_;
+  /// Received measurements not yet surfaced by collect_slot, per node,
+  /// in increasing step order (TCP preserves per-connection order).
+  std::vector<std::deque<transport::MeasurementMessage>> inbox_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t connections_rejected_ = 0;
+};
+
+}  // namespace resmon::net

@@ -1,0 +1,24 @@
+#include "net/loopback.hpp"
+
+namespace resmon::net {
+
+void LoopbackLink::send(transport::MeasurementMessage message) {
+  const std::vector<std::uint8_t> bytes = wire::encode(message);
+  // One source of truth for bandwidth: the encoder must produce exactly
+  // wire_size() bytes (what Channel::send charges below).
+  if (bytes.size() != message.wire_size()) {
+    throw InvalidState("LoopbackLink: encoder size disagrees with wire_size");
+  }
+  if (!decoder_.feed(bytes)) {
+    throw InvalidState(std::string("LoopbackLink: self-decode failed: ") +
+                       wire::wire_error_name(decoder_.error()));
+  }
+  std::optional<wire::Frame> frame = decoder_.next();
+  if (!frame.has_value() || !decoder_.at_frame_boundary() ||
+      !std::holds_alternative<transport::MeasurementMessage>(*frame)) {
+    throw InvalidState("LoopbackLink: self-decode yielded no measurement");
+  }
+  channel_.send(std::move(std::get<transport::MeasurementMessage>(*frame)));
+}
+
+}  // namespace resmon::net

@@ -1,0 +1,47 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace resmon::net {
+
+void Poller::watch(int fd) {
+  RESMON_REQUIRE(fd >= 0, "Poller: invalid fd");
+  RESMON_REQUIRE(std::find(fds_.begin(), fds_.end(), fd) == fds_.end(),
+                 "Poller: fd already watched");
+  fds_.push_back(fd);
+}
+
+void Poller::unwatch(int fd) {
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+std::vector<PollEvent> Poller::wait(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (int fd : fds_) {
+    pfds.push_back({.fd = fd, .events = POLLIN, .revents = 0});
+  }
+  std::vector<PollEvent> events;
+  if (pfds.empty()) return events;
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return events;
+    throw Error(std::string("poll: ") + std::strerror(errno));
+  }
+  for (const pollfd& pfd : pfds) {
+    if (pfd.revents == 0) continue;
+    events.push_back(
+        {.fd = pfd.fd,
+         .readable = (pfd.revents & POLLIN) != 0,
+         .hangup = (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0});
+  }
+  return events;
+}
+
+}  // namespace resmon::net

@@ -1,0 +1,174 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace resmon::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Disable Nagle: frames are tiny and the slot barrier is latency-bound.
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_tcp(const std::string& host, std::uint16_t port,
+                          int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) throw_errno("listen");
+  set_nonblocking(fd);
+  return sock;
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port,
+                           int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  set_nonblocking(fd);
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
+    pollfd pfd{.fd = fd, .events = POLLOUT, .revents = 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      throw SocketError("connect " + host + ":" + std::to_string(port) +
+                        (rc == 0 ? ": timed out" : ": poll failed"));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      throw SocketError("connect " + host + ":" + std::to_string(port) +
+                        ": " + std::strerror(err != 0 ? err : errno));
+    }
+  }
+  set_nodelay(fd);
+  return sock;
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::optional<Socket> Socket::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return std::nullopt;
+    }
+    throw_errno("accept");
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+IoStatus Socket::read_some(std::span<std::uint8_t> out, std::size_t& n) {
+  n = 0;
+  const ssize_t rc = ::recv(fd_, out.data(), out.size(), 0);
+  if (rc > 0) {
+    n = static_cast<std::size_t>(rc);
+    return IoStatus::kOk;
+  }
+  if (rc == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return IoStatus::kWouldBlock;
+  }
+  if (errno == ECONNRESET || errno == EPIPE) return IoStatus::kClosed;
+  throw_errno("recv");
+}
+
+bool Socket::write_all(std::span<const std::uint8_t> bytes, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t rc = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                              MSG_NOSIGNAL);
+    if (rc > 0) {
+      off += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      throw_errno("send");
+    }
+    pollfd pfd{.fd = fd_, .events = POLLOUT, .revents = 0};
+    const int prc = ::poll(&pfd, 1, timeout_ms);
+    if (prc == 0) throw SocketError("send: timed out waiting for buffer");
+    if (prc < 0 && errno != EINTR) throw_errno("poll(POLLOUT)");
+    if ((pfd.revents & (POLLERR | POLLHUP)) != 0) return false;
+  }
+  return true;
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  pollfd pfd{.fd = fd_, .events = POLLIN, .revents = 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0 && errno != EINTR) throw_errno("poll(POLLIN)");
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+}  // namespace resmon::net

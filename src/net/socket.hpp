@@ -1,0 +1,81 @@
+// Minimal RAII wrapper over POSIX TCP sockets for the resmon runtime.
+//
+// Sockets are nonblocking by default once created through the factory
+// functions; IO helpers translate EAGAIN into "no progress" return values
+// so the poll(2)-driven event loop never blocks inside a read or write.
+// Setup failures (bind, listen, connect, ...) throw SocketError — they are
+// operator errors, not remote-input conditions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace resmon::net {
+
+/// Thrown when socket setup or a local syscall fails unrecoverably.
+class SocketError : public Error {
+ public:
+  explicit SocketError(const std::string& what) : Error(what) {}
+};
+
+/// Result of a nonblocking read.
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< made progress (>= 1 byte)
+  kWouldBlock,  ///< no data available right now
+  kClosed,      ///< peer closed the connection (EOF or reset)
+};
+
+/// Move-only owner of one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Listening socket bound to `host`:`port` (port 0 picks an ephemeral
+  /// port — read it back with local_port()). SO_REUSEADDR is set so smoke
+  /// tests can rebind quickly.
+  static Socket listen_tcp(const std::string& host, std::uint16_t port,
+                           int backlog = 64);
+
+  /// Connected client socket (blocking connect with `timeout_ms`, then
+  /// switched to nonblocking). Throws SocketError on failure or timeout.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port,
+                            int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Port this socket is bound to (after listen_tcp with port 0).
+  std::uint16_t local_port() const;
+
+  /// Accept one pending connection on a listening socket, nonblocking.
+  /// Returns nullopt when no connection is waiting.
+  std::optional<Socket> accept();
+
+  /// Nonblocking read into `out`; `n` receives the byte count on kOk.
+  IoStatus read_some(std::span<std::uint8_t> out, std::size_t& n);
+
+  /// Write the whole buffer, waiting (poll) for writability as needed so
+  /// short socket buffers cannot drop frame suffixes. Returns false if the
+  /// peer closed the connection. Throws SocketError only on local failure.
+  bool write_all(std::span<const std::uint8_t> bytes, int timeout_ms);
+
+  /// Wait up to `timeout_ms` for the socket to become readable.
+  bool wait_readable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace resmon::net

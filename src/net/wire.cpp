@@ -1,0 +1,262 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace resmon::net::wire {
+
+namespace {
+
+// -- little-endian primitives -----------------------------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+// -- CRC-32 -----------------------------------------------------------------
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+// -- frame assembly ---------------------------------------------------------
+
+/// Write the 16-byte header in front of an already-encoded payload.
+std::vector<std::uint8_t> frame(FrameType type,
+                                std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u32(out, kMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* wire_error_name(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kUnsupportedVersion: return "unsupported version";
+    case WireError::kUnknownFrameType: return "unknown frame type";
+    case WireError::kOversizedPayload: return "oversized payload";
+    case WireError::kCrcMismatch: return "crc mismatch";
+    case WireError::kMalformedPayload: return "malformed payload";
+    case WireError::kTruncated: return "truncated frame";
+  }
+  return "invalid error code";
+}
+
+std::vector<std::uint8_t> encode(const transport::MeasurementMessage& m) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(measurement_payload_size(m.values.size()));
+  put_u32(payload, static_cast<std::uint32_t>(m.node));
+  put_u64(payload, static_cast<std::uint64_t>(m.step));
+  put_u32(payload, static_cast<std::uint32_t>(m.values.size()));
+  for (double v : m.values) put_f64(payload, v);
+  return frame(FrameType::kMeasurement, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const HelloFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kHelloPayloadSize);
+  put_u32(payload, f.node);
+  put_u32(payload, f.num_resources);
+  return frame(FrameType::kHello, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const HelloAckFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kHelloAckPayloadSize);
+  put_u32(payload, f.node);
+  payload.push_back(f.accepted ? 1 : 0);
+  payload.push_back(f.reason);
+  put_u16(payload, 0);  // reserved
+  return frame(FrameType::kHelloAck, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kHeartbeatPayloadSize);
+  put_u32(payload, f.node);
+  put_u64(payload, f.step);
+  return frame(FrameType::kHeartbeat, std::move(payload));
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (error_ != WireError::kNone) return false;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (try_decode_one()) {
+  }
+  return error_ == WireError::kNone;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+bool FrameDecoder::finish() {
+  if (error_ != WireError::kNone) return false;
+  if (!buffer_.empty()) {
+    error_ = WireError::kTruncated;
+    return false;
+  }
+  return true;
+}
+
+bool FrameDecoder::try_decode_one() {
+  if (error_ != WireError::kNone) return false;
+  if (buffer_.size() < kHeaderSize) return false;
+  const std::uint8_t* h = buffer_.data();
+
+  // Validate the header before waiting for (or buffering) any payload, so
+  // a hostile length field cannot drive allocation.
+  if (get_u32(h) != kMagic) {
+    error_ = WireError::kBadMagic;
+    return false;
+  }
+  if (h[4] != kProtocolVersion) {
+    error_ = WireError::kUnsupportedVersion;
+    return false;
+  }
+  const std::uint8_t type = h[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kHeartbeat)) {
+    error_ = WireError::kUnknownFrameType;
+    return false;
+  }
+  const std::size_t payload_len = get_u32(h + 8);
+  if (payload_len > max_payload_) {
+    error_ = WireError::kOversizedPayload;
+    return false;
+  }
+  const std::size_t total = kHeaderSize + payload_len;
+  if (buffer_.size() < total) return false;  // wait for more bytes
+
+  const std::uint8_t* p = h + kHeaderSize;
+  if (crc32({p, payload_len}) != get_u32(h + 12)) {
+    error_ = WireError::kCrcMismatch;
+    return false;
+  }
+
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello: {
+      if (payload_len != kHelloPayloadSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      ready_.push_back(HelloFrame{.node = get_u32(p),
+                                  .num_resources = get_u32(p + 4)});
+      break;
+    }
+    case FrameType::kHelloAck: {
+      if (payload_len != kHelloAckPayloadSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      ready_.push_back(HelloAckFrame{
+          .node = get_u32(p), .accepted = p[4] != 0, .reason = p[5]});
+      break;
+    }
+    case FrameType::kMeasurement: {
+      if (payload_len < 16) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      const std::size_t count = get_u32(p + 12);
+      if (payload_len != measurement_payload_size(count)) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      transport::MeasurementMessage m;
+      m.node = get_u32(p);
+      m.step = static_cast<std::size_t>(get_u64(p + 4));
+      m.values.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        m.values[i] = get_f64(p + 16 + 8 * i);
+      }
+      ready_.push_back(std::move(m));
+      break;
+    }
+    case FrameType::kHeartbeat: {
+      if (payload_len != kHeartbeatPayloadSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      ready_.push_back(
+          HeartbeatFrame{.node = get_u32(p), .step = get_u64(p + 4)});
+      break;
+    }
+  }
+
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  ++frames_decoded_;
+  bytes_consumed_ += total;
+  return true;
+}
+
+}  // namespace resmon::net::wire

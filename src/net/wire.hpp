@@ -1,0 +1,132 @@
+// Binary wire protocol: frame encoders and the incremental decoder.
+//
+// Agents and the controller exchange length-prefixed, CRC-protected frames
+// (layout in net/wire_format.hpp). Encoding is explicit little-endian, so
+// the protocol is byte-identical across hosts; doubles travel as their
+// IEEE-754 bit patterns, making encode -> decode an exact identity
+// (including NaN payloads and signed zeros).
+//
+// FrameDecoder is incremental: feed it whatever bytes arrived on a stream
+// and pop complete frames. Corrupt, truncated or oversized input surfaces
+// as a typed WireError — never an exception, crash or unbounded
+// allocation — because remote peers must not be able to take the
+// controller down.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/wire_format.hpp"
+#include "transport/channel.hpp"
+
+namespace resmon::net::wire {
+
+/// First frame an agent sends after connecting.
+struct HelloFrame {
+  std::uint32_t node = 0;
+  std::uint32_t num_resources = 0;
+};
+
+/// Controller's reply to a hello.
+struct HelloAckFrame {
+  std::uint32_t node = 0;
+  bool accepted = false;
+  /// 0 = ok; nonzero = controller-defined rejection reason.
+  std::uint8_t reason = 0;
+};
+
+/// Liveness + slot progress: "node has processed slot `step` (and did not
+/// transmit a measurement for it)".
+struct HeartbeatFrame {
+  std::uint32_t node = 0;
+  std::uint64_t step = 0;
+};
+
+/// Any decoded frame. Measurements reuse the transport-layer struct so the
+/// controller can apply them to a CentralStore directly.
+using Frame = std::variant<HelloFrame, HelloAckFrame,
+                           transport::MeasurementMessage, HeartbeatFrame>;
+
+/// Why a byte stream was rejected. kNone means the stream is healthy.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,           ///< header does not start with "RMON"
+  kUnsupportedVersion, ///< version newer (or older) than this build speaks
+  kUnknownFrameType,   ///< type byte not a FrameType of this version
+  kOversizedPayload,   ///< payload_len exceeds the decoder's limit
+  kCrcMismatch,        ///< payload failed its CRC-32 check
+  kMalformedPayload,   ///< payload_len inconsistent with the frame type
+  kTruncated,          ///< stream ended mid-frame (reported by finish())
+};
+
+/// Human-readable name of a WireError (stable, for logs and tests).
+const char* wire_error_name(WireError error);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Encode one frame. The returned buffer is a complete frame: header
+/// (including CRC over the payload) followed by the payload.
+std::vector<std::uint8_t> encode(const transport::MeasurementMessage& m);
+std::vector<std::uint8_t> encode(const HelloFrame& f);
+std::vector<std::uint8_t> encode(const HelloAckFrame& f);
+std::vector<std::uint8_t> encode(const HeartbeatFrame& f);
+
+/// Incremental frame decoder for one byte stream (one TCP connection).
+///
+///   FrameDecoder dec;
+///   dec.feed(bytes_from_socket);
+///   while (auto frame = dec.next()) handle(*frame);
+///   if (dec.error() != WireError::kNone) drop_connection();
+///
+/// Once an error is set the decoder is poisoned: further feed() calls
+/// return false and next() yields nothing. A stream that ends cleanly
+/// between frames passes finish(); ending mid-frame is kTruncated.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayloadSize);
+
+  /// Append stream bytes and decode as many complete frames as they
+  /// contain. Returns false iff the decoder is (now) in an error state.
+  /// A header announcing an oversized payload is rejected here, before
+  /// any payload is buffered.
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next fully decoded frame, if any.
+  std::optional<Frame> next();
+
+  /// Signal end-of-stream. Returns true iff the stream ended exactly on a
+  /// frame boundary with no decode error; a partial frame in the buffer
+  /// sets kTruncated.
+  bool finish();
+
+  WireError error() const { return error_; }
+
+  /// True when no partial frame is buffered.
+  bool at_frame_boundary() const { return buffer_.empty(); }
+
+  /// Bytes currently buffered while waiting for the rest of a frame.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+  std::uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  /// Try to decode one frame from the front of buffer_. Returns true if a
+  /// frame was consumed; false if more bytes are needed or error_ was set.
+  bool try_decode_one();
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::deque<Frame> ready_;
+  WireError error_ = WireError::kNone;
+  std::uint64_t frames_decoded_ = 0;
+  std::uint64_t bytes_consumed_ = 0;
+};
+
+}  // namespace resmon::net::wire

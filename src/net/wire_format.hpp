@@ -1,0 +1,85 @@
+// Frame layout constants and size arithmetic of the resmon wire protocol.
+//
+// This header is self-contained (no dependencies beyond <cstdint>) so that
+// lower layers — notably transport::MeasurementMessage::wire_size() — can
+// share the exact byte counts of the real protocol without linking against
+// resmon_net. The encoder/decoder live in net/wire.hpp.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic        "RMON" (0x52 0x4D 0x4F 0x4E on the wire)
+//        4     1  version      protocol version (currently 1)
+//        5     1  type         FrameType
+//        6     2  reserved     must be zero
+//        8     4  payload_len  bytes of payload that follow the header
+//       12     4  crc32        CRC-32 (IEEE) of the payload bytes
+//       16     -  payload      type-specific, payload_len bytes
+//
+// Versioning rules: the header layout itself never changes. A decoder
+// accepts exactly the versions it knows (currently only 1) and rejects
+// frames from the future with WireError::kUnsupportedVersion; adding fields
+// to a payload requires a version bump, while new frame types may be added
+// within a version (old decoders reject them as kUnknownFrameType and drop
+// the connection rather than misparse).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace resmon::net::wire {
+
+/// First four bytes of every frame: 'R' 'M' 'O' 'N'.
+inline constexpr std::uint32_t kMagic = 0x4E4F4D52u;  // "RMON" little-endian
+
+/// Protocol version this build speaks.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Fixed frame header size in bytes.
+inline constexpr std::size_t kHeaderSize = 16;
+
+/// Upper bound a decoder enforces on payload_len before buffering anything.
+/// Generous for measurement frames (a 1 MiB payload holds a ~131k-resource
+/// measurement) while keeping a malicious length field from driving
+/// allocation.
+inline constexpr std::size_t kMaxPayloadSize = std::size_t{1} << 20;
+
+/// Frame types of protocol version 1.
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< agent -> controller: node id + dimensionality
+  kHelloAck = 2,     ///< controller -> agent: accept/reject the hello
+  kMeasurement = 3,  ///< agent -> controller: one MeasurementMessage
+  kHeartbeat = 4,    ///< agent -> controller: liveness + slot progress
+};
+
+/// Total frame size for a given payload size.
+constexpr std::size_t frame_size(std::size_t payload_size) {
+  return kHeaderSize + payload_size;
+}
+
+/// Payload of a measurement frame: node (u32) + step (u64) + value count
+/// (u32) + count IEEE-754 doubles.
+constexpr std::size_t measurement_payload_size(std::size_t num_values) {
+  return 4 + 8 + 4 + 8 * num_values;
+}
+
+/// Encoded size of a whole measurement frame — the single source of truth
+/// for bandwidth accounting (transport::MeasurementMessage::wire_size()
+/// delegates here, and net/wire.cpp's encoder produces exactly this many
+/// bytes).
+constexpr std::size_t measurement_frame_size(std::size_t num_values) {
+  return frame_size(measurement_payload_size(num_values));
+}
+
+/// Payload of a hello frame: node (u32) + num_resources (u32).
+inline constexpr std::size_t kHelloPayloadSize = 8;
+
+/// Payload of a hello-ack frame: node (u32) + accepted (u8) + reason (u8) +
+/// reserved (u16).
+inline constexpr std::size_t kHelloAckPayloadSize = 8;
+
+/// Payload of a heartbeat frame: node (u32) + step (u64).
+inline constexpr std::size_t kHeartbeatPayloadSize = 12;
+
+}  // namespace resmon::net::wire

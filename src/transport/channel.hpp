@@ -13,6 +13,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "net/wire_format.hpp"
+#include "transport/link.hpp"
 
 namespace resmon::transport {
 
@@ -22,9 +24,13 @@ struct MeasurementMessage {
   std::size_t step = 0;
   std::vector<double> values;
 
-  /// Serialized size used for bandwidth accounting: header (node id + step)
-  /// plus one 8-byte float per resource.
-  std::size_t wire_size() const { return 16 + 8 * values.size(); }
+  /// Serialized size used for bandwidth accounting: the exact byte count of
+  /// this message as one wire-protocol frame (header + payload; layout in
+  /// net/wire_format.hpp). net::wire::encode() produces exactly this many
+  /// bytes, so simulated and real transports report identical bandwidth.
+  std::size_t wire_size() const {
+    return net::wire::measurement_frame_size(values.size());
+  }
 };
 
 /// Failure-injection knobs for the uplink. Defaults model a reliable
@@ -48,22 +54,24 @@ struct ChannelOptions {
 
 /// In-process message channel with traffic accounting and optional
 /// drop/delay failure injection.
-class Channel {
+class Channel final : public Link {
  public:
   Channel() = default;
   explicit Channel(const ChannelOptions& options);
 
   /// Enqueue a message for delivery to the central node.
-  void send(MeasurementMessage message);
+  void send(MeasurementMessage message) override;
 
   /// Deliver the messages due this slot (the central node drains the
   /// channel once per time slot; delayed messages surface later).
-  std::vector<MeasurementMessage> drain();
+  std::vector<MeasurementMessage> drain() override;
 
-  std::size_t pending() const { return queue_.size(); }
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::size_t pending() const override { return queue_.size(); }
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t messages_dropped() const override {
+    return messages_dropped_;
+  }
 
  private:
   struct InFlight {

@@ -1,0 +1,44 @@
+// Link: the uplink abstraction between local nodes and the controller.
+//
+// A Link carries MeasurementMessages from the fleet to the central node and
+// accounts for the traffic it moved. Implementations:
+//   - transport::Channel      — in-process deque with drop/delay injection
+//                               (the deterministic simulation default);
+//   - net::LoopbackLink       — Channel wrapped in the real wire codec, so
+//                               deterministic runs exercise encode/decode;
+//   - real sockets            — net::Agent / net::Controller move the same
+//                               frames over TCP (they sit outside this
+//                               interface because one controller serves many
+//                               connections).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resmon::transport {
+
+struct MeasurementMessage;
+
+/// Uplink seen from the simulation driver: nodes send, the central node
+/// drains once per slot, and the link reports what the fleet paid for.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Enqueue a message for delivery to the central node.
+  virtual void send(MeasurementMessage message) = 0;
+
+  /// Deliver the messages due this slot.
+  virtual std::vector<MeasurementMessage> drain() = 0;
+
+  /// Messages accepted but not yet delivered.
+  virtual std::size_t pending() const = 0;
+
+  /// Traffic accounting. bytes_sent() counts real encoded frame bytes
+  /// (senders pay for dropped messages too).
+  virtual std::uint64_t messages_sent() const = 0;
+  virtual std::uint64_t bytes_sent() const = 0;
+  virtual std::uint64_t messages_dropped() const = 0;
+};
+
+}  // namespace resmon::transport

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "net/loopback.hpp"
+#include "trace/trace.hpp"
 #include "trace/synthetic.hpp"
 
 namespace resmon::collect {
@@ -194,9 +196,44 @@ TEST(FleetCollector, ChannelAccountsForTraffic) {
   for (std::size_t i = 0; i < t.num_nodes(); ++i) {
     transmissions += fleet.policy(i).transmissions();
   }
-  EXPECT_EQ(fleet.channel().messages_sent(), transmissions);
-  EXPECT_EQ(fleet.channel().bytes_sent(),
-            transmissions * (16 + 8 * t.num_resources()));
+  EXPECT_EQ(fleet.link().messages_sent(), transmissions);
+  // Every message is one wire frame; wire_size() is the encoder's exact
+  // byte count (see net/wire_format.hpp).
+  EXPECT_EQ(fleet.link().bytes_sent(),
+            transmissions *
+                net::wire::measurement_frame_size(t.num_resources()));
+}
+
+TEST(FleetCollector, LoopbackLinkMatchesPlainChannelBitForBit) {
+  // The LoopbackLink pushes every message through the real wire codec; on
+  // a failure-injecting link it must still behave exactly like the bare
+  // Channel with the same options (encode->decode is an identity and both
+  // draw the same drop/delay RNG sequence).
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 8;
+  p.num_steps = 120;
+  const trace::InMemoryTrace t = trace::generate(p, 13);
+  const transport::ChannelOptions lossy{
+      .drop_probability = 0.2, .max_delay_slots = 3, .seed = 99};
+  FleetCollector plain(t, make_policy_factory(PolicyKind::kAdaptive, 0.3),
+                       lossy);
+  FleetCollector loopback(t, make_policy_factory(PolicyKind::kAdaptive, 0.3),
+                          lossy, nullptr,
+                          std::make_unique<net::LoopbackLink>(lossy));
+  for (std::size_t step = 0; step < t.num_steps(); ++step) {
+    EXPECT_EQ(plain.step(step), loopback.step(step)) << "step " << step;
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      ASSERT_EQ(plain.store().has(i), loopback.store().has(i));
+      if (!plain.store().has(i)) continue;
+      ASSERT_EQ(plain.store().last_update_step(i),
+                loopback.store().last_update_step(i));
+      ASSERT_EQ(plain.store().stored(i), loopback.store().stored(i));
+    }
+  }
+  EXPECT_EQ(plain.link().messages_sent(), loopback.link().messages_sent());
+  EXPECT_EQ(plain.link().bytes_sent(), loopback.link().bytes_sent());
+  EXPECT_EQ(plain.link().messages_dropped(),
+            loopback.link().messages_dropped());
 }
 
 // Property sweep: fleet-average adaptive frequency tracks B on real-ish

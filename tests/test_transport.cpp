@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/wire.hpp"
+
 namespace resmon::transport {
 namespace {
 
@@ -27,7 +29,8 @@ TEST(Channel, CountsMessagesAndBytes) {
   Channel ch;
   ch.send({.node = 0, .step = 0, .values = {0.1, 0.2}});
   EXPECT_EQ(ch.messages_sent(), 1u);
-  EXPECT_EQ(ch.bytes_sent(), 16u + 16u);  // header + 2 doubles
+  // Frame header (16) + measurement payload header (16) + 2 doubles.
+  EXPECT_EQ(ch.bytes_sent(), 16u + 16u + 16u);
   ch.send({.node = 1, .step = 0, .values = {0.3, 0.4}});
   EXPECT_EQ(ch.messages_sent(), 2u);
 }
@@ -36,8 +39,18 @@ TEST(MeasurementMessage, WireSizeScalesWithDimension) {
   MeasurementMessage one{.node = 0, .step = 0, .values = {0.0}};
   MeasurementMessage four{.node = 0, .step = 0,
                           .values = {0.0, 0.0, 0.0, 0.0}};
-  EXPECT_EQ(one.wire_size(), 24u);
-  EXPECT_EQ(four.wire_size(), 48u);
+  EXPECT_EQ(one.wire_size(), 40u);
+  EXPECT_EQ(four.wire_size(), 64u);
+}
+
+TEST(MeasurementMessage, WireSizeMatchesTheRealEncoder) {
+  // One source of truth for bandwidth accounting: wire_size() must equal
+  // the byte count the wire encoder actually produces.
+  for (std::size_t d : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    MeasurementMessage m{.node = 3, .step = 42,
+                         .values = std::vector<double>(d, 0.25)};
+    EXPECT_EQ(net::wire::encode(m).size(), m.wire_size()) << "d = " << d;
+  }
 }
 
 TEST(CentralStore, StartsEmpty) {
@@ -70,6 +83,48 @@ TEST(CentralStore, IgnoresStaleOutOfOrderMessages) {
   store.apply({.node = 0, .step = 3, .values = {0.3}});  // older, ignored
   EXPECT_DOUBLE_EQ(store.stored(0)[0], 0.5);
   EXPECT_EQ(store.last_update_step(0), 5u);
+}
+
+TEST(CentralStore, EqualStepDuplicateKeepsTheFirstCopy) {
+  // A retransmitted (or network-duplicated) message for the already-stored
+  // step must be a no-op: first write wins, nothing regresses.
+  CentralStore store(2, 1);
+  store.apply({.node = 0, .step = 4, .values = {0.4}});
+  store.apply({.node = 0, .step = 4, .values = {0.9}});  // duplicate step
+  EXPECT_DOUBLE_EQ(store.stored(0)[0], 0.4);
+  EXPECT_EQ(store.last_update_step(0), 4u);
+  // A genuinely fresher step still replaces it.
+  store.apply({.node = 0, .step = 5, .values = {0.6}});
+  EXPECT_DOUBLE_EQ(store.stored(0)[0], 0.6);
+}
+
+TEST(CentralStore, OutOfRangeNodeIsATypedErrorAndLeavesStateIntact) {
+  CentralStore store(2, 1);
+  store.apply({.node = 1, .step = 7, .values = {0.7}});
+  EXPECT_THROW(store.apply({.node = 2, .step = 8, .values = {0.8}}),
+               InvalidArgument);
+  EXPECT_THROW(
+      store.apply({.node = static_cast<std::size_t>(-1),
+                   .step = 8,
+                   .values = {0.8}}),
+      InvalidArgument);
+  // The rejected messages left the store untouched.
+  EXPECT_FALSE(store.has(0));
+  EXPECT_DOUBLE_EQ(store.stored(1)[0], 0.7);
+  EXPECT_EQ(store.last_update_step(1), 7u);
+}
+
+TEST(CentralStore, StalenessAfterOutOfOrderDeliveryTracksFreshestApplied) {
+  // Deliveries arrive out of order: 6 then 2. The stale message must not
+  // reset staleness — age is measured against step 6, not step 2.
+  CentralStore store(1, 1);
+  store.apply({.node = 0, .step = 6, .values = {0.6}});
+  store.apply({.node = 0, .step = 2, .values = {0.2}});
+  EXPECT_EQ(store.last_update_step(0), 6u);
+  EXPECT_EQ(store.staleness(0, 6), 0u);
+  EXPECT_EQ(store.staleness(0, 10), 4u);
+  // Querying staleness before the stored step is a contract violation.
+  EXPECT_THROW(store.staleness(0, 5), InvalidArgument);
 }
 
 TEST(CentralStore, CompleteOnceAllNodesReport) {

@@ -1,0 +1,258 @@
+// Wire protocol tests: encode/decode identity, incremental decoding, and
+// the robustness sweep from the protocol's threat model — truncation at
+// every byte boundary, corrupted CRCs, wrong magic, future versions, and
+// headers announcing absurd payload sizes (which must not allocate).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace resmon::net::wire {
+namespace {
+
+transport::MeasurementMessage sample_message(std::size_t node,
+                                             std::size_t step,
+                                             std::vector<double> values) {
+  transport::MeasurementMessage m;
+  m.node = node;
+  m.step = step;
+  m.values = std::move(values);
+  return m;
+}
+
+/// Decode exactly one frame from a complete buffer, expecting success.
+Frame decode_one(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder dec;
+  EXPECT_TRUE(dec.feed(bytes));
+  std::optional<Frame> frame = dec.next();
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_TRUE(dec.finish());
+  return std::move(*frame);
+}
+
+TEST(Wire, MeasurementRoundTripIsExactIdentity) {
+  const transport::MeasurementMessage m =
+      sample_message(7, 123456789012345ull, {0.25, -1e308, 3.5e-320});
+  const Frame frame = decode_one(encode(m));
+  const auto& got = std::get<transport::MeasurementMessage>(frame);
+  EXPECT_EQ(got.node, m.node);
+  EXPECT_EQ(got.step, m.step);
+  ASSERT_EQ(got.values.size(), m.values.size());
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.values[i]),
+              std::bit_cast<std::uint64_t>(m.values[i]));
+  }
+}
+
+TEST(Wire, RoundTripPreservesNonFiniteAndSignedZeroBitPatterns) {
+  const transport::MeasurementMessage m = sample_message(
+      0, 0,
+      {std::numeric_limits<double>::quiet_NaN(),
+       std::numeric_limits<double>::infinity(),
+       -std::numeric_limits<double>::infinity(), -0.0,
+       std::numeric_limits<double>::denorm_min()});
+  const Frame frame = decode_one(encode(m));
+  const auto& got = std::get<transport::MeasurementMessage>(frame);
+  ASSERT_EQ(got.values.size(), m.values.size());
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.values[i]),
+              std::bit_cast<std::uint64_t>(m.values[i]))
+        << "value " << i;
+  }
+}
+
+TEST(Wire, RandomizedMessagesRoundTripAtEveryDimension) {
+  std::mt19937_64 rng(20260806);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  for (std::size_t d = 0; d <= 32; ++d) {
+    transport::MeasurementMessage m;
+    m.node = static_cast<std::size_t>(rng() % 10000);
+    m.step = static_cast<std::size_t>(rng());
+    for (std::size_t i = 0; i < d; ++i) m.values.push_back(value(rng));
+
+    const std::vector<std::uint8_t> bytes = encode(m);
+    EXPECT_EQ(bytes.size(), m.wire_size()) << "d=" << d;
+    const Frame frame = decode_one(bytes);
+    const auto& got = std::get<transport::MeasurementMessage>(frame);
+    EXPECT_EQ(got.node, m.node);
+    EXPECT_EQ(got.step, m.step);
+    EXPECT_EQ(got.values, m.values) << "d=" << d;
+  }
+}
+
+TEST(Wire, ControlFramesRoundTrip) {
+  const auto hello = std::get<HelloFrame>(
+      decode_one(encode(HelloFrame{.node = 42, .num_resources = 3})));
+  EXPECT_EQ(hello.node, 42u);
+  EXPECT_EQ(hello.num_resources, 3u);
+
+  const auto ack = std::get<HelloAckFrame>(decode_one(
+      encode(HelloAckFrame{.node = 42, .accepted = false, .reason = 3})));
+  EXPECT_EQ(ack.node, 42u);
+  EXPECT_FALSE(ack.accepted);
+  EXPECT_EQ(ack.reason, 3u);
+
+  const auto hb = std::get<HeartbeatFrame>(decode_one(
+      encode(HeartbeatFrame{.node = 6, .step = (1ull << 40) + 9})));
+  EXPECT_EQ(hb.node, 6u);
+  EXPECT_EQ(hb.step, (1ull << 40) + 9);
+}
+
+TEST(Wire, DecoderHandlesByteAtATimeMultiFrameStreams) {
+  std::vector<std::uint8_t> stream;
+  const transport::MeasurementMessage m0 = sample_message(1, 10, {0.5});
+  const transport::MeasurementMessage m1 = sample_message(2, 11, {1.5, 2.5});
+  for (const auto& bytes :
+       {encode(HelloFrame{.node = 1, .num_resources = 1}), encode(m0),
+        encode(HeartbeatFrame{.node = 1, .step = 12}), encode(m1)}) {
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    ASSERT_TRUE(dec.feed({&byte, 1}));
+    while (std::optional<Frame> f = dec.next()) frames.push_back(*f);
+  }
+  EXPECT_TRUE(dec.finish());
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<HelloFrame>(frames[0]));
+  EXPECT_EQ(std::get<transport::MeasurementMessage>(frames[1]).step, 10u);
+  EXPECT_EQ(std::get<HeartbeatFrame>(frames[2]).step, 12u);
+  EXPECT_EQ(std::get<transport::MeasurementMessage>(frames[3]).values,
+            m1.values);
+  EXPECT_EQ(dec.frames_decoded(), 4u);
+  EXPECT_EQ(dec.bytes_consumed(), stream.size());
+}
+
+TEST(Wire, TruncationAtEveryByteBoundaryIsDetected) {
+  const std::vector<std::uint8_t> bytes =
+      encode(sample_message(3, 17, {1.0, 2.0, 3.0}));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.feed({bytes.data(), cut})) << "cut=" << cut;
+    EXPECT_FALSE(dec.next().has_value()) << "cut=" << cut;
+    if (cut == 0) {
+      EXPECT_TRUE(dec.finish());  // clean end between frames
+    } else {
+      EXPECT_FALSE(dec.finish()) << "cut=" << cut;
+      EXPECT_EQ(dec.error(), WireError::kTruncated) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(Wire, FlippedCrcFieldRejectsTheFrame) {
+  std::vector<std::uint8_t> bytes = encode(sample_message(1, 2, {4.0}));
+  bytes[12] ^= 0x01;  // CRC lives at header bytes [12, 16)
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kCrcMismatch);
+  EXPECT_STREQ(wire_error_name(dec.error()), "crc mismatch");
+}
+
+TEST(Wire, EveryCorruptedPayloadByteIsCaughtByTheCrc) {
+  const std::vector<std::uint8_t> clean = encode(sample_message(1, 2, {4.0}));
+  for (std::size_t i = kHeaderSize; i < clean.size(); ++i) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes[i] ^= 0x40;
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(bytes)) << "byte " << i;
+    EXPECT_EQ(dec.error(), WireError::kCrcMismatch) << "byte " << i;
+  }
+}
+
+TEST(Wire, WrongMagicIsRejected) {
+  std::vector<std::uint8_t> bytes = encode(HeartbeatFrame{.node = 0});
+  bytes[0] ^= 0xFF;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kBadMagic);
+}
+
+TEST(Wire, FutureProtocolVersionIsRejected) {
+  std::vector<std::uint8_t> bytes = encode(HeartbeatFrame{.node = 0});
+  bytes[4] = kProtocolVersion + 1;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kUnsupportedVersion);
+}
+
+TEST(Wire, UnknownFrameTypeIsRejected) {
+  std::vector<std::uint8_t> bytes = encode(HeartbeatFrame{.node = 0});
+  bytes[5] = 0x7F;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kUnknownFrameType);
+}
+
+TEST(Wire, PayloadBombIsRejectedFromTheHeaderAlone) {
+  // A hostile header announcing a 4 GiB payload must be rejected as soon as
+  // the 16 header bytes are in — before any payload is buffered, so a
+  // remote peer cannot drive controller memory with a single small write.
+  std::vector<std::uint8_t> bytes = encode(HeartbeatFrame{.node = 0});
+  bytes.resize(kHeaderSize);
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0xFF;  // payload_len field
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kOversizedPayload);
+  EXPECT_LE(dec.buffered_bytes(), kHeaderSize);
+}
+
+TEST(Wire, PayloadJustOverTheDecoderLimitIsRejected) {
+  const transport::MeasurementMessage m = sample_message(0, 0, {1.0, 2.0});
+  const std::vector<std::uint8_t> bytes = encode(m);
+  FrameDecoder tight(measurement_payload_size(m.values.size()) - 1);
+  EXPECT_FALSE(tight.feed(bytes));
+  EXPECT_EQ(tight.error(), WireError::kOversizedPayload);
+
+  FrameDecoder exact(measurement_payload_size(m.values.size()));
+  EXPECT_TRUE(exact.feed(bytes));
+  EXPECT_TRUE(exact.next().has_value());
+}
+
+TEST(Wire, InconsistentMeasurementCountIsMalformed) {
+  // Patch the in-payload count field and fix up the CRC so only the
+  // payload-length consistency check can catch it.
+  std::vector<std::uint8_t> bytes = encode(sample_message(1, 2, {4.0, 5.0}));
+  const std::size_t count_offset = kHeaderSize + 12;
+  bytes[count_offset] += 1;  // claims 3 doubles; payload only holds 2
+  const std::uint32_t crc =
+      crc32({bytes.data() + kHeaderSize, bytes.size() - kHeaderSize});
+  bytes[12] = static_cast<std::uint8_t>(crc);
+  bytes[13] = static_cast<std::uint8_t>(crc >> 8);
+  bytes[14] = static_cast<std::uint8_t>(crc >> 16);
+  bytes[15] = static_cast<std::uint8_t>(crc >> 24);
+
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kMalformedPayload);
+}
+
+TEST(Wire, PoisonedDecoderStaysPoisoned) {
+  std::vector<std::uint8_t> bad = encode(HeartbeatFrame{.node = 0});
+  bad[0] ^= 0xFF;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bad));
+
+  const std::vector<std::uint8_t> good = encode(HeartbeatFrame{.node = 1});
+  EXPECT_FALSE(dec.feed(good));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.finish());
+  EXPECT_EQ(dec.error(), WireError::kBadMagic);
+}
+
+TEST(Wire, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical check string from the CRC-32/ISO-HDLC specification.
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+}  // namespace
+}  // namespace resmon::net::wire

@@ -1,0 +1,55 @@
+// Shared flag handling for resmon_agent / resmon_controller.
+//
+// Both binaries must construct the *identical* synthetic trace from the
+// shared --dataset/--nodes/--steps/--seed flags: agents read their own
+// node's measurements from it, the controller uses it as ground truth for
+// RMSE. Any asymmetry here would silently break the bit-identical
+// equivalence between the TCP path and the in-process LoopbackLink path,
+// so the construction lives in exactly one place.
+#pragma once
+
+#include <string>
+
+#include "collect/fleet_collector.hpp"
+#include "common/cli.hpp"
+#include "trace/synthetic.hpp"
+
+namespace resmon::tools {
+
+/// Slots the run processes (the trace is longer; see build_trace).
+inline std::size_t run_slots(const Args& args) {
+  return static_cast<std::size_t>(args.get_int("steps", 200));
+}
+
+/// Extra trace steps beyond the processed slots so h-step-ahead forecasts
+/// always have ground truth.
+inline constexpr std::size_t kForecastLookahead = 8;
+
+/// The deterministic trace both sides of the wire share.
+inline trace::InMemoryTrace build_trace(const Args& args) {
+  trace::SyntheticProfile profile =
+      trace::profile_by_name(args.get("dataset", "alibaba"));
+  profile.num_nodes = static_cast<std::size_t>(args.get_int("nodes", 8));
+  profile.num_steps = run_slots(args) + kForecastLookahead;
+  return trace::generate(profile,
+                         static_cast<std::uint64_t>(args.get_int("seed", 1)));
+}
+
+inline collect::PolicyKind policy_kind(const Args& args) {
+  const std::string name = args.get("policy", "adaptive");
+  if (name == "adaptive") return collect::PolicyKind::kAdaptive;
+  if (name == "uniform") return collect::PolicyKind::kUniform;
+  if (name == "always") return collect::PolicyKind::kAlways;
+  if (name == "deadband") return collect::PolicyKind::kDeadband;
+  throw InvalidArgument("unknown --policy: " + name);
+}
+
+/// One policy instance configured from the shared flags.
+inline std::unique_ptr<collect::TransmitPolicy> make_policy(const Args& args) {
+  return collect::make_policy_factory(
+      policy_kind(args), args.get_double("b", 0.3),
+      args.get_double("v0", 1e-12), args.get_double("gamma", 0.65),
+      args.get_bool("clamp-queue"))();
+}
+
+}  // namespace resmon::tools

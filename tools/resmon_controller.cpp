@@ -1,0 +1,99 @@
+// resmon_controller — the central node, serving agents over TCP.
+//
+// Listens for N resmon_agent connections, then runs the paper's slot loop:
+// each slot it drains the agents' measurement frames into the monitoring
+// pipeline (external-collection mode) and advances clustering + forecasting.
+// Exits 0 iff the central store became complete and the forecast RMSE is
+// finite — the localhost smoke test in CI keys off that.
+//
+//   resmon_controller --port 0 --nodes 8 --steps 200 --dataset alibaba
+//       --seed 1 [--b 0.3] [--k 3] [--model hold] [--threads 1]
+//
+// With --port 0 the kernel picks a free port; the chosen one is printed as
+//   resmon_controller listening on 127.0.0.1:PORT
+// so wrapper scripts can pass it to the agents.
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/pipeline.hpp"
+#include "net/controller.hpp"
+#include "net/socket.hpp"
+#include "net_common.hpp"
+
+using namespace resmon;
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const trace::InMemoryTrace trace = tools::build_trace(args);
+    const std::size_t slots = tools::run_slots(args);
+    const std::string host = args.get("host", "127.0.0.1");
+
+    net::ControllerOptions copts;
+    copts.num_nodes = trace.num_nodes();
+    copts.num_resources = trace.num_resources();
+    net::Controller controller(
+        net::Socket::listen_tcp(
+            host, static_cast<std::uint16_t>(args.get_int("port", 0))),
+        copts);
+    std::cout << "resmon_controller listening on " << host << ":"
+              << controller.port() << std::endl;  // flush: scripts parse this
+
+    const int wait_ms = static_cast<int>(args.get_int("wait-ms", 30000));
+    if (!controller.wait_for_agents(trace.num_nodes(), wait_ms)) {
+      std::cerr << "resmon_controller: only " << controller.nodes_seen()
+                << "/" << trace.num_nodes() << " agents connected within "
+                << wait_ms << " ms\n";
+      return 1;
+    }
+    std::cout << "all " << trace.num_nodes() << " agents connected"
+              << std::endl;
+
+    core::PipelineOptions popts;
+    popts.max_frequency = args.get_double("b", 0.3);
+    popts.num_clusters = static_cast<std::size_t>(args.get_int("k", 3));
+    popts.forecaster =
+        forecast::forecaster_kind_from_string(args.get("model", "hold"));
+    popts.schedule = {
+        .initial_steps =
+            static_cast<std::size_t>(args.get_int("initial", 50)),
+        .retrain_interval =
+            static_cast<std::size_t>(args.get_int("retrain", 288))};
+    popts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    popts.num_threads = args.get_threads();
+    core::MonitoringPipeline pipeline(trace, popts,
+                                      core::ExternalCollection{});
+
+    const int slot_timeout_ms =
+        static_cast<int>(args.get_int("slot-timeout-ms", 10000));
+    for (std::size_t t = 0; t < slots; ++t) {
+      auto messages = controller.collect_slot(t, slot_timeout_ms);
+      if (!messages.has_value()) {
+        std::cerr << "resmon_controller: slot " << t << " timed out ("
+                  << controller.connected_agents() << " agents connected)\n";
+        return 1;
+      }
+      pipeline.step_external(*messages);
+    }
+
+    const bool complete = pipeline.central_store().complete();
+    const double rmse = pipeline.rmse_at(1);
+    const double freq =
+        static_cast<double>(controller.frames_received()) /
+        (static_cast<double>(slots) * static_cast<double>(trace.num_nodes()));
+    std::cout << "slots processed:   " << slots << "\n"
+              << "frames received:   " << controller.frames_received()
+              << " (" << controller.bytes_received() << " bytes, "
+              << freq << " frames/node/slot)\n"
+              << "store complete:    " << (complete ? "yes" : "no") << "\n"
+              << "forecast RMSE h=1: " << rmse << "\n"
+              << "RESULT complete=" << (complete ? 1 : 0)
+              << " rmse_finite=" << (std::isfinite(rmse) ? 1 : 0)
+              << std::endl;
+    return complete && std::isfinite(rmse) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "resmon_controller: " << e.what() << "\n";
+    return 1;
+  }
+}
