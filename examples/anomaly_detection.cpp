@@ -125,8 +125,10 @@ int main(int argc, char** argv) {
     std::string status = "anomalous";
     if (i == hot) status += " (injected: runaway, CPU+mem pegged)";
     if (i == dead) status += " (injected: flatlined)";
-    table.add_row({std::string("m") + std::to_string(i), peak_distance[i],
-                   status, static_cast<double>(first_flagged[i])});
+    std::string label = "m";  // two appends: GCC 12 -Wrestrict misfires
+    label += std::to_string(i);
+    table.add_row({std::move(label), peak_distance[i], status,
+                   static_cast<double>(first_flagged[i])});
   }
 
   std::cout << "=== cluster-outlier anomaly report ===\n";

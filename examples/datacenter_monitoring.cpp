@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
     std::string targets;
     for (const std::size_t node : placement_targets(ahead, 3)) {
       if (!targets.empty()) targets += ", ";
-      targets += "m" + std::to_string(node);
+      targets += 'm';  // two appends: GCC 12 -Wrestrict misfires on "m" +
+      targets += std::to_string(node);
     }
 
     const double rmse6 =

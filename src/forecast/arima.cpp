@@ -106,11 +106,26 @@ std::vector<double> difference(std::span<const double> x, std::size_t lag) {
 }  // namespace
 
 std::string ArimaOrder::to_string() const {
-  std::string out = "(" + std::to_string(p) + "," + std::to_string(d) + "," +
-                    std::to_string(q) + ")";
+  // Built with += rather than chained operator+: GCC 12's -Wrestrict
+  // false-positives on the temporary chain under -O2, breaking -Werror.
+  std::string out;
+  out += '(';
+  out += std::to_string(p);
+  out += ',';
+  out += std::to_string(d);
+  out += ',';
+  out += std::to_string(q);
+  out += ')';
   if (has_seasonal()) {
-    out += "(" + std::to_string(sp) + "," + std::to_string(sd) + "," +
-           std::to_string(sq) + ")[" + std::to_string(season) + "]";
+    out += '(';
+    out += std::to_string(sp);
+    out += ',';
+    out += std::to_string(sd);
+    out += ',';
+    out += std::to_string(sq);
+    out += ")[";
+    out += std::to_string(season);
+    out += ']';
   }
   return out;
 }

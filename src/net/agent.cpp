@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 namespace resmon::net {
@@ -22,41 +23,53 @@ bool Agent::try_connect_once() {
   } catch (const SocketError&) {
     return false;  // refused or timed out: the backoff loop retries
   }
-  const wire::HelloFrame hello{.node = options_.node,
-                               .num_resources = options_.num_resources};
-  if (!sock.write_all(wire::encode(hello), options_.io_timeout_ms)) {
+  // Reason byte from an explicit controller rejection; set before leaving
+  // the try block so the terminal throw below cannot be swallowed by the
+  // transient-I/O catch.
+  std::optional<std::uint8_t> rejected;
+  try {
+    const wire::HelloFrame hello{.node = options_.node,
+                                 .num_resources = options_.num_resources};
+    if (!sock.write_all(wire::encode(hello), options_.io_timeout_ms)) {
+      return false;
+    }
+    // Wait for the ack (one small frame; arrives in one or two reads).
+    wire::FrameDecoder decoder;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.io_timeout_ms);
+    while (!rejected) {
+      if (!sock.wait_readable(50)) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        continue;
+      }
+      std::uint8_t buf[256];
+      std::size_t n = 0;
+      const IoStatus status = sock.read_some(buf, n);
+      if (status == IoStatus::kClosed) return false;
+      if (status == IoStatus::kOk && !decoder.feed({buf, n})) return false;
+      if (std::optional<wire::Frame> frame = decoder.next()) {
+        const auto* ack = std::get_if<wire::HelloAckFrame>(&*frame);
+        if (ack == nullptr || ack->node != options_.node) return false;
+        if (!ack->accepted) {
+          rejected = ack->reason;
+          break;
+        }
+        sock_ = std::move(sock);
+        ever_connected_ = true;
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+    }
+  } catch (const SocketError&) {
+    // Transient handshake stall (send timeout, surprise errno): retryable,
+    // exactly like a failed connect.
     return false;
   }
-  // Wait for the ack (one small frame; arrives in one or two reads).
-  wire::FrameDecoder decoder;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options_.io_timeout_ms);
-  for (;;) {
-    if (!sock.wait_readable(50)) {
-      if (std::chrono::steady_clock::now() >= deadline) return false;
-      continue;
-    }
-    std::uint8_t buf[256];
-    std::size_t n = 0;
-    const IoStatus status = sock.read_some(buf, n);
-    if (status == IoStatus::kClosed) return false;
-    if (status == IoStatus::kOk && !decoder.feed({buf, n})) return false;
-    if (std::optional<wire::Frame> frame = decoder.next()) {
-      const auto* ack = std::get_if<wire::HelloAckFrame>(&*frame);
-      if (ack == nullptr || ack->node != options_.node) return false;
-      if (!ack->accepted) {
-        // A rejected hello is terminal: retrying the same hello cannot
-        // succeed, so this propagates out of the backoff loop.
-        throw SocketError("agent " + std::to_string(options_.node) +
-                          ": controller rejected hello (reason " +
-                          std::to_string(ack->reason) + ")");
-      }
-      sock_ = std::move(sock);
-      ever_connected_ = true;
-      return true;
-    }
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-  }
+  // A rejected hello is terminal: retrying the same hello cannot succeed,
+  // so this propagates out of the backoff loop.
+  throw SocketError("agent " + std::to_string(options_.node) +
+                    ": controller rejected hello (reason " +
+                    std::to_string(*rejected) + ")");
 }
 
 void Agent::reconnect_with_backoff() {

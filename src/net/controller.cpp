@@ -22,9 +22,9 @@ constexpr int kPumpSliceMs = 20;  ///< poll granularity inside a wait loop
 Controller::Controller(Socket listener, const ControllerOptions& options)
     : options_(options),
       listener_(std::move(listener)),
+      seen_(options.num_nodes, 0),
       progress_(options.num_nodes, -1),
-      inbox_(options.num_nodes),
-      seen_(options.num_nodes, 0) {
+      inbox_(options.num_nodes) {
   RESMON_REQUIRE(options.num_nodes > 0, "Controller needs at least one node");
   RESMON_REQUIRE(options.num_resources > 0,
                  "Controller needs at least one resource");
@@ -128,14 +128,19 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
       reject = HelloReject::kNodeOutOfRange;
     } else if (hello.num_resources != options_.num_resources) {
       reject = HelloReject::kDimensionMismatch;
-    } else if (std::any_of(connections_.begin(), connections_.end(),
-                           [&](const auto& kv) {
-                             return kv.second.node ==
-                                    static_cast<long long>(hello.node);
-                           })) {
-      reject = HelloReject::kDuplicateNode;
     } else if (conn.node >= 0) {
       reject = HelloReject::kDuplicateNode;  // second hello on one stream
+    } else {
+      // Newest-wins: a reconnecting agent can beat the controller to
+      // noticing its old connection died (lost RST, partition). The fresh
+      // hello is authoritative — drop the stale socket instead of locking
+      // the node out with kDuplicateNode. `conn` stays valid: erasing a
+      // different unordered_map element does not invalidate it.
+      const auto stale = std::find_if(
+          connections_.begin(), connections_.end(), [&](const auto& kv) {
+            return kv.second.node == static_cast<long long>(hello.node);
+          });
+      if (stale != connections_.end()) drop(stale->first, /*rejected=*/false);
     }
     const wire::HelloAckFrame ack{
         .node = hello.node,

@@ -12,7 +12,10 @@
 //
 // Protocol violations (bad magic, CRC mismatch, wrong dimensionality, node
 // id out of range, ...) drop only the offending connection; an agent may
-// reconnect and resume with a fresh hello.
+// reconnect and resume with a fresh hello. A hello for a node that already
+// has a live connection wins (newest-wins): the old socket is presumed
+// half-open — the controller may simply not have seen the death yet — and
+// is dropped in favor of the new one, so reconnection is never locked out.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,9 @@ enum class HelloReject : std::uint8_t {
   kNone = 0,
   kNodeOutOfRange = 1,
   kDimensionMismatch = 2,
+  /// Second hello on a stream that already completed its handshake. A
+  /// hello for a node connected on a *different* stream is not rejected:
+  /// the newer connection wins and the old one is dropped as stale.
   kDuplicateNode = 3,
 };
 

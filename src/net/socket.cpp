@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace resmon::net {
@@ -114,16 +115,34 @@ std::uint16_t Socket::local_port() const {
 }
 
 std::optional<Socket> Socket::accept() {
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      return std::nullopt;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);  // owns the fd even if set_nonblocking throws
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      return sock;
     }
-    throw_errno("accept");
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // peer gave up while queued: skip it, keep going
+        continue;
+      case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+      case EWOULDBLOCK:
+#endif
+      // fd/buffer exhaustion is transient and must not kill the event
+      // loop; the listener stays level-triggered readable, so the next
+      // pump retries once pressure eases.
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        return std::nullopt;
+      default:
+        throw_errno("accept");
+    }
   }
-  set_nonblocking(fd);
-  set_nodelay(fd);
-  return Socket(fd);
 }
 
 IoStatus Socket::read_some(std::span<std::uint8_t> out, std::size_t& n) {
@@ -142,6 +161,12 @@ IoStatus Socket::read_some(std::span<std::uint8_t> out, std::size_t& n) {
 }
 
 bool Socket::write_all(std::span<const std::uint8_t> bytes, int timeout_ms) {
+  // timeout_ms bounds the whole write, not each poll(): a peer draining
+  // one byte per window must not stall the caller (in the controller,
+  // the single-threaded event loop) indefinitely.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t rc = ::send(fd_, bytes.data() + off, bytes.size() - off,
@@ -155,8 +180,12 @@ bool Socket::write_all(std::span<const std::uint8_t> bytes, int timeout_ms) {
         errno != EINTR) {
       throw_errno("send");
     }
+    const long long left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - Clock::now())
+                               .count();
+    if (left <= 0) throw SocketError("send: timed out waiting for buffer");
     pollfd pfd{.fd = fd_, .events = POLLOUT, .revents = 0};
-    const int prc = ::poll(&pfd, 1, timeout_ms);
+    const int prc = ::poll(&pfd, 1, static_cast<int>(left));
     if (prc == 0) throw SocketError("send: timed out waiting for buffer");
     if (prc < 0 && errno != EINTR) throw_errno("poll(POLLOUT)");
     if ((pfd.revents & (POLLERR | POLLHUP)) != 0) return false;

@@ -3,6 +3,7 @@
 // plus the handshake-rejection and reconnect-backoff behavior.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -212,9 +213,13 @@ TEST(NetSocket, DimensionMismatchIsRejected) {
   EXPECT_EQ(controller.nodes_seen(), 0u);
 }
 
-TEST(NetSocket, SecondConnectionForTheSameNodeIsRejected) {
+TEST(NetSocket, NewerConnectionForTheSameNodeWinsOverTheStaleOne) {
+  // The controller cannot tell a half-open zombie from a live connection
+  // (lost RST, partition), so a fresh hello for an already-connected node
+  // is authoritative: the old socket is dropped, the new one accepted.
+  // Anything else makes reconnection terminal exactly when it matters.
   ControllerOptions copts;
-  copts.num_nodes = 2;
+  copts.num_nodes = 1;  // slot 0 completes on node 0's progress alone
   copts.num_resources = 1;
   Controller controller(Socket::listen_tcp("127.0.0.1", 0), copts);
 
@@ -233,13 +238,51 @@ TEST(NetSocket, SecondConnectionForTheSameNodeIsRejected) {
   }
   ASSERT_TRUE(first.connected());
 
-  Agent duplicate(aopts, factory());
-  {
-    PumpThread pump(controller, 2, 1500);
-    EXPECT_THROW(duplicate.connect(), SocketError);
+  // wait_for_agents(1) would return without pumping (node 0 was already
+  // seen), so run the second handshake in a thread while the main thread
+  // pumps through collect_slot until the measurement lands.
+  Agent second(aopts, factory());
+  const std::vector<double> x = {0.25};
+  std::thread connector([&] {
+    second.connect();  // must not throw: newest wins
+    second.observe(0, x);
+  });
+  auto messages = controller.collect_slot(0, 10000);
+  connector.join();
+
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(controller.nodes_seen(), 1u);  // still one distinct node
+  EXPECT_EQ(controller.connections_rejected(), 0u);
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ((*messages)[0].values, x);
+  EXPECT_EQ(controller.connected_agents(), 1u);
+}
+
+TEST(NetSocket, SecondHelloOnOneStreamIsStillRejected) {
+  // Newest-wins applies across connections, not within one: a stream that
+  // already completed its handshake and hellos again is a protocol
+  // violation and gets dropped.
+  ControllerOptions copts;
+  copts.num_nodes = 2;
+  copts.num_resources = 1;
+  Controller controller(Socket::listen_tcp("127.0.0.1", 0), copts);
+
+  Socket sock = Socket::connect_tcp("127.0.0.1", controller.port(), 2000);
+  const auto hello = wire::encode(wire::HelloFrame{.node = 0, .num_resources = 1});
+  ASSERT_TRUE(sock.write_all(hello, 2000));
+  ASSERT_TRUE(sock.write_all(hello, 2000));  // second hello, same stream
+  ASSERT_TRUE(controller.wait_for_agents(1, 5000));
+  // Pump until the violation is processed and the connection dropped.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (controller.connections_rejected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    controller.collect_slot(0, 20);  // times out; pumps the loop
   }
+  EXPECT_EQ(controller.connections_rejected(), 1u);
+  EXPECT_EQ(controller.connected_agents(), 0u);
   EXPECT_EQ(controller.nodes_seen(), 1u);
-  EXPECT_TRUE(first.connected());
 }
 
 TEST(NetSocket, AgentReconnectsAfterTheControllerRestarts) {
