@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "trace/synthetic.hpp"
 
 namespace resmon::bench {
@@ -49,6 +50,24 @@ inline void emit(const Table& table, const Args& args) {
     const std::string path = args.get("csv", "");
     table.save_csv(path);
     std::cout << "\n(csv written to " << path << ")\n";
+  }
+}
+
+/// Honor --metrics-out FILE.prom / --trace-out FILE.jsonl: dump the run's
+/// observability sinks to disk. `trace_events` may be null when the harness
+/// has no trace buffer.
+inline void emit_observability(const Args& args,
+                               const obs::MetricsRegistry& registry,
+                               const obs::TraceBuffer* trace_events = nullptr) {
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "");
+    obs::write_metrics_file(path, registry);
+    std::cout << "(metrics written to " << path << ")\n";
+  }
+  if (args.has("trace-out") && trace_events != nullptr) {
+    const std::string path = args.get("trace-out", "");
+    obs::write_trace_file(path, *trace_events);
+    std::cout << "(trace events written to " << path << ")\n";
   }
 }
 

@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   const double v0 = args.get_double("v0", 1e-12);
   const double gamma = args.get_double("gamma", 0.65);
 
+  // One registry across the whole sweep: the aggregate resmon_collect_*
+  // series then cover every (dataset, B) cell (--metrics-out dumps them).
+  obs::MetricsRegistry registry;
+
   Table table({"dataset", "required B", "actual freq"}, 4);
   for (const std::string& name : bench::datasets_from_args(args)) {
     trace::SyntheticProfile profile = bench::profile_from_args(args, name);
@@ -26,8 +30,11 @@ int main(int argc, char** argv) {
     for (const double b :
          {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5}) {
       collect::FleetCollector fleet(
-          t, collect::make_policy_factory(collect::PolicyKind::kAdaptive, b,
-                                          v0, gamma));
+          t,
+          collect::make_policy_factory(collect::PolicyKind::kAdaptive, b, v0,
+                                       gamma, /*clamp_queue=*/false,
+                                       &registry),
+          {}, nullptr, nullptr, &registry);
       for (std::size_t step = 0; step < t.num_steps(); ++step) {
         fleet.step(step);
       }
@@ -35,6 +42,7 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, args);
+  bench::emit_observability(args, registry);
   std::cout << "\nExpected shape: actual ~= required across the whole range "
                "(the virtual queue enforces the budget with equality).\n";
   return 0;

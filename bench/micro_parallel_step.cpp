@@ -29,9 +29,13 @@ struct StageRun {
 };
 
 StageRun run_once(const trace::Trace& t, const core::PipelineOptions& base,
-                  std::size_t threads, std::size_t steps) {
+                  std::size_t threads, std::size_t steps,
+                  obs::MetricsRegistry* metrics,
+                  obs::TraceBuffer* trace_events) {
   core::PipelineOptions o = base;
   o.num_threads = threads;
+  o.metrics = metrics;
+  o.trace_events = trace_events;
   core::MonitoringPipeline p(t, o);
   p.run(steps);
   return {p.stage_timers(), p.forecast_all(1)};
@@ -70,13 +74,19 @@ int main(int argc, char** argv) {
     if (requested != 1) thread_counts.push_back(requested);
   }
 
+  // Sinks for --metrics-out / --trace-out; series accumulate across the
+  // whole thread sweep (stage gauges are per-run: run() resets them).
+  obs::MetricsRegistry registry;
+  obs::TraceBuffer trace_events;
+
   Table table({"threads", "collect_s", "cluster_s", "forecast_s",
                "cluster+forecast_s", "speedup", "identical"},
               4);
   StageRun serial;
   double serial_hot = 0.0;
   for (const std::size_t threads : thread_counts) {
-    const StageRun run = run_once(t, base, threads, steps);
+    const StageRun run =
+        run_once(t, base, threads, steps, &registry, &trace_events);
     const double hot =
         run.timers.cluster_seconds + run.timers.forecast_seconds;
     bool identical = true;
@@ -93,6 +103,7 @@ int main(int argc, char** argv) {
                    identical ? 1.0 : 0.0});
   }
   bench::emit(table, args);
+  bench::emit_observability(args, registry, &trace_events);
   std::cout << "\nspeedup = (cluster_s + forecast_s) at 1 thread / same at "
                "N threads; identical = h=1 forecasts bitwise equal to the "
                "serial run (must always be 1).\n";

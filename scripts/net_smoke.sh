@@ -6,6 +6,11 @@
 # "RESULT complete=1 rmse_finite=1" — i.e. the central store saw every node
 # and the forecasting stage produced a finite RMSE over real TCP.
 #
+# Also scrapes the controller's live metrics endpoint (second listener,
+# --metrics-port) and fails unless the Prometheus exposition reports
+# nonzero resmon_net_frames_total and resmon_net_slots_total — proving the
+# observability path works end to end, not just that the run completed.
+#
 # Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]
 set -euo pipefail
 
@@ -23,20 +28,26 @@ WORK=$(mktemp -d)
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 "$CONTROLLER" --port 0 --nodes "$NODES" --steps "$STEPS" --seed "$SEED" \
+  --metrics-port 0 --metrics-linger-ms 8000 \
   > "$WORK/controller.log" 2>&1 &
 CONTROLLER_PID=$!
 
-# The controller prints its resolved ephemeral port on the first line.
+# The controller announces both resolved ephemeral ports; the greps are
+# anchored to the distinct phrasings ("listening on" vs "metrics endpoint
+# on") so neither can pick up the other's port.
 PORT=
+MPORT=
 for _ in $(seq 1 100); do
-  PORT=$(grep -oE 'listening on [0-9.]+:[0-9]+' "$WORK/controller.log" \
-           2>/dev/null | grep -oE '[0-9]+$' || true)
-  [ -n "$PORT" ] && break
+  PORT=$(grep -oE '^resmon_controller listening on [0-9.]+:[0-9]+' \
+           "$WORK/controller.log" 2>/dev/null | grep -oE '[0-9]+$' || true)
+  MPORT=$(grep -oE '^resmon_controller metrics endpoint on [0-9.]+:[0-9]+' \
+           "$WORK/controller.log" 2>/dev/null | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && [ -n "$MPORT" ] && break
   kill -0 "$CONTROLLER_PID" 2>/dev/null || break
   sleep 0.1
 done
-if [ -z "$PORT" ]; then
-  echo "controller never announced its port:" >&2
+if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
+  echo "controller never announced its ports:" >&2
   cat "$WORK/controller.log" >&2
   exit 1
 fi
@@ -52,6 +63,29 @@ STATUS=0
 for pid in "${AGENT_PIDS[@]}"; do
   wait "$pid" || STATUS=1
 done
+
+# One HTTP/1.0 scrape of the live metrics endpoint over bash's /dev/tcp.
+scrape_metrics() {
+  exec 3<>"/dev/tcp/127.0.0.1/$MPORT" || return 1
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  cat <&3 > "$WORK/scrape.txt"
+  exec 3<&- 3>&-
+}
+
+# The controller may still be draining the last slots when the agents exit;
+# retry until a scrape shows the slot counter at its final nonzero value
+# (the controller lingers --metrics-linger-ms for exactly this window).
+SCRAPED=0
+for _ in $(seq 1 80); do
+  if scrape_metrics 2>/dev/null &&
+     grep -qE '^resmon_net_slots_total [1-9]' "$WORK/scrape.txt"; then
+    SCRAPED=1
+    break
+  fi
+  kill -0 "$CONTROLLER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+
 wait "$CONTROLLER_PID" || STATUS=1
 
 echo "--- controller ---"
@@ -68,4 +102,16 @@ grep -q 'RESULT complete=1 rmse_finite=1' "$WORK/controller.log" || {
   echo "controller result line missing or not clean" >&2
   exit 1
 }
+if [ "$SCRAPED" -ne 1 ]; then
+  echo "metrics endpoint never served a scrape with nonzero slots" >&2
+  [ -f "$WORK/scrape.txt" ] && tail -20 "$WORK/scrape.txt" >&2
+  exit 1
+fi
+grep -qE '^resmon_net_frames_total [1-9]' "$WORK/scrape.txt" || {
+  echo "resmon_net_frames_total missing or zero in the scrape" >&2
+  exit 1
+}
+FRAMES=$(grep -E '^resmon_net_frames_total' "$WORK/scrape.txt" | awk '{print $2}')
+SLOTS=$(grep -E '^resmon_net_slots_total' "$WORK/scrape.txt" | awk '{print $2}')
+echo "metrics scrape OK (frames_total=$FRAMES slots_total=$SLOTS)"
 echo "net smoke test OK ($NODES agents, $STEPS slots)"

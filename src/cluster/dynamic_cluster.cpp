@@ -14,6 +14,28 @@ DynamicClusterTracker::DynamicClusterTracker(
   RESMON_REQUIRE(options.history_m >= 1, "M must be at least 1");
   RESMON_REQUIRE(options.history_capacity >= options.history_m,
                  "history capacity must cover M");
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels = {{"view", options_.metrics_view}};
+    obs::MetricsRegistry& reg = *options_.metrics;
+    updates_total_ = &reg.counter("resmon_cluster_updates_total",
+                                  "Clustering steps processed", labels);
+    kmeans_iterations_total_ =
+        &reg.counter("resmon_cluster_kmeans_iterations_total",
+                     "Lloyd iterations of the best K-means restart", labels);
+    reassignments_total_ = &reg.counter(
+        "resmon_cluster_reassignments_total",
+        "Nodes whose stable cluster index changed vs. the previous step",
+        labels);
+    match_weight_ = &reg.gauge(
+        "resmon_cluster_match_weight",
+        "Total Hungarian matching weight of the last re-index, eq. (11)",
+        labels);
+    empty_clusters_ = &reg.gauge(
+        "resmon_cluster_empty_clusters",
+        "Clusters with no members after the last update (0 unless the "
+        "K-means empty-cluster repair is defeated)",
+        labels);
+  }
 }
 
 Matrix DynamicClusterTracker::similarity_matrix(
@@ -90,9 +112,13 @@ const Clustering& DynamicClusterTracker::update(const Matrix& features,
   std::vector<std::size_t> phi(options_.k);
   if (history_.empty() || !options_.reindex) {
     for (std::size_t j = 0; j < options_.k; ++j) phi[j] = j;
+    if (match_weight_ != nullptr) match_weight_->set(0.0);
   } else {
     const Matrix w = similarity_matrix(raw.assignment, features.rows());
     phi = max_weight_assignment(w);
+    if (match_weight_ != nullptr) {
+      match_weight_->set(assignment_value(w, phi));
+    }
   }
 
   for (std::size_t i = 0; i < features.rows(); ++i) {
@@ -100,12 +126,28 @@ const Clustering& DynamicClusterTracker::update(const Matrix& features,
   }
   // Report centroids in measurement space (eq. (1)); K-means' empty-cluster
   // repair guarantees every cluster has at least one member.
+  std::vector<bool> empty;
   final_clustering.centroids =
-      centroids_of(values, final_clustering.assignment, options_.k);
+      centroids_of(values, final_clustering.assignment, options_.k, &empty);
 
   for (std::size_t j = 0; j < options_.k; ++j) {
     const auto row = final_clustering.centroids.row(j);
     centroid_series_[j].emplace_back(row.begin(), row.end());
+  }
+
+  if (updates_total_ != nullptr) {
+    updates_total_->inc();
+    kmeans_iterations_total_->inc(raw.iterations);
+    empty_clusters_->set(static_cast<double>(
+        std::count(empty.begin(), empty.end(), true)));
+    if (!history_.empty()) {
+      std::uint64_t moved = 0;
+      const Clustering& prev = history_.front();
+      for (std::size_t i = 0; i < final_clustering.assignment.size(); ++i) {
+        if (final_clustering.assignment[i] != prev.assignment[i]) ++moved;
+      }
+      reassignments_total_->inc(moved);
+    }
   }
 
   history_.push_front(std::move(final_clustering));

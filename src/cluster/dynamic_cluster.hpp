@@ -16,6 +16,7 @@
 #include "cluster/kmeans.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace resmon::cluster {
 
@@ -42,6 +43,12 @@ struct DynamicClusterOptions {
   /// and the forecaster's M'); centroid series are kept in full regardless.
   std::size_t history_capacity = 128;
   KMeansOptions kmeans;
+
+  /// Optional metrics sink (non-owning). Series are labeled
+  /// {view="metrics_view"} so the per-resource trackers of one pipeline
+  /// stay distinguishable. nullptr = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_view;
 };
 
 /// Online evolutionary clustering: call update() once per time step with the
@@ -89,6 +96,12 @@ class DynamicClusterTracker {
   std::deque<Clustering> history_;  // front = most recent
   std::vector<std::vector<std::vector<double>>> centroid_series_;  // [j][t][d]
   std::size_t steps_ = 0;
+  // Optional metrics (all nullptr when no registry was given).
+  obs::Counter* updates_total_ = nullptr;
+  obs::Counter* kmeans_iterations_total_ = nullptr;
+  obs::Counter* reassignments_total_ = nullptr;
+  obs::Gauge* match_weight_ = nullptr;
+  obs::Gauge* empty_clusters_ = nullptr;
 };
 
 }  // namespace resmon::cluster

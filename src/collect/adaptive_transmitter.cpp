@@ -15,6 +15,16 @@ AdaptiveTransmitter::AdaptiveTransmitter(const AdaptiveOptions& options)
   RESMON_REQUIRE(options.v0 > 0.0, "V0 must be positive");
   RESMON_REQUIRE(options.gamma > 0.0 && options.gamma < 1.0,
                  "gamma must be in (0,1)");
+  if (options_.metrics != nullptr) {
+    queue_hist_ = &options_.metrics->histogram(
+        "resmon_collect_queue_length",
+        "Virtual-queue backlog Q_i(t) after each decision, eq. (9)",
+        {-4.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+    options_.metrics
+        ->gauge("resmon_collect_budget_b",
+                "Configured long-run transmission frequency cap B")
+        .set(options_.max_frequency);
+  }
 }
 
 bool AdaptiveTransmitter::decide(std::size_t t, std::span<const double> x) {
@@ -46,6 +56,7 @@ bool AdaptiveTransmitter::decide(std::size_t t, std::span<const double> x) {
   const double y = (transmit ? 1.0 : 0.0) - options_.max_frequency;
   queue_ += y;  // eq. (9)
   if (options_.clamp_queue) queue_ = std::max(queue_, 0.0);
+  if (queue_hist_ != nullptr) queue_hist_->observe(queue_);
 
   if (transmit) {
     last_sent_.assign(x.begin(), x.end());

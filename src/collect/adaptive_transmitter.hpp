@@ -14,6 +14,7 @@
 #pragma once
 
 #include "collect/transmit_policy.hpp"
+#include "obs/metrics.hpp"
 
 namespace resmon::collect {
 
@@ -30,6 +31,12 @@ struct AdaptiveOptions {
   /// through flat periods (frequency <= B instead of == B). Default follows
   /// the paper.
   bool clamp_queue = false;
+
+  /// Optional metrics sink (non-owning). All transmitters built from one
+  /// options struct share aggregate fleet-level series: the virtual-queue
+  /// backlog distribution and the configured budget B. nullptr = no
+  /// instrumentation, zero overhead on the hot path beyond a null check.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Drift-plus-penalty transmission policy for a single node.
@@ -57,6 +64,7 @@ class AdaptiveTransmitter final : public TransmitPolicy {
   std::vector<double> last_sent_;  // z_{i,t}; empty until first transmission
   std::uint64_t transmissions_ = 0;
   std::uint64_t decisions_ = 0;
+  obs::Histogram* queue_hist_ = nullptr;  // backlog Q_i(t) after each decide
 };
 
 /// Baseline (§VI-B): transmit at a fixed interval so that the average

@@ -1,5 +1,7 @@
 #include "collect/fleet_collector.hpp"
 
+#include <algorithm>
+
 #include "collect/adaptive_transmitter.hpp"
 #include "collect/deadband_transmitter.hpp"
 #include "common/thread_pool.hpp"
@@ -36,7 +38,7 @@ FleetCollector::FleetCollector(
     const trace::Trace& trace,
     const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
     const transport::ChannelOptions& channel_options, ThreadPool* pool,
-    std::unique_ptr<transport::Link> link)
+    std::unique_ptr<transport::Link> link, obs::MetricsRegistry* metrics)
     : trace_(trace),
       link_(link != nullptr
                 ? std::move(link)
@@ -48,6 +50,20 @@ FleetCollector::FleetCollector(
     policies_.push_back(make_policy());
     RESMON_REQUIRE(policies_.back() != nullptr,
                    "policy factory returned nullptr");
+  }
+  if (metrics != nullptr) {
+    decisions_total_ = &metrics->counter(
+        "resmon_collect_decisions_total",
+        "Per-node transmission decisions evaluated (N per step)");
+    sends_total_ =
+        &metrics->counter("resmon_collect_sends_total",
+                          "Measurements pushed to the uplink (beta = 1)");
+    link_bytes_ = &metrics->gauge(
+        "resmon_collect_link_bytes_sent",
+        "Cumulative wire bytes the uplink has carried (exact frame sizes)");
+    store_complete_ = &metrics->gauge(
+        "resmon_collect_store_complete",
+        "1 once the central store has heard from every node, else 0");
   }
 }
 
@@ -85,6 +101,13 @@ std::vector<bool> FleetCollector::step(std::size_t t) {
   for (const transport::MeasurementMessage& msg : link_->drain()) {
     store_.apply(msg);
   }
+  if (decisions_total_ != nullptr) {
+    decisions_total_->inc(n);
+    sends_total_->inc(static_cast<std::uint64_t>(
+        std::count(beta.begin(), beta.end(), true)));
+    link_bytes_->set(static_cast<double>(link_->bytes_sent()));
+    store_complete_->set(store_.complete() ? 1.0 : 0.0);
+  }
   return beta;
 }
 
@@ -96,7 +119,7 @@ double FleetCollector::average_actual_frequency() const {
 
 std::function<std::unique_ptr<TransmitPolicy>()> make_policy_factory(
     PolicyKind kind, double max_frequency, double v0, double gamma,
-    bool clamp_queue) {
+    bool clamp_queue, obs::MetricsRegistry* metrics) {
   switch (kind) {
     case PolicyKind::kAdaptive: {
       AdaptiveOptions opts;
@@ -104,6 +127,7 @@ std::function<std::unique_ptr<TransmitPolicy>()> make_policy_factory(
       opts.v0 = v0;
       opts.gamma = gamma;
       opts.clamp_queue = clamp_queue;
+      opts.metrics = metrics;
       return [opts]() -> std::unique_ptr<TransmitPolicy> {
         return std::make_unique<AdaptiveTransmitter>(opts);
       };

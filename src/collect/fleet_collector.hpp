@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "collect/transmit_policy.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 #include "transport/channel.hpp"
 #include "transport/link.hpp"
@@ -42,12 +43,15 @@ class FleetCollector {
   /// `link` replaces the default in-process Channel (e.g. with a
   /// net::LoopbackLink that runs the real wire codec); when provided,
   /// `channel_options` is ignored — configure the link directly.
+  /// `metrics` (non-owning, may be nullptr) receives fleet-level collection
+  /// series (resmon_collect_*; see DESIGN.md "Observability").
   FleetCollector(
       const trace::Trace& trace,
       const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
       const transport::ChannelOptions& channel_options = {},
       ThreadPool* pool = nullptr,
-      std::unique_ptr<transport::Link> link = nullptr);
+      std::unique_ptr<transport::Link> link = nullptr,
+      obs::MetricsRegistry* metrics = nullptr);
 
   /// Advance one time step. Must be called with consecutive t starting at 0.
   /// Returns the per-node transmission indicators beta_t.
@@ -72,11 +76,20 @@ class FleetCollector {
   transport::CentralStore store_;
   ThreadPool* pool_ = nullptr;
   std::size_t next_step_ = 0;
+  // Optional metrics (all nullptr when no registry was given).
+  obs::Counter* decisions_total_ = nullptr;
+  obs::Counter* sends_total_ = nullptr;
+  obs::Gauge* link_bytes_ = nullptr;
+  obs::Gauge* store_complete_ = nullptr;
 };
 
 /// Convenience: a policy factory for the given kind and budget B.
+/// `metrics` (non-owning) flows into AdaptiveOptions::metrics so the
+/// adaptive transmitters emit their queue-backlog series; the other policy
+/// kinds are covered by the FleetCollector-level counters.
 std::function<std::unique_ptr<TransmitPolicy>()> make_policy_factory(
     PolicyKind kind, double max_frequency, double v0 = 1e-12,
-    double gamma = 0.65, bool clamp_queue = false);
+    double gamma = 0.65, bool clamp_queue = false,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace resmon::collect

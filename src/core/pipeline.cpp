@@ -8,16 +8,6 @@
 
 namespace resmon::core {
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
-
 MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
                                        const PipelineOptions& options)
     : MonitoringPipeline(trace, options, /*external=*/false) {}
@@ -52,6 +42,26 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
           : options_.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 
+  if (options_.metrics != nullptr) {
+    registry_ = options_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const char* stage_help =
+      "Wall-clock seconds spent in this stage since the last run() began";
+  stage_collect_ = &registry_->gauge("resmon_pipeline_stage_seconds",
+                                     stage_help, {{"stage", "collect"}});
+  stage_cluster_ = &registry_->gauge("resmon_pipeline_stage_seconds",
+                                     stage_help, {{"stage", "cluster"}});
+  stage_forecast_ = &registry_->gauge("resmon_pipeline_stage_seconds",
+                                      stage_help, {{"stage", "forecast"}});
+  steps_total_ = &registry_->counter("resmon_pipeline_steps_total",
+                                     "Time slots processed (incl. warm-up)");
+  warmup_total_ = &registry_->counter(
+      "resmon_pipeline_warmup_slots_total",
+      "Slots skipped because the central store was still incomplete");
+
   if (external) {
     // Measurements arrive from other processes via step_external(); the
     // pipeline only owns the central node's view of them.
@@ -65,9 +75,9 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
         trace,
         collect::make_policy_factory(options.policy, options.max_frequency,
                                      options.v0, options.gamma,
-                                     options.clamp_queue),
+                                     options.clamp_queue, registry_),
         options_.channel, pool_.get(),
-        std::make_unique<net::LoopbackLink>(options_.channel));
+        std::make_unique<net::LoopbackLink>(options_.channel), registry_);
   }
 
   const std::size_t views =
@@ -83,13 +93,16 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
       {options.similarity_lookback, options.offset_lookback + 1,
        std::size_t{16}});
   copts.kmeans.pool = pool_.get();
+  copts.metrics = registry_;
 
   trackers_.reserve(views);
   offsets_.reserve(views);
   models_.resize(views);
   snapshot_history_.resize(views);
   for (std::size_t v = 0; v < views; ++v) {
-    trackers_.emplace_back(copts, options.seed + 1000 * (v + 1));
+    cluster::DynamicClusterOptions vopts = copts;
+    vopts.metrics_view = std::to_string(v);
+    trackers_.emplace_back(vopts, options.seed + 1000 * (v + 1));
     offsets_.emplace_back(options.offset_lookback, options.num_clusters,
                           options.offset_alpha);
     const std::size_t dims = view_dims();
@@ -100,10 +113,18 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
             forecast::make_forecaster(
                 options.forecaster,
                 options.seed + 7919 * (v + 1) + 31 * j + dim),
-            options.schedule));
+            options.schedule, registry_,
+            "v" + std::to_string(v) + ".c" + std::to_string(j) + ".d" +
+                std::to_string(dim)));
       }
     }
   }
+}
+
+StageTimers MonitoringPipeline::stage_timers() const {
+  return StageTimers{.collect_seconds = stage_collect_->value(),
+                     .cluster_seconds = stage_cluster_->value(),
+                     .forecast_seconds = stage_forecast_->value()};
 }
 
 Matrix MonitoringPipeline::view_snapshot(std::size_t view) const {
@@ -180,9 +201,11 @@ void MonitoringPipeline::step() {
   RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
   const std::size_t t = step_count_;
 
-  const auto start = std::chrono::steady_clock::now();
-  collector_->step(t);
-  timers_.collect_seconds += seconds_since(start);
+  {
+    obs::ScopedSpan span(options_.trace_events, "pipeline.collect",
+                         stage_collect_);
+    collector_->step(t);
+  }
   finish_step();
 }
 
@@ -191,11 +214,13 @@ void MonitoringPipeline::step_external(
   RESMON_REQUIRE(external_store_ != nullptr,
                  "step_external() requires the ExternalCollection mode");
   RESMON_REQUIRE(!done(), "pipeline already consumed the whole trace");
-  const auto start = std::chrono::steady_clock::now();
-  for (const transport::MeasurementMessage& m : messages) {
-    external_store_->apply(m);
+  {
+    obs::ScopedSpan span(options_.trace_events, "pipeline.collect",
+                         stage_collect_);
+    for (const transport::MeasurementMessage& m : messages) {
+      external_store_->apply(m);
+    }
   }
-  timers_.collect_seconds += seconds_since(start);
   finish_step();
 }
 
@@ -205,6 +230,8 @@ void MonitoringPipeline::finish_step() {
     // heard from every machine yet; keep collecting until it has. (Every
     // built-in policy transmits at t = 0, so on a reliable link this never
     // lasts beyond the first step.)
+    warmup_total_->inc();
+    steps_total_->inc();
     ++step_count_;
     return;
   }
@@ -213,35 +240,43 @@ void MonitoringPipeline::finish_step() {
   // own RNG inside the tracker), so views update in parallel; a view's
   // nested K-means parallel loops fall through to the same pool. Chunk
   // grain 1 = one task per view.
-  auto start = std::chrono::steady_clock::now();
-  run_chunked(pool_.get(), trackers_.size(), 1,
-              [&](std::size_t, std::size_t begin, std::size_t end) {
-                for (std::size_t v = begin; v < end; ++v) update_view(v);
-              });
-  timers_.cluster_seconds += seconds_since(start);
+  {
+    obs::ScopedSpan span(options_.trace_events, "pipeline.cluster",
+                         stage_cluster_);
+    run_chunked(pool_.get(), trackers_.size(), 1,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t v = begin; v < end; ++v) update_view(v);
+                });
+  }
 
   // Every (view, cluster, dim) forecaster is an independent model fed from
   // the clustering finished above; retrains run in parallel, one task per
   // model.
-  start = std::chrono::steady_clock::now();
-  const std::size_t dims = view_dims();
-  const std::size_t per_view = options_.num_clusters * dims;
-  run_chunked(pool_.get(), trackers_.size() * per_view, 1,
-              [&](std::size_t, std::size_t begin, std::size_t end) {
-                for (std::size_t m = begin; m < end; ++m) {
-                  const std::size_t v = m / per_view;
-                  const std::size_t idx = m % per_view;
-                  const cluster::Clustering& clustering =
-                      trackers_[v].history(0);
-                  models_[v][idx]->observe(
-                      clustering.centroids(idx / dims, idx % dims));
-                }
-              });
-  timers_.forecast_seconds += seconds_since(start);
+  {
+    obs::ScopedSpan span(options_.trace_events, "pipeline.forecast",
+                         stage_forecast_);
+    const std::size_t dims = view_dims();
+    const std::size_t per_view = options_.num_clusters * dims;
+    run_chunked(pool_.get(), trackers_.size() * per_view, 1,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t m = begin; m < end; ++m) {
+                    const std::size_t v = m / per_view;
+                    const std::size_t idx = m % per_view;
+                    const cluster::Clustering& clustering =
+                        trackers_[v].history(0);
+                    models_[v][idx]->observe(
+                        clustering.centroids(idx / dims, idx % dims));
+                  }
+                });
+  }
+  steps_total_->inc();
   ++step_count_;
 }
 
 void MonitoringPipeline::run(std::size_t count) {
+  stage_collect_->set(0.0);
+  stage_cluster_->set(0.0);
+  stage_forecast_->set(0.0);
   for (std::size_t i = 0; i < count && !done(); ++i) step();
 }
 

@@ -26,6 +26,8 @@
 #include "core/estimation.hpp"
 #include "core/metrics.hpp"
 #include "forecast/managed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
 #include "trace/trace.hpp"
 
 namespace resmon::core {
@@ -68,6 +70,16 @@ struct PipelineOptions {
 
   std::uint64_t seed = 1;
 
+  // -- observability ---------------------------------------------------------
+  /// Optional metrics sink (non-owning): every component's series land
+  /// here (resmon_collect_*, resmon_cluster_*, resmon_forecast_*,
+  /// resmon_pipeline_*). When null the pipeline owns a private registry so
+  /// stage_timers() and metrics() always work.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional trace-event sink (non-owning): per-step pipeline.collect /
+  /// pipeline.cluster / pipeline.forecast spans. nullptr = no tracing.
+  obs::TraceBuffer* trace_events = nullptr;
+
   // -- execution -------------------------------------------------------------
   /// Worker threads for the hot stages of step() (policy stepping, K-means,
   /// forecaster retraining). 0 = hardware concurrency, 1 = the exact serial
@@ -76,8 +88,10 @@ struct PipelineOptions {
   std::size_t num_threads = 1;
 };
 
-/// Cumulative wall-clock seconds spent in each stage of step() (the
-/// breakdown bench/micro_parallel_step and table4_computation_time report).
+/// Wall-clock seconds spent in each stage of step() since the last run()
+/// began (the breakdown bench/micro_parallel_step and
+/// table4_computation_time report). A value-type adapter over the
+/// resmon_pipeline_stage_seconds{stage=...} gauges in the registry.
 struct StageTimers {
   double collect_seconds = 0.0;   ///< policy stepping + channel + store
   double cluster_seconds = 0.0;   ///< snapshots, K-means, re-indexing, offsets
@@ -113,7 +127,9 @@ class MonitoringPipeline {
   void step_external(
       std::span<const transport::MeasurementMessage> messages);
 
-  /// Run `count` steps (convenience).
+  /// Run `count` steps (convenience). Resets the per-stage timers first so
+  /// each run() reports its own breakdown rather than silently accumulating
+  /// across repeated runs on one pipeline object.
   void run(std::size_t count);
 
   /// Steps processed so far; the last processed step index is
@@ -157,8 +173,13 @@ class MonitoringPipeline {
   const PipelineOptions& options() const { return options_; }
   const trace::Trace& trace() const { return trace_; }
 
-  /// Per-stage wall-clock breakdown accumulated across step() calls.
-  const StageTimers& stage_timers() const { return timers_; }
+  /// Per-stage wall-clock breakdown accumulated across step() calls since
+  /// the last run() started (reads the stage gauges in metrics()).
+  StageTimers stage_timers() const;
+
+  /// The registry all pipeline series are registered in: the one from
+  /// PipelineOptions::metrics, else the pipeline-owned fallback.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
 
   /// Clustering features of a view: the concatenation of the last
   /// `temporal_window` stored snapshots, N x (view_dims * temporal_window),
@@ -205,7 +226,14 @@ class MonitoringPipeline {
   std::vector<std::deque<Matrix>> snapshot_history_;
   std::size_t snapshot_capacity_;
   std::size_t step_count_ = 0;
-  StageTimers timers_;
+  /// Fallback registry, owned only when PipelineOptions::metrics is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;  ///< always valid
+  obs::Gauge* stage_collect_ = nullptr;
+  obs::Gauge* stage_cluster_ = nullptr;
+  obs::Gauge* stage_forecast_ = nullptr;
+  obs::Counter* steps_total_ = nullptr;
+  obs::Counter* warmup_total_ = nullptr;
 };
 
 }  // namespace resmon::core

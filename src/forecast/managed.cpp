@@ -1,22 +1,54 @@
 #include "forecast/managed.hpp"
 
 #include <chrono>
+#include <cmath>
 
 #include "common/error.hpp"
 
 namespace resmon::forecast {
 
 ManagedForecaster::ManagedForecaster(std::unique_ptr<Forecaster> model,
-                                     const RetrainSchedule& schedule)
+                                     const RetrainSchedule& schedule,
+                                     obs::MetricsRegistry* metrics,
+                                     const std::string& label)
     : model_(std::move(model)), schedule_(schedule) {
   RESMON_REQUIRE(model_ != nullptr, "ManagedForecaster requires a model");
   RESMON_REQUIRE(schedule.initial_steps >= 2,
                  "initial collection phase must have at least 2 steps");
   RESMON_REQUIRE(schedule.retrain_interval >= 1,
                  "retrain interval must be at least 1 step");
+  if (metrics != nullptr) {
+    fits_total_ = &metrics->counter("resmon_forecast_fits_total",
+                                    "Completed model (re)fits, all models");
+    fit_failures_total_ = &metrics->counter(
+        "resmon_forecast_fit_failures_total",
+        "Scheduled fits that threw NumericalError (fallback regime)");
+    fit_seconds_ = &metrics->histogram(
+        "resmon_forecast_fit_seconds",
+        "Wall-clock duration of one model fit", obs::duration_seconds_buckets());
+    residual_gauge_ = &metrics->gauge(
+        "resmon_forecast_residual_rmse",
+        "Cumulative one-step-ahead RMSE of this model's forecasts",
+        {{"model", label}});
+  }
+}
+
+double ManagedForecaster::residual_rmse() const {
+  if (residual_count_ == 0) return 0.0;
+  return std::sqrt(residual_sq_sum_ / static_cast<double>(residual_count_));
 }
 
 void ManagedForecaster::observe(double value) {
+  if (residual_gauge_ != nullptr && !history_.empty()) {
+    // What would we have predicted for this step? Same fallback rule as
+    // forecast(): the model once ready, else sample-and-hold.
+    const double pred = ready() ? model_->forecast(1) : history_.back();
+    const double err = value - pred;
+    residual_sq_sum_ += err * err;
+    ++residual_count_;
+    residual_gauge_->set(residual_rmse());
+  }
+
   history_.push_back(value);
 
   const bool due =
@@ -27,17 +59,28 @@ void ManagedForecaster::observe(double value) {
            0);
   if (due) {
     const auto start = std::chrono::steady_clock::now();
+    bool fit_ok = false;
     try {
       model_->fit(history_);
       ++fits_completed_;
+      fit_ok = true;
     } catch (const NumericalError&) {
       // Not enough usable data yet (e.g. seasonal ARIMA with a long season);
       // stay in the fallback regime until the next scheduled fit.
     }
-    training_seconds_ +=
+    const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    training_seconds_ += seconds;
+    if (fits_total_ != nullptr) {
+      if (fit_ok) {
+        fits_total_->inc();
+      } else {
+        fit_failures_total_->inc();
+      }
+      fit_seconds_->observe(seconds);
+    }
   } else if (ready()) {
     model_->update(value);
   }

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "forecast/forecaster.hpp"
+#include "obs/metrics.hpp"
 
 namespace resmon::forecast {
 
@@ -26,8 +28,15 @@ struct RetrainSchedule {
 /// pipeline always has an answer.
 class ManagedForecaster {
  public:
+  /// `metrics` (non-owning, may be nullptr) turns on instrumentation: the
+  /// shared resmon_forecast_fits/fit-seconds series plus a
+  /// resmon_forecast_residual_rmse{model="label"} gauge tracking this
+  /// model's cumulative one-step-ahead error. Without a registry the
+  /// residual is not tracked (no forecast(1) on the observe path).
   ManagedForecaster(std::unique_ptr<Forecaster> model,
-                    const RetrainSchedule& schedule);
+                    const RetrainSchedule& schedule,
+                    obs::MetricsRegistry* metrics = nullptr,
+                    const std::string& label = {});
 
   /// Record one new observation (one per time step).
   void observe(double value);
@@ -46,12 +55,25 @@ class ManagedForecaster {
   /// Total wall-clock seconds spent inside model->fit() so far (Table II).
   double total_training_seconds() const { return training_seconds_; }
 
+  /// RMSE of the one-step-ahead forecasts made so far (cumulative over all
+  /// observe() calls after the first). Only tracked when a metrics registry
+  /// was attached; 0.0 otherwise or before the second observation.
+  double residual_rmse() const;
+
  private:
   std::unique_ptr<Forecaster> model_;
   RetrainSchedule schedule_;
   std::vector<double> history_;
   std::size_t fits_completed_ = 0;
   double training_seconds_ = 0.0;
+  // One-step-ahead residual accumulation (metrics-only).
+  double residual_sq_sum_ = 0.0;
+  std::size_t residual_count_ = 0;
+  // Optional metrics (all nullptr when no registry was given).
+  obs::Counter* fits_total_ = nullptr;
+  obs::Counter* fit_failures_total_ = nullptr;
+  obs::Histogram* fit_seconds_ = nullptr;
+  obs::Gauge* residual_gauge_ = nullptr;
 };
 
 }  // namespace resmon::forecast

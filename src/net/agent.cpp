@@ -13,6 +13,27 @@ Agent::Agent(const AgentOptions& options,
   RESMON_REQUIRE(policy_ != nullptr, "Agent needs a transmit policy");
   RESMON_REQUIRE(options.num_resources > 0,
                  "Agent needs at least one resource");
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    const obs::Labels labels = {{"node", std::to_string(options_.node)}};
+    m_frames_total_ = &reg.counter("resmon_agent_frames_sent_total",
+                                   "Frames delivered to the controller",
+                                   labels);
+    m_measurements_total_ =
+        &reg.counter("resmon_agent_measurements_sent_total",
+                     "Measurement frames delivered (beta = 1)", labels);
+    m_heartbeats_total_ =
+        &reg.counter("resmon_agent_heartbeats_sent_total",
+                     "Heartbeat frames delivered (silent slots)", labels);
+    m_bytes_total_ = &reg.counter("resmon_agent_bytes_sent_total",
+                                  "Encoded frame bytes delivered", labels);
+    m_reconnects_total_ =
+        &reg.counter("resmon_agent_reconnects_total",
+                     "Successful re-handshakes after a connection loss",
+                     labels);
+    m_connected_ = &reg.gauge("resmon_agent_connected",
+                              "1 while the connection is up, else 0", labels);
+  }
 }
 
 bool Agent::try_connect_once() {
@@ -56,6 +77,7 @@ bool Agent::try_connect_once() {
         }
         sock_ = std::move(sock);
         ever_connected_ = true;
+        if (m_connected_ != nullptr) m_connected_->set(1.0);
         return true;
       }
       if (std::chrono::steady_clock::now() >= deadline) return false;
@@ -105,14 +127,22 @@ void Agent::deliver(const std::vector<std::uint8_t>& bytes) {
     if (!connected()) {
       const bool outage = ever_connected_;
       reconnect_with_backoff();
-      if (outage) ++reconnects_;
+      if (outage) {
+        ++reconnects_;
+        if (m_reconnects_total_ != nullptr) m_reconnects_total_->inc();
+      }
     }
     if (sock_.write_all(bytes, options_.io_timeout_ms)) {
       ++frames_sent_;
       bytes_sent_ += bytes.size();
+      if (m_frames_total_ != nullptr) {
+        m_frames_total_->inc();
+        m_bytes_total_->inc(bytes.size());
+      }
       return;
     }
     sock_.close();
+    if (m_connected_ != nullptr) m_connected_->set(0.0);
   }
   throw SocketError("agent " + std::to_string(options_.node) +
                     ": connection lost and resend failed");
@@ -129,9 +159,11 @@ bool Agent::observe(std::size_t t, std::span<const double> x) {
     m.values.assign(x.begin(), x.end());
     deliver(wire::encode(m));
     ++measurements_sent_;
+    if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
   } else if (options_.heartbeat_when_silent) {
     deliver(wire::encode(wire::HeartbeatFrame{
         .node = options_.node, .step = static_cast<std::uint64_t>(t)}));
+    if (m_heartbeats_total_ != nullptr) m_heartbeats_total_->inc();
   }
   return beta;
 }

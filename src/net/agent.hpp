@@ -17,6 +17,7 @@
 #include "collect/transmit_policy.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace resmon::net {
 
@@ -38,6 +39,10 @@ struct AgentOptions {
   /// Send a heartbeat on slots where the policy stays silent (required for
   /// the controller's slot barrier; disable only for custom protocols).
   bool heartbeat_when_silent = true;
+
+  /// Optional metrics sink (non-owning): the resmon_agent_* series,
+  /// labeled {node="<id>"}. nullptr = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Agent {
@@ -81,6 +86,13 @@ class Agent {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t reconnects_ = 0;
   bool ever_connected_ = false;
+  // Optional metrics (all nullptr when no registry was given).
+  obs::Counter* m_frames_total_ = nullptr;
+  obs::Counter* m_measurements_total_ = nullptr;
+  obs::Counter* m_heartbeats_total_ = nullptr;
+  obs::Counter* m_bytes_total_ = nullptr;
+  obs::Counter* m_reconnects_total_ = nullptr;
+  obs::Gauge* m_connected_ = nullptr;
 };
 
 }  // namespace resmon::net

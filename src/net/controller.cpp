@@ -30,6 +30,60 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
                  "Controller needs at least one resource");
   RESMON_REQUIRE(listener_.valid(), "Controller needs a listening socket");
   poller_.watch(listener_.fd());
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    m_frames_total_ = &reg.counter("resmon_net_frames_total",
+                                   "Frames decoded from agent streams");
+    m_measurements_total_ = &reg.counter(
+        "resmon_net_measurements_total", "Measurement frames accepted");
+    m_heartbeats_total_ = &reg.counter("resmon_net_heartbeats_total",
+                                       "Heartbeat frames accepted");
+    m_bytes_total_ =
+        &reg.counter("resmon_net_bytes_total", "Raw bytes read from agents");
+    m_connections_total_ = &reg.counter("resmon_net_connections_total",
+                                        "Agent connections accepted");
+    m_rejected_total_ = &reg.counter(
+        "resmon_net_connections_rejected_total",
+        "Connections dropped for wire-protocol or semantic violations");
+    m_stale_dropped_total_ = &reg.counter(
+        "resmon_net_stale_connections_dropped_total",
+        "Half-open connections displaced by a newer hello (newest-wins)");
+    m_slots_total_ = &reg.counter("resmon_net_slots_total",
+                                  "Slots fully collected across all nodes");
+    m_slot_timeouts_total_ = &reg.counter(
+        "resmon_net_slot_timeouts_total",
+        "collect_slot calls that gave up before the barrier completed");
+    m_scrapes_total_ = &reg.counter("resmon_net_metrics_scrapes_total",
+                                    "Completed metrics-endpoint scrapes");
+    m_connected_agents_ = &reg.gauge(
+        "resmon_net_connected_agents",
+        "Nodes with a live, hello-completed connection right now");
+    m_slot_wait_ms_ = &reg.histogram(
+        "resmon_net_slot_wait_ms",
+        "Wall-clock milliseconds collect_slot waited at the slot barrier",
+        obs::duration_ms_buckets());
+  }
+}
+
+void Controller::serve_metrics(Socket listener) {
+  RESMON_REQUIRE(options_.metrics != nullptr,
+                 "serve_metrics requires ControllerOptions::metrics");
+  RESMON_REQUIRE(listener.valid(), "serve_metrics needs a listening socket");
+  RESMON_REQUIRE(!metrics_listener_.valid(),
+                 "metrics endpoint already attached");
+  metrics_listener_ = std::move(listener);
+  poller_.watch(metrics_listener_.fd());
+}
+
+void Controller::pump_idle(int duration_ms, std::uint64_t until_scrapes) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(duration_ms);
+  for (;;) {
+    if (until_scrapes != 0 && metrics_scrapes_ >= until_scrapes) return;
+    const int left = remaining_ms(deadline);
+    if (left == 0) return;
+    pump(std::min(left, kPumpSliceMs));
+  }
 }
 
 bool Controller::wait_for_agents(std::size_t count, int timeout_ms) {
@@ -51,10 +105,20 @@ Controller::collect_slot(std::size_t t, int timeout_ms) {
                          return p >= static_cast<long long>(t);
                        });
   };
+  const auto wait_start = Clock::now();
   while (!slot_complete()) {
     const int left = remaining_ms(deadline);
-    if (left == 0) return std::nullopt;
+    if (left == 0) {
+      if (m_slot_timeouts_total_ != nullptr) m_slot_timeouts_total_->inc();
+      return std::nullopt;
+    }
     pump(std::min(left, kPumpSliceMs));
+  }
+  if (m_slots_total_ != nullptr) {
+    m_slots_total_->inc();
+    m_slot_wait_ms_->observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - wait_start)
+            .count());
   }
 
   std::vector<transport::MeasurementMessage> out;
@@ -78,6 +142,17 @@ void Controller::pump(int timeout_ms) {
       accept_pending();
       continue;
     }
+    if (metrics_listener_.valid() && ev.fd == metrics_listener_.fd()) {
+      accept_metrics_pending();
+      continue;
+    }
+    if (auto mit = metrics_connections_.find(ev.fd);
+        mit != metrics_connections_.end()) {
+      if ((ev.readable || ev.hangup) && !service_metrics(mit->second)) {
+        drop_metrics(ev.fd);
+      }
+      continue;
+    }
     auto it = connections_.find(ev.fd);
     if (it == connections_.end()) continue;  // dropped earlier this round
     if (ev.readable || ev.hangup) {
@@ -92,7 +167,81 @@ void Controller::accept_pending() {
     connections_.emplace(fd,
                          Connection(std::move(*sock), options_.max_payload));
     poller_.watch(fd);
+    if (m_connections_total_ != nullptr) m_connections_total_->inc();
   }
+}
+
+void Controller::accept_metrics_pending() {
+  while (std::optional<Socket> sock = metrics_listener_.accept()) {
+    const int fd = sock->fd();
+    metrics_connections_.emplace(fd, MetricsConnection(std::move(*sock)));
+    poller_.watch(fd);
+  }
+}
+
+bool Controller::service_metrics(MetricsConnection& conn) {
+  std::uint8_t buf[1024];
+  bool request_done = false;
+  for (;;) {
+    std::size_t n = 0;
+    const IoStatus status = conn.sock.read_some(buf, n);
+    if (status == IoStatus::kOk) {
+      conn.request.append(reinterpret_cast<const char*>(buf), n);
+      // Ignore whatever was actually asked for: every request gets the full
+      // exposition. Cap the request buffer so a hostile client cannot grow
+      // it without bound.
+      if (conn.request.size() > 8192) return false;
+      if (conn.request.find("\r\n\r\n") != std::string::npos ||
+          conn.request.find("\n\n") != std::string::npos) {
+        request_done = true;
+        break;
+      }
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) return true;  // wait for more
+    // kClosed with a nonempty request: peer shut down its write side
+    // (e.g. `curl --http0.9`); still answer.
+    request_done = !conn.request.empty();
+    break;
+  }
+  if (!request_done) return false;
+
+  const std::string body = options_.metrics->render_text();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n\r\n" +
+      body;
+  const bool wrote = conn.sock.write_all(
+      {reinterpret_cast<const std::uint8_t*>(response.data()),
+       response.size()},
+      1000);
+  if (wrote) {
+    ++metrics_scrapes_;
+    if (m_scrapes_total_ != nullptr) m_scrapes_total_->inc();
+  }
+  return false;  // one response per connection; close either way
+}
+
+void Controller::drop_metrics(int fd) {
+  auto it = metrics_connections_.find(fd);
+  if (it == metrics_connections_.end()) return;
+  poller_.unwatch(fd);
+  metrics_connections_.erase(it);  // Socket destructor closes the fd
+}
+
+void Controller::count_wire_error(wire::WireError error) {
+  if (options_.metrics == nullptr) return;
+  // Registered lazily: label values are only known when an error happens,
+  // and errors are rare enough that the registry mutex does not matter.
+  options_.metrics
+      ->counter("resmon_net_wire_errors_total",
+                "Byte streams rejected by the frame decoder, by error",
+                {{"error", wire::wire_error_name(error)}})
+      .inc();
 }
 
 bool Controller::service(Connection& conn) {
@@ -102,14 +251,19 @@ bool Controller::service(Connection& conn) {
     const IoStatus status = conn.sock.read_some(buf, n);
     if (status == IoStatus::kOk) {
       bytes_received_ += n;
+      if (m_bytes_total_ != nullptr) m_bytes_total_->inc(n);
       if (!conn.decoder.feed({buf, n})) {
         ++connections_rejected_;
+        if (m_rejected_total_ != nullptr) m_rejected_total_->inc();
+        count_wire_error(conn.decoder.error());
         return false;  // poisoned stream: drop the connection
       }
       while (std::optional<wire::Frame> frame = conn.decoder.next()) {
         ++frames_received_;
+        if (m_frames_total_ != nullptr) m_frames_total_->inc();
         if (!handle_frame(conn, std::move(*frame))) {
           ++connections_rejected_;
+          if (m_rejected_total_ != nullptr) m_rejected_total_->inc();
           return false;
         }
       }
@@ -140,7 +294,10 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
           connections_.begin(), connections_.end(), [&](const auto& kv) {
             return kv.second.node == static_cast<long long>(hello.node);
           });
-      if (stale != connections_.end()) drop(stale->first, /*rejected=*/false);
+      if (stale != connections_.end()) {
+        drop(stale->first, /*rejected=*/false);
+        if (m_stale_dropped_total_ != nullptr) m_stale_dropped_total_->inc();
+      }
     }
     const wire::HelloAckFrame ack{
         .node = hello.node,
@@ -151,6 +308,9 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
     if (reject != HelloReject::kNone || !wrote) return false;
     conn.node = static_cast<long long>(hello.node);
     ++connected_nodes_;
+    if (m_connected_agents_ != nullptr) {
+      m_connected_agents_->set(static_cast<double>(connected_nodes_));
+    }
     if (!seen_[hello.node]) {
       seen_[hello.node] = 1;
       ++nodes_seen_;
@@ -170,6 +330,7 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
     progress_[m.node] =
         std::max(progress_[m.node], static_cast<long long>(m.step));
     inbox_[m.node].push_back(std::move(m));
+    if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
     return true;
   }
   if (std::holds_alternative<wire::HeartbeatFrame>(frame)) {
@@ -179,6 +340,7 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
     }
     progress_[hb.node] =
         std::max(progress_[hb.node], static_cast<long long>(hb.step));
+    if (m_heartbeats_total_ != nullptr) m_heartbeats_total_->inc();
     return true;
   }
   // HelloAck is controller -> agent only.
@@ -188,8 +350,14 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
 void Controller::drop(int fd, bool rejected) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
-  if (rejected) ++connections_rejected_;
+  if (rejected) {
+    ++connections_rejected_;
+    if (m_rejected_total_ != nullptr) m_rejected_total_->inc();
+  }
   if (it->second.node >= 0) --connected_nodes_;
+  if (m_connected_agents_ != nullptr) {
+    m_connected_agents_->set(static_cast<double>(connected_nodes_));
+  }
   poller_.unwatch(fd);
   connections_.erase(it);  // Socket destructor closes the fd
 }

@@ -21,12 +21,14 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "transport/channel.hpp"
 
 namespace resmon::net {
@@ -36,6 +38,10 @@ struct ControllerOptions {
   std::size_t num_resources = 0;  ///< d: required hello dimensionality
   /// Per-connection payload cap handed to the decoders.
   std::size_t max_payload = wire::kMaxPayloadSize;
+  /// Optional metrics sink (non-owning): the resmon_net_* series, and the
+  /// registry the metrics endpoint (serve_metrics) exposes. nullptr = no
+  /// instrumentation and no endpoint.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Hello rejection reasons carried in HelloAckFrame::reason.
@@ -56,6 +62,26 @@ class Controller {
 
   /// Port the listener is bound to (resolves port-0 binds).
   std::uint16_t port() const { return listener_.local_port(); }
+
+  /// Attach a second listening socket serving the metrics registry as a
+  /// Prometheus text exposition over minimal HTTP/1.0 ("GET anything" ->
+  /// 200 + render_text + close). Scrapes are handled inside the same
+  /// poll(2) loop that drives the agents, so the endpoint is live whenever
+  /// the controller is pumping (wait_for_agents / collect_slot / pump_idle).
+  /// Requires ControllerOptions::metrics.
+  void serve_metrics(Socket listener);
+
+  /// Port of the metrics listener (after serve_metrics).
+  std::uint16_t metrics_port() const { return metrics_listener_.local_port(); }
+
+  /// Completed metrics scrapes (responses fully written).
+  std::uint64_t metrics_scrapes() const { return metrics_scrapes_; }
+
+  /// Pump the event loop for `duration_ms` without waiting on any slot:
+  /// lets the metrics endpoint answer scrapes after the run loop finished.
+  /// Returns early once `until_scrapes` total scrapes have completed
+  /// (0 = never return early).
+  void pump_idle(int duration_ms, std::uint64_t until_scrapes = 0);
 
   /// Pump the event loop until `count` distinct nodes have completed the
   /// hello handshake at least once, or `timeout_ms` elapses. Counts nodes
@@ -90,19 +116,36 @@ class Controller {
         : sock(std::move(s)), decoder(max_payload) {}
   };
 
+  /// A pending scrape on the metrics port: buffered request bytes until
+  /// the header terminator (or EOF) arrives, then one response and close.
+  struct MetricsConnection {
+    Socket sock;
+    std::string request;
+    explicit MetricsConnection(Socket s) : sock(std::move(s)) {}
+  };
+
   /// One event-loop iteration: accept, read, decode, dispatch.
   void pump(int timeout_ms);
   void accept_pending();
+  void accept_metrics_pending();
   /// Read every available byte from `conn`; returns false if the
   /// connection should be dropped.
   bool service(Connection& conn);
+  /// Returns false once the scrape is finished (response sent or peer
+  /// gone) and the connection should be closed.
+  bool service_metrics(MetricsConnection& conn);
   bool handle_frame(Connection& conn, wire::Frame&& frame);
   void drop(int fd, bool rejected);
+  void drop_metrics(int fd);
+  /// Count a poisoned stream against resmon_net_wire_errors_total.
+  void count_wire_error(wire::WireError error);
 
   ControllerOptions options_;
   Socket listener_;
+  Socket metrics_listener_;  ///< invalid until serve_metrics
   Poller poller_;
   std::unordered_map<int, Connection> connections_;
+  std::unordered_map<int, MetricsConnection> metrics_connections_;
   std::size_t connected_nodes_ = 0;
   std::vector<char> seen_;  ///< per-node: hello ever completed
   std::size_t nodes_seen_ = 0;
@@ -115,6 +158,20 @@ class Controller {
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t connections_rejected_ = 0;
+  std::uint64_t metrics_scrapes_ = 0;
+  // Optional metrics (all nullptr when no registry was given).
+  obs::Counter* m_frames_total_ = nullptr;
+  obs::Counter* m_measurements_total_ = nullptr;
+  obs::Counter* m_heartbeats_total_ = nullptr;
+  obs::Counter* m_bytes_total_ = nullptr;
+  obs::Counter* m_connections_total_ = nullptr;
+  obs::Counter* m_rejected_total_ = nullptr;
+  obs::Counter* m_stale_dropped_total_ = nullptr;
+  obs::Counter* m_slots_total_ = nullptr;
+  obs::Counter* m_slot_timeouts_total_ = nullptr;
+  obs::Counter* m_scrapes_total_ = nullptr;
+  obs::Gauge* m_connected_agents_ = nullptr;
+  obs::Histogram* m_slot_wait_ms_ = nullptr;
 };
 
 }  // namespace resmon::net

@@ -1,0 +1,30 @@
+// File export helpers for the --metrics-out / --trace-out CLI paths.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
+
+namespace resmon::obs {
+
+/// Write the registry's Prometheus text exposition to `path`.
+/// Throws InvalidArgument when the file cannot be opened.
+inline void write_metrics_file(const std::string& path,
+                               const MetricsRegistry& registry) {
+  std::ofstream out(path);
+  RESMON_REQUIRE(static_cast<bool>(out),
+                 "--metrics-out: cannot open " + path);
+  registry.render_text(out);
+}
+
+/// Write the trace buffer's retained spans as JSONL to `path`.
+inline void write_trace_file(const std::string& path,
+                             const TraceBuffer& buffer) {
+  std::ofstream out(path);
+  RESMON_REQUIRE(static_cast<bool>(out), "--trace-out: cannot open " + path);
+  buffer.dump_jsonl(out);
+}
+
+}  // namespace resmon::obs

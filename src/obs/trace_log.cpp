@@ -1,0 +1,95 @@
+#include "obs/trace_log.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <ostream>
+#include <thread>
+
+namespace resmon::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  RESMON_REQUIRE(capacity >= 1, "trace buffer needs capacity >= 1");
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void TraceBuffer::record(std::string_view name,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  const std::uint64_t hashed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  TraceEvent ev;
+  ev.name.assign(name.begin(), name.end());
+  ev.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+          .count());
+  ev.dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(thread_ids_.begin(), thread_ids_.end(), hashed);
+  if (it == thread_ids_.end()) {
+    thread_ids_.push_back(hashed);
+    it = thread_ids_.end() - 1;
+  }
+  ev.tid = static_cast<std::uint32_t>(it - thread_ids_.begin());
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest retained event.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::dump_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : snapshot()) {
+    out << "{\"name\":\"";
+    for (char c : ev.name) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\",\"ts_us\":" << ev.ts_us << ",\"dur_us\":" << ev.dur_us
+        << ",\"tid\":" << ev.tid << "}\n";
+  }
+}
+
+double ScopedSpan::stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  elapsed_ = std::chrono::duration<double>(end - start_).count();
+  if (seconds_ != nullptr) seconds_->add(elapsed_);
+  if (buffer_ != nullptr) buffer_->record(name_, start_, end);
+  return elapsed_;
+}
+
+}  // namespace resmon::obs

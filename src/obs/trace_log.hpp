@@ -1,0 +1,98 @@
+// resmon::obs — lightweight trace-event layer.
+//
+// A TraceBuffer is a fixed-capacity ring of begin/end spans with
+// steady-clock durations; producers on any thread record finished spans,
+// old events are overwritten once the ring is full (the drop count is
+// kept), and dump_jsonl() writes one JSON object per line in recording
+// order:
+//
+//   {"name":"pipeline.cluster","ts_us":1234,"dur_us":56,"tid":1}
+//
+// ts_us is microseconds since the buffer's construction (a steady-clock
+// epoch, so traces from one process are mutually comparable), tid is a
+// small dense id assigned per recording thread. ScopedSpan is the RAII
+// producer: it times its scope and, on destruction, records the event
+// and/or accumulates the duration into a Gauge — either sink may be null,
+// so instrumented code needs no conditionals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace resmon::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   ///< span start, microseconds since buffer epoch
+  std::uint64_t dur_us = 0;  ///< span duration in microseconds
+  std::uint32_t tid = 0;     ///< dense per-thread id (0 = first seen thread)
+};
+
+/// Thread-safe fixed-capacity ring of trace events.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096);
+
+  void record(std::string_view name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const;
+  /// Events recorded in total, including overwritten ones.
+  std::uint64_t recorded() const;
+  /// Events lost to ring overwrite (recorded() - size()).
+  std::uint64_t dropped() const;
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// One JSON object per line, oldest first (see header comment).
+  void dump_jsonl(std::ostream& out) const;
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;          ///< ring write position
+  std::uint64_t recorded_ = 0;
+  std::vector<std::uint64_t> thread_ids_;  ///< hashed std::thread::id -> tid
+};
+
+/// RAII span: times construction -> destruction (or stop()), then records
+/// into `buffer` and adds the duration in seconds to `seconds`. Both sinks
+/// are optional.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuffer* buffer, std::string_view name,
+             Gauge* seconds = nullptr)
+      : buffer_(buffer),
+        seconds_(seconds),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// End the span early; idempotent. Returns the measured seconds.
+  double stop();
+
+ private:
+  TraceBuffer* buffer_;
+  Gauge* seconds_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace resmon::obs

@@ -10,6 +10,8 @@
 namespace resmon::cluster {
 namespace {
 
+using obs::Labels;
+
 /// Two 1-D groups around lo and hi with per-point jitter.
 Matrix two_groups(double lo, double hi, std::size_t per_group, Rng& rng) {
   Matrix points(2 * per_group, 1);
@@ -190,6 +192,90 @@ TEST_P(LookbackTest, StableUnderLookbackM) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ms, LookbackTest, ::testing::Values(1, 2, 5, 12));
+
+// -- edge cases, observed through the emitted metrics ------------------------
+
+TEST(DynamicClusterMetrics, KEqualToNodeCountYieldsSingletons) {
+  obs::MetricsRegistry reg;
+  DynamicClusterTracker tracker({.k = 3, .metrics = &reg, .metrics_view = "a"},
+                                12);
+  Matrix points(3, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 0.5;
+  points(2, 0) = 1.0;
+  const Clustering& c = tracker.update(points);
+  const std::set<std::size_t> labels(c.assignment.begin(),
+                                     c.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);  // every node its own cluster
+  const Labels view = {{"view", "a"}};
+  EXPECT_EQ(reg.value("resmon_cluster_updates_total", view), 1.0);
+  EXPECT_EQ(reg.value("resmon_cluster_empty_clusters", view), 0.0);
+  EXPECT_GT(reg.value("resmon_cluster_kmeans_iterations_total", view), 0.0);
+}
+
+TEST(DynamicClusterMetrics, KLargerThanNodesThrowsWithoutCountingUpdate) {
+  obs::MetricsRegistry reg;
+  DynamicClusterTracker tracker({.k = 5, .metrics = &reg, .metrics_view = "a"},
+                                13);
+  EXPECT_THROW(tracker.update(Matrix(3, 1)), InvalidArgument);
+  // The failed update must not leak into the series.
+  EXPECT_EQ(reg.value("resmon_cluster_updates_total", {{"view", "a"}}), 0.0);
+}
+
+TEST(DynamicClusterMetrics, RepairedEmptyClusterReadsZeroOnTheGauge) {
+  // Two coincident points and one far away with K = 3: naive K-means can
+  // leave a centroid memberless, but the empty-cluster repair must not —
+  // and the gauge is how that invariant is monitored in production.
+  obs::MetricsRegistry reg;
+  DynamicClusterTracker tracker({.k = 3, .metrics = &reg, .metrics_view = "a"},
+                                14);
+  Matrix points(3, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 0.0;
+  points(2, 0) = 10.0;
+  const Clustering& c = tracker.update(points);
+  std::vector<std::size_t> member_count(3, 0);
+  for (const std::size_t j : c.assignment) ++member_count[j];
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_GE(member_count[j], 1u);
+  EXPECT_EQ(reg.value("resmon_cluster_empty_clusters", {{"view", "a"}}), 0.0);
+}
+
+TEST(DynamicClusterMetrics, DegenerateHungarianAllEqualWeights) {
+  // Step 1 groups {0,1} vs {2,3}; step 2 regroups {0,2} vs {1,3}. Every
+  // (new, old) cluster pair then shares exactly one node, so the eq. (10)
+  // similarity matrix is all-ones and any permutation is optimal. The
+  // tracker must still produce a valid one-to-one re-indexing and report
+  // the degenerate total weight of 2 on the gauge.
+  obs::MetricsRegistry reg;
+  DynamicClusterTracker tracker(
+      {.k = 2, .history_m = 1, .metrics = &reg, .metrics_view = "a"}, 15);
+  Matrix step1(4, 1);
+  step1(0, 0) = 0.0;
+  step1(1, 0) = 0.0;
+  step1(2, 0) = 10.0;
+  step1(3, 0) = 10.0;
+  tracker.update(step1);
+
+  Matrix step2(4, 1);
+  step2(0, 0) = 0.0;
+  step2(1, 0) = 10.0;
+  step2(2, 0) = 0.0;
+  step2(3, 0) = 10.0;
+  const Clustering& c = tracker.update(step2);
+  const std::set<std::size_t> labels(c.assignment.begin(),
+                                     c.assignment.end());
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(c.assignment[0], c.assignment[2]);
+  EXPECT_EQ(c.assignment[1], c.assignment[3]);
+  EXPECT_NE(c.assignment[0], c.assignment[1]);
+
+  const Labels view = {{"view", "a"}};
+  EXPECT_EQ(reg.value("resmon_cluster_match_weight", view), 2.0);
+  EXPECT_EQ(reg.value("resmon_cluster_updates_total", view), 2.0);
+  // Exactly two of the four nodes kept their step-1 label under any
+  // optimal permutation of the all-ones weight matrix.
+  EXPECT_EQ(reg.value("resmon_cluster_reassignments_total", view), 2.0);
+}
 
 }  // namespace
 }  // namespace resmon::cluster

@@ -361,5 +361,62 @@ TEST(Pipeline, LowerBGivesNoLowerAccuracyThanTinyB) {
   EXPECT_LE(run_with_b(0.5), run_with_b(0.05) + 1e-6);
 }
 
+TEST(Pipeline, StageTimersResetAtEveryRun) {
+  // Regression: stage timers used to accumulate across run() calls on one
+  // pipeline object, silently doubling the reported per-run breakdown.
+  const trace::InMemoryTrace t = small_trace(10, 60);
+  MonitoringPipeline p(t, fast_options());
+  p.run(30);
+  EXPECT_GT(p.stage_timers().total_seconds(), 0.0);
+
+  // run(0) processes nothing, so after the reset every stage must read
+  // exactly zero — a cumulative implementation would still show run #1.
+  p.run(0);
+  EXPECT_EQ(p.stage_timers().collect_seconds, 0.0);
+  EXPECT_EQ(p.stage_timers().cluster_seconds, 0.0);
+  EXPECT_EQ(p.stage_timers().forecast_seconds, 0.0);
+
+  // And a fresh run records only itself.
+  p.run(30);
+  EXPECT_GT(p.stage_timers().total_seconds(), 0.0);
+}
+
+TEST(Pipeline, MetricsExposeStepAndStageSeries) {
+  const trace::InMemoryTrace t = small_trace(10, 40);
+  obs::MetricsRegistry registry;
+  PipelineOptions o = fast_options();
+  o.metrics = &registry;
+  MonitoringPipeline p(t, o);
+  p.run(40);
+  EXPECT_EQ(&p.metrics(), &registry);
+  EXPECT_EQ(registry.value("resmon_pipeline_steps_total"), 40.0);
+  EXPECT_EQ(registry.value("resmon_pipeline_warmup_slots_total"), 0.0);
+  EXPECT_EQ(registry.value("resmon_pipeline_stage_seconds",
+                           {{"stage", "cluster"}}),
+            p.stage_timers().cluster_seconds);
+  // Component series flow into the same registry.
+  EXPECT_GT(registry.value("resmon_collect_decisions_total"), 0.0);
+  EXPECT_GT(registry.value("resmon_cluster_updates_total", {{"view", "0"}}),
+            0.0);
+}
+
+TEST(Pipeline, TraceEventsRecordOneSpanPerStage) {
+  const trace::InMemoryTrace t = small_trace(10, 20);
+  obs::TraceBuffer buffer(256);
+  PipelineOptions o = fast_options();
+  o.trace_events = &buffer;
+  MonitoringPipeline p(t, o);
+  p.run(20);
+  std::size_t collect = 0, cluster = 0, forecast = 0;
+  for (const obs::TraceEvent& e : buffer.snapshot()) {
+    if (e.name == "pipeline.collect") ++collect;
+    if (e.name == "pipeline.cluster") ++cluster;
+    if (e.name == "pipeline.forecast") ++forecast;
+  }
+  EXPECT_EQ(collect, 20u);
+  EXPECT_EQ(cluster, 20u);
+  EXPECT_EQ(forecast, 20u);
+}
+
 }  // namespace
 }  // namespace resmon::core

@@ -8,13 +8,34 @@
 // so the construction lives in exactly one place.
 #pragma once
 
+#include <iostream>
 #include <string>
 
 #include "collect/fleet_collector.hpp"
 #include "common/cli.hpp"
+#include "net/wire.hpp"
 #include "trace/synthetic.hpp"
 
+#ifndef RESMON_VERSION
+#define RESMON_VERSION "unknown"
+#endif
+
 namespace resmon::tools {
+
+/// The "NAME VERSION (wire protocol vP)" line: printed alone for
+/// --version, and as a startup banner so mismatched binaries are easy to
+/// spot in mixed-version deployments.
+inline std::string version_line(const std::string& name) {
+  return name + " " + RESMON_VERSION + " (wire protocol v" +
+         std::to_string(static_cast<int>(net::wire::kProtocolVersion)) + ")";
+}
+
+/// Handle --version: print the version line and return true (caller exits 0).
+inline bool handle_version(const Args& args, const std::string& name) {
+  if (!args.has("version")) return false;
+  std::cout << version_line(name) << std::endl;
+  return true;
+}
 
 /// Slots the run processes (the trace is longer; see build_trace).
 inline std::size_t run_slots(const Args& args) {

@@ -8,6 +8,7 @@
 //
 //   resmon_agent --port PORT --node 3 --nodes 8 --steps 200
 //       --dataset alibaba --seed 1 [--policy adaptive] [--b 0.3]
+//       [--metrics-out file.prom] [--version]
 //
 // The trace flags (--dataset/--nodes/--steps/--seed) must match the
 // controller's exactly.
@@ -16,12 +17,15 @@
 #include "common/cli.hpp"
 #include "net/agent.hpp"
 #include "net_common.hpp"
+#include "obs/export.hpp"
 
 using namespace resmon;
 
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
+    if (tools::handle_version(args, "resmon_agent")) return 0;
+    std::cout << tools::version_line("resmon_agent") << std::endl;
     const trace::InMemoryTrace trace = tools::build_trace(args);
     const std::size_t slots = tools::run_slots(args);
     const std::size_t node =
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    obs::MetricsRegistry registry;
+
     net::AgentOptions opts;
     opts.host = args.get("host", "127.0.0.1");
     opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
@@ -43,11 +49,16 @@ int main(int argc, char** argv) {
     opts.num_resources = static_cast<std::uint32_t>(trace.num_resources());
     opts.max_reconnect_attempts =
         static_cast<std::size_t>(args.get_int("reconnect-attempts", 8));
+    opts.metrics = &registry;
     net::Agent agent(opts, tools::make_policy(args));
     agent.connect();
 
     for (std::size_t t = 0; t < slots; ++t) {
       agent.observe(t, trace.measurement(node, t));
+    }
+
+    if (args.has("metrics-out")) {
+      obs::write_metrics_file(args.get("metrics-out", ""), registry);
     }
 
     std::cout << "resmon_agent " << node << ": "

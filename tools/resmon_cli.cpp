@@ -22,6 +22,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
 #include "trace/loader.hpp"
 #include "trace/synthetic.hpp"
 
@@ -38,6 +39,7 @@ int usage() {
          "           [--model hold|arima|auto-arima|lstm|holt-winters]\n"
          "           [--h 5] [--initial 400] [--retrain 288]\n"
          "           [--threads 1] [--report FILE]\n"
+         "           [--metrics-out FILE.prom] [--trace-out FILE.jsonl]\n"
          "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n";
   return 2;
 }
@@ -93,6 +95,8 @@ int cmd_monitor(const Args& args) {
   options.num_threads = args.get_threads();
 
   const std::size_t h = static_cast<std::size_t>(args.get_int("h", 5));
+  obs::TraceBuffer trace_events;
+  if (args.has("trace-out")) options.trace_events = &trace_events;
   core::MonitoringPipeline pipeline(t, options);
 
   Table report({"step", "RMSE h=0", std::string("RMSE h=") +
@@ -127,6 +131,15 @@ int cmd_monitor(const Args& args) {
   if (args.has("report")) {
     report.save_csv(args.get("report", ""));
     std::cout << "per-step report written to " << args.get("report", "")
+              << "\n";
+  }
+  if (args.has("metrics-out")) {
+    obs::write_metrics_file(args.get("metrics-out", ""), pipeline.metrics());
+    std::cout << "metrics written to " << args.get("metrics-out", "") << "\n";
+  }
+  if (args.has("trace-out")) {
+    obs::write_trace_file(args.get("trace-out", ""), trace_events);
+    std::cout << "trace events written to " << args.get("trace-out", "")
               << "\n";
   }
   return 0;

@@ -8,10 +8,17 @@
 //
 //   resmon_controller --port 0 --nodes 8 --steps 200 --dataset alibaba
 //       --seed 1 [--b 0.3] [--k 3] [--model hold] [--threads 1]
+//       [--metrics-port 0] [--metrics-linger-ms 2000]
+//       [--metrics-out file.prom] [--trace-out file.jsonl] [--version]
 //
 // With --port 0 the kernel picks a free port; the chosen one is printed as
 //   resmon_controller listening on 127.0.0.1:PORT
-// so wrapper scripts can pass it to the agents.
+// so wrapper scripts can pass it to the agents. --metrics-port opens a
+// second listener serving the live Prometheus exposition (printed as
+//   resmon_controller metrics endpoint on 127.0.0.1:PORT
+// — a distinct phrasing so port-parsing scripts cannot confuse the two);
+// --metrics-linger-ms keeps the endpoint answering scrapes after the slot
+// loop, returning early once one scrape lands.
 #include <cmath>
 #include <iostream>
 
@@ -20,25 +27,39 @@
 #include "net/controller.hpp"
 #include "net/socket.hpp"
 #include "net_common.hpp"
+#include "obs/export.hpp"
 
 using namespace resmon;
 
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
+    if (tools::handle_version(args, "resmon_controller")) return 0;
+    std::cout << tools::version_line("resmon_controller") << std::endl;
     const trace::InMemoryTrace trace = tools::build_trace(args);
     const std::size_t slots = tools::run_slots(args);
     const std::string host = args.get("host", "127.0.0.1");
 
+    obs::MetricsRegistry registry;
+    obs::TraceBuffer trace_events;
+
     net::ControllerOptions copts;
     copts.num_nodes = trace.num_nodes();
     copts.num_resources = trace.num_resources();
+    copts.metrics = &registry;
     net::Controller controller(
         net::Socket::listen_tcp(
             host, static_cast<std::uint16_t>(args.get_int("port", 0))),
         copts);
     std::cout << "resmon_controller listening on " << host << ":"
               << controller.port() << std::endl;  // flush: scripts parse this
+
+    if (args.has("metrics-port")) {
+      controller.serve_metrics(net::Socket::listen_tcp(
+          host, static_cast<std::uint16_t>(args.get_int("metrics-port", 0))));
+      std::cout << "resmon_controller metrics endpoint on " << host << ":"
+                << controller.metrics_port() << std::endl;
+    }
 
     const int wait_ms = static_cast<int>(args.get_int("wait-ms", 30000));
     if (!controller.wait_for_agents(trace.num_nodes(), wait_ms)) {
@@ -62,6 +83,8 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(args.get_int("retrain", 288))};
     popts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     popts.num_threads = args.get_threads();
+    popts.metrics = &registry;
+    popts.trace_events = &trace_events;
     core::MonitoringPipeline pipeline(trace, popts,
                                       core::ExternalCollection{});
 
@@ -75,6 +98,21 @@ int main(int argc, char** argv) {
         return 1;
       }
       pipeline.step_external(*messages);
+    }
+
+    // Keep the metrics endpoint live after the run so scrapers see the
+    // final counter values; one completed scrape ends the linger early.
+    const int linger_ms =
+        static_cast<int>(args.get_int("metrics-linger-ms", 0));
+    if (linger_ms > 0) {
+      controller.pump_idle(linger_ms, controller.metrics_scrapes() + 1);
+    }
+
+    if (args.has("metrics-out")) {
+      obs::write_metrics_file(args.get("metrics-out", ""), registry);
+    }
+    if (args.has("trace-out")) {
+      obs::write_trace_file(args.get("trace-out", ""), trace_events);
     }
 
     const bool complete = pipeline.central_store().complete();
