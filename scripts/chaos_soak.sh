@@ -1,0 +1,268 @@
+#!/usr/bin/env bash
+# Chaos soak for the resmon::net socket runtime + faultnet chaos harness.
+#
+# Two localhost phases over the same seeded trace:
+#
+#   baseline  controller + 6 clean agents, paced at SLOT_DELAY_MS, with the
+#             staleness policy armed but never triggered mid-run.
+#   chaos     same run with the full fault menu:
+#               node 0  clean control
+#               node 1  wire chaos on its own uplink (--fault-spec:
+#                       seeded drop + duplicate + corrupt; corruptions are
+#                       CRC-rejected by the controller's decoder)
+#               node 2  controller-side partition window (frames discarded
+#                       on arrival for slots 30-50, then the node rejoins)
+#               node 3  process killed ~45% in, restarted later with
+#                       --start-step (crash + rejoin)
+#               node 4  exits early and never comes back (-> DEAD)
+#               node 5  SIGKILLed mid-run, never restarted (-> DEAD)
+#
+# The soak passes iff the chaos controller still prints
+# "RESULT complete=1 rmse_finite=1" (the pipeline degraded instead of
+# stalling), the degradation counters on the live metrics scrape show the
+# expected transitions (stale/dead/rejoin/degraded-slot/blocked-frame all
+# nonzero, nodes 4 and 5 DEAD, at least one CRC reject), and the chaos
+# run's forecast RMSE stays within a bounded inflation of the baseline:
+# rmse_chaos <= max(RMSE_FACTOR * rmse_base, rmse_base + RMSE_SLACK).
+# All fault schedules are pure functions of (seed, node, step), so the
+# injected faults are identical on every run with the same SEED.
+#
+# Usage: scripts/chaos_soak.sh BUILD_DIR [STEPS] [SEED]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: chaos_soak.sh BUILD_DIR [STEPS] [SEED]}
+STEPS=${2:-120}
+SEED=${3:-1}
+NODES=6
+SLOT_DELAY_MS=30          # paces agents so wall-clock staleness can fire
+STALE_AFTER_MS=500
+DEAD_AFTER_MS=1500
+RMSE_FACTOR=2.5
+RMSE_SLACK=0.10
+
+CONTROLLER="$BUILD_DIR/tools/resmon_controller"
+AGENT="$BUILD_DIR/tools/resmon_agent"
+[ -x "$CONTROLLER" ] || { echo "missing $CONTROLLER" >&2; exit 2; }
+[ -x "$AGENT" ] || { echo "missing $AGENT" >&2; exit 2; }
+
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Block until $1/controller.log announces both ephemeral ports; sets
+# PORT/MPORT. The greps are anchored to the two distinct phrasings so
+# neither can pick up the other's port.
+wait_for_ports() {
+  local log="$1/controller.log" pid="$2"
+  PORT=
+  MPORT=
+  for _ in $(seq 1 100); do
+    PORT=$(grep -oE '^resmon_controller listening on [0-9.]+:[0-9]+' \
+             "$log" 2>/dev/null | grep -oE '[0-9]+$' || true)
+    MPORT=$(grep -oE '^resmon_controller metrics endpoint on [0-9.]+:[0-9]+' \
+             "$log" 2>/dev/null | grep -oE '[0-9]+$' || true)
+    [ -n "$PORT" ] && [ -n "$MPORT" ] && return 0
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "controller never announced its ports:" >&2
+  cat "$log" >&2
+  return 1
+}
+
+# One HTTP/1.0 scrape of the metrics endpoint on port $1 into file $2.
+scrape_metrics() {
+  exec 3<>"/dev/tcp/127.0.0.1/$1" || return 1
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  cat <&3 > "$2"
+  exec 3<&- 3>&-
+}
+
+# Retry scrapes of port $1 into $2 until one shows the final nonzero slot
+# counter (the controller lingers for exactly this window); $3 = controller
+# pid to detect early exit.
+scrape_until_final() {
+  for _ in $(seq 1 80); do
+    if scrape_metrics "$1" "$2" 2>/dev/null &&
+       grep -qE '^resmon_net_slots_total [1-9]' "$2"; then
+      return 0
+    fi
+    kill -0 "$3" 2>/dev/null || break
+    sleep 0.1
+  done
+  return 1
+}
+
+# Counter value $2 (exact exposition line prefix, label block included)
+# from scrape file $1; prints 0 when the series is absent.
+metric() {
+  awk -v name="$2" '$1 == name { print $2; found = 1 }
+                    END { if (!found) print 0 }' "$1"
+}
+
+# Assert metric $2 in scrape $1 is >= $3.
+assert_metric_ge() {
+  local v
+  v=$(metric "$1" "$2")
+  awk -v v="$v" -v want="$3" 'BEGIN { exit !(v + 0 >= want + 0) }' || {
+    echo "FAIL: $2 = $v, expected >= $3" >&2
+    exit 1
+  }
+}
+
+rmse_of() {
+  grep -oE 'forecast RMSE h=1: [0-9.eE+-]+' "$1" | awk '{print $4}'
+}
+
+common_controller_flags=(--port 0 --nodes "$NODES" --steps "$STEPS"
+  --seed "$SEED" --stale-after-ms "$STALE_AFTER_MS"
+  --dead-after-ms "$DEAD_AFTER_MS" --metrics-port 0 --metrics-linger-ms 8000)
+common_agent_flags=(--nodes "$NODES" --steps "$STEPS" --seed "$SEED"
+  --slot-delay-ms "$SLOT_DELAY_MS")
+
+# ---- phase 1: baseline ------------------------------------------------------
+
+mkdir -p "$WORK/base"
+"$CONTROLLER" "${common_controller_flags[@]}" \
+  > "$WORK/base/controller.log" 2>&1 &
+BASE_PID=$!
+wait_for_ports "$WORK/base" "$BASE_PID"
+
+BASE_AGENTS=()
+for ((node = 0; node < NODES; ++node)); do
+  "$AGENT" --port "$PORT" --node "$node" "${common_agent_flags[@]}" \
+    > "$WORK/base/agent$node.log" 2>&1 &
+  BASE_AGENTS+=($!)
+done
+STATUS=0
+for pid in "${BASE_AGENTS[@]}"; do wait "$pid" || STATUS=1; done
+scrape_until_final "$MPORT" "$WORK/base/scrape.txt" "$BASE_PID" || true
+wait "$BASE_PID" || STATUS=1
+echo "--- baseline controller ---"
+cat "$WORK/base/controller.log"
+if [ "$STATUS" -ne 0 ]; then
+  echo "baseline phase FAILED" >&2
+  exit 1
+fi
+grep -q 'RESULT complete=1 rmse_finite=1' "$WORK/base/controller.log" || {
+  echo "baseline result line missing or not clean" >&2
+  exit 1
+}
+RMSE_BASE=$(rmse_of "$WORK/base/controller.log")
+
+# ---- phase 2: chaos ---------------------------------------------------------
+
+mkdir -p "$WORK/chaos"
+"$CONTROLLER" "${common_controller_flags[@]}" \
+  --fault-spec "partition=30-50;nodes=2;seed=$SEED" \
+  > "$WORK/chaos/controller.log" 2>&1 &
+CHAOS_PID=$!
+wait_for_ports "$WORK/chaos" "$CHAOS_PID"
+
+# Slots where the crash-and-restart (node 3) and early-exit (node 4)
+# lifecycles end, and where the restarted node 3 resumes. Scaled off STEPS
+# so shorter soaks keep the same shape.
+N3_QUIT=$((STEPS * 45 / 100))
+N3_RESUME=$((STEPS * 65 / 100))
+N4_QUIT=$((STEPS * 38 / 100))
+
+"$AGENT" --port "$PORT" --node 0 "${common_agent_flags[@]}" \
+  > "$WORK/chaos/agent0.log" 2>&1 &
+A0=$!
+"$AGENT" --port "$PORT" --node 1 "${common_agent_flags[@]}" \
+  --fault-spec "drop=0.08;dup=0.08;corrupt=0.04;seed=5" \
+  > "$WORK/chaos/agent1.log" 2>&1 &
+A1=$!
+"$AGENT" --port "$PORT" --node 2 "${common_agent_flags[@]}" \
+  > "$WORK/chaos/agent2.log" 2>&1 &
+A2=$!
+# Node 3 dies at N3_QUIT, then a fresh process rejoins at N3_RESUME.
+"$AGENT" --port "$PORT" --node 3 --nodes "$NODES" --steps "$N3_QUIT" \
+  --seed "$SEED" --slot-delay-ms "$SLOT_DELAY_MS" \
+  > "$WORK/chaos/agent3a.log" 2>&1 &
+A3A=$!
+(
+  sleep 2.5
+  exec "$AGENT" --port "$PORT" --node 3 "${common_agent_flags[@]}" \
+    --start-step "$N3_RESUME" > "$WORK/chaos/agent3b.log" 2>&1
+) &
+A3B=$!
+# Node 4 exits early and stays gone: the clean path to DEAD.
+"$AGENT" --port "$PORT" --node 4 --nodes "$NODES" --steps "$N4_QUIT" \
+  --seed "$SEED" --slot-delay-ms "$SLOT_DELAY_MS" \
+  > "$WORK/chaos/agent4.log" 2>&1 &
+A4=$!
+# Node 5 is SIGKILLed mid-run: the crash path to DEAD (half-open socket).
+"$AGENT" --port "$PORT" --node 5 "${common_agent_flags[@]}" \
+  > "$WORK/chaos/agent5.log" 2>&1 &
+A5=$!
+(sleep 1.2; kill -9 "$A5" 2>/dev/null || true) &
+
+STATUS=0
+for pid in "$A0" "$A1" "$A2" "$A3A" "$A3B" "$A4"; do
+  wait "$pid" || STATUS=1
+done
+wait "$A5" 2>/dev/null || true  # SIGKILL by design
+SCRAPE="$WORK/chaos/scrape.txt"
+SCRAPED=0
+scrape_until_final "$MPORT" "$SCRAPE" "$CHAOS_PID" && SCRAPED=1
+wait "$CHAOS_PID" || STATUS=1
+
+echo "--- chaos controller ---"
+cat "$WORK/chaos/controller.log"
+for log in "$WORK"/chaos/agent*.log; do
+  sed "s|^|$(basename "$log" .log): |" "$log" | tail -1
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "chaos phase FAILED (an agent or the controller exited nonzero)" >&2
+  exit 1
+fi
+grep -q 'RESULT complete=1 rmse_finite=1' "$WORK/chaos/controller.log" || {
+  echo "chaos result line missing or not clean" >&2
+  exit 1
+}
+if [ "$SCRAPED" -ne 1 ]; then
+  echo "chaos metrics endpoint never served a final scrape" >&2
+  exit 1
+fi
+
+# ---- degradation + fault-injection assertions -------------------------------
+
+assert_metric_ge "$SCRAPE" resmon_net_stale_transitions_total 1
+assert_metric_ge "$SCRAPE" resmon_net_dead_transitions_total 2
+assert_metric_ge "$SCRAPE" resmon_net_rejoins_total 1
+assert_metric_ge "$SCRAPE" resmon_net_degraded_slots_total 1
+assert_metric_ge "$SCRAPE" resmon_net_blocked_frames_total 1
+grep -qE '^resmon_net_wire_errors_total\{error="crc mismatch"\} [1-9]' \
+  "$SCRAPE" || {
+  echo "FAIL: no CRC rejects counted despite corrupt= in the fault spec" >&2
+  exit 1
+}
+for dead_node in 4 5; do
+  grep -qE "^resmon_net_node_state\{node=\"$dead_node\"\} 2" "$SCRAPE" || {
+    echo "FAIL: node $dead_node not DEAD in the final scrape" >&2
+    grep '^resmon_net_node_state' "$SCRAPE" >&2 || true
+    exit 1
+  }
+done
+
+# ---- bounded RMSE inflation -------------------------------------------------
+
+RMSE_CHAOS=$(rmse_of "$WORK/chaos/controller.log")
+awk -v base="$RMSE_BASE" -v chaos="$RMSE_CHAOS" \
+    -v factor="$RMSE_FACTOR" -v slack="$RMSE_SLACK" 'BEGIN {
+  bound = base * factor
+  if (base + slack > bound) bound = base + slack
+  exit !(chaos <= bound)
+}' || {
+  echo "FAIL: chaos RMSE $RMSE_CHAOS exceeds bound" \
+       "max($RMSE_FACTOR x $RMSE_BASE, $RMSE_BASE + $RMSE_SLACK)" >&2
+  exit 1
+}
+
+echo "chaos soak OK (rmse base=$RMSE_BASE chaos=$RMSE_CHAOS," \
+     "stale=$(metric "$SCRAPE" resmon_net_stale_transitions_total)" \
+     "dead=$(metric "$SCRAPE" resmon_net_dead_transitions_total)" \
+     "rejoins=$(metric "$SCRAPE" resmon_net_rejoins_total)" \
+     "degraded=$(metric "$SCRAPE" resmon_net_degraded_slots_total)" \
+     "blocked=$(metric "$SCRAPE" resmon_net_blocked_frames_total))"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link target in the repo's docs must
+# exist on disk. External (http/https/mailto) links and pure in-page
+# anchors are skipped; anchors on relative links are stripped before the
+# existence check. Run from anywhere: paths resolve against each file's
+# own directory.
+#
+# Usage: scripts/check_docs.sh [REPO_ROOT]
+set -euo pipefail
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+STATUS=0
+
+# All tracked markdown (top level + docs/), skipping build trees.
+while IFS= read -r -d '' file; do
+  dir=$(dirname "$file")
+  # Inline links: ](target) — tolerate titles after a space.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}            # strip in-file anchor
+    path=${path%% *}              # strip optional "title"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target" >&2
+      STATUS=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done < <(find "$ROOT" -maxdepth 2 -name '*.md' \
+           -not -path '*/build*' -not -path '*/.git/*' \
+           -not -name 'SNIPPETS.md' -print0)
+           # SNIPPETS.md quotes third-party READMEs verbatim; their links
+           # point into repos that are not vendored here.
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "docs link check OK"
+fi
+exit "$STATUS"

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "faultnet/faulty_link.hpp"
 #include "net/loopback.hpp"
 
 namespace resmon::core {
@@ -70,14 +71,20 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
   } else {
     // The in-process uplink runs the real wire codec (LoopbackLink), so
     // every deterministic run exercises the exact encode/decode path the
-    // TCP runtime uses and bandwidth counts real frame bytes.
+    // TCP runtime uses and bandwidth counts real frame bytes. A non-empty
+    // fault schedule layers the chaos harness on top of it.
+    std::unique_ptr<transport::Link> link =
+        std::make_unique<net::LoopbackLink>(options_.channel);
+    if (!options_.faults.empty()) {
+      link = std::make_unique<faultnet::FaultyLink>(
+          options_.faults, std::move(link), registry_);
+    }
     collector_ = std::make_unique<collect::FleetCollector>(
         trace,
         collect::make_policy_factory(options.policy, options.max_frequency,
                                      options.v0, options.gamma,
                                      options.clamp_queue, registry_),
-        options_.channel, pool_.get(),
-        std::make_unique<net::LoopbackLink>(options_.channel), registry_);
+        options_.channel, pool_.get(), std::move(link), registry_);
   }
 
   const std::size_t views =

@@ -21,6 +21,7 @@
 
 #include "cluster/dynamic_cluster.hpp"
 #include "collect/fleet_collector.hpp"
+#include "faultnet/fault_spec.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/estimation.hpp"
@@ -41,6 +42,12 @@ struct PipelineOptions {
   bool clamp_queue = false;    ///< see AdaptiveOptions::clamp_queue
   /// Uplink failure injection (drops/delays); default = reliable link.
   transport::ChannelOptions channel;
+  /// Chaos-harness fault schedule layered over the uplink: when non-empty,
+  /// the in-process LoopbackLink is wrapped in a faultnet::FaultyLink
+  /// applying this spec (drop/dup/corrupt/delay/reorder/stall/partition).
+  /// Unused in external-collection mode — the remote agents own their
+  /// fault hooks.
+  faultnet::FaultSpec faults;
 
   // -- clustering (§V-B) ----------------------------------------------------
   std::size_t num_clusters = 3;        ///< K (paper default 3)

@@ -1,0 +1,80 @@
+#include "faultnet/agent_hook.hpp"
+
+#include <memory>
+
+#include "faultnet/injector.hpp"
+#include "net/wire.hpp"
+
+namespace resmon::faultnet {
+
+namespace {
+
+/// Salt for picking which payload byte a corrupt fault flips (distinct from
+/// FaultyLink's so link and hook runs corrupt different bytes — both paths
+/// must survive any flipped byte anyway).
+constexpr std::uint64_t kSaltHookCorruptByte = 0x21;
+
+/// Flip one payload byte of an encoded frame, chosen deterministically.
+/// Leaves the header intact so the receiver parses it and reaches the CRC
+/// check; CRC-32 detects any single-byte change, so rejection is certain.
+std::vector<std::uint8_t> corrupt_frame(const FaultInjector& injector,
+                                        std::uint32_t node, std::size_t step,
+                                        std::vector<std::uint8_t> frame) {
+  if (frame.size() <= net::wire::kHeaderSize) return frame;
+  const std::size_t payload_len = frame.size() - net::wire::kHeaderSize;
+  const std::size_t offset =
+      net::wire::kHeaderSize +
+      injector.pick(node, step, kSaltHookCorruptByte, payload_len);
+  frame[offset] ^= 0xFF;
+  return frame;
+}
+
+}  // namespace
+
+net::FrameHook make_agent_fault_hook(const FaultSpec& spec,
+                                     std::uint32_t node,
+                                     obs::MetricsRegistry* metrics) {
+  auto injector = std::make_shared<FaultInjector>(spec, metrics);
+  return [injector, node](std::size_t step,
+                          const std::vector<std::uint8_t>& frame) {
+    net::FrameAction action;
+    const FaultDecision d = injector->decide(node, step);
+    if (d.partitioned || d.stalled) {
+      injector->count(d.partitioned ? FaultKind::kPartition
+                                    : FaultKind::kStall);
+      action.sever = true;
+      return action;
+    }
+    if (d.drop) {
+      injector->count(FaultKind::kDrop);
+      return action;  // no frames, no sever: the slot's frame vanishes
+    }
+    if (d.corrupt) {
+      injector->count(FaultKind::kCorrupt);
+      action.frames.push_back(corrupt_frame(*injector, node, step, frame));
+      return action;
+    }
+    if (d.duplicate) {
+      injector->count(FaultKind::kDuplicate);
+      action.frames.push_back(frame);
+    }
+    action.frames.push_back(frame);
+    return action;
+  };
+}
+
+net::BlockHook make_controller_block_hook(const FaultSpec& spec,
+                                          obs::MetricsRegistry* metrics) {
+  auto injector = std::make_shared<FaultInjector>(spec, metrics);
+  return [injector](std::uint32_t node, std::uint64_t step) {
+    const FaultSpec& s = injector->spec();
+    if (!s.applies_to(node) ||
+        !s.partitioned_at(static_cast<std::size_t>(step))) {
+      return false;
+    }
+    injector->count(FaultKind::kPartition);
+    return true;
+  };
+}
+
+}  // namespace resmon::faultnet

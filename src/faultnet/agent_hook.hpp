@@ -1,0 +1,44 @@
+// Adapters that plug a FaultSpec into the real TCP runtime.
+//
+// The net layer stays generic — net::AgentOptions::frame_hook and
+// net::ControllerOptions::block_hook are plain std::functions — and this
+// header supplies the faultnet implementations:
+//
+//   make_agent_fault_hook(spec, metrics)
+//       per-frame faults on the agent's uplink: drop, duplicate,
+//       corrupt-bytes (the mutilated frame is really sent, so the
+//       controller's CRC check rejects it and drops the connection),
+//       stall/partition windows (the socket is severed without delivery).
+//       delay= and reorder= do not apply to a TCP stream and are ignored.
+//
+//   make_controller_block_hook(spec, metrics)
+//       controller-side hard partition: inbound measurement/heartbeat
+//       frames from the spec's nodes are discarded while their slot falls
+//       inside a partition window, exactly as if the network ate them.
+//
+// Both hooks share the FaultSpec's seeded decision engine, so the fault
+// realization of a distributed run is reproducible from the spec alone.
+#pragma once
+
+#include "faultnet/fault_spec.hpp"
+#include "net/agent.hpp"
+#include "net/controller.hpp"
+
+namespace resmon::faultnet {
+
+/// Build a net::AgentOptions::frame_hook injecting `spec`'s faults into the
+/// outbound frames of agent `node` (decisions key on this id, and a nodes=
+/// filter excluding it makes the hook a passthrough). `metrics`
+/// (non-owning, may be nullptr) receives
+/// resmon_faultnet_injected_total{fault=...}. The returned hook owns a
+/// shared injector and may outlive this call.
+net::FrameHook make_agent_fault_hook(const FaultSpec& spec,
+                                     std::uint32_t node,
+                                     obs::MetricsRegistry* metrics = nullptr);
+
+/// Build a net::ControllerOptions::block_hook discarding inbound frames
+/// from `spec`'s nodes during its partition windows.
+net::BlockHook make_controller_block_hook(
+    const FaultSpec& spec, obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace resmon::faultnet

@@ -1,0 +1,129 @@
+#include "faultnet/injector.hpp"
+
+#include "common/error.hpp"
+
+namespace resmon::faultnet {
+
+namespace {
+
+/// splitmix64 finalizer: avalanche a 64-bit state into a hash.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Order-independent hash of one fault decision's identity.
+std::uint64_t decision_hash(std::uint64_t seed, std::size_t node,
+                            std::size_t step, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ 0xD1B54A32D192ED03ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(node));
+  h = mix64(h ^ static_cast<std::uint64_t>(step));
+  return mix64(h ^ salt);
+}
+
+/// Map a hash to [0, 1) with 53 bits of precision.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Salt per fault kind so e.g. drop and corrupt draws are independent.
+constexpr std::uint64_t kSaltDrop = 0x01;
+constexpr std::uint64_t kSaltDuplicate = 0x02;
+constexpr std::uint64_t kSaltCorrupt = 0x03;
+constexpr std::uint64_t kSaltDelayFire = 0x04;
+constexpr std::uint64_t kSaltDelayLen = 0x05;
+constexpr std::uint64_t kSaltReorder = 0x06;
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec,
+                             obs::MetricsRegistry* metrics)
+    : spec_(spec) {
+  if (metrics != nullptr) {
+    for (int k = 0; k <= static_cast<int>(FaultKind::kPartition); ++k) {
+      injected_[k] = &metrics->counter(
+          "resmon_faultnet_injected_total",
+          "Faults injected into the uplink, by kind",
+          {{"fault", fault_kind_name(static_cast<FaultKind>(k))}});
+    }
+  }
+}
+
+FaultDecision FaultInjector::decide(std::size_t node,
+                                    std::size_t step) const {
+  FaultDecision d;
+  if (!spec_.applies_to(node)) return d;
+  if (spec_.partitioned_at(step)) {
+    d.partitioned = true;
+    return d;
+  }
+  if (spec_.stalled_at(step)) {
+    d.stalled = true;
+    return d;
+  }
+  const auto draw = [&](std::uint64_t salt) {
+    return unit(decision_hash(spec_.seed, node, step, salt));
+  };
+  if (spec_.drop > 0.0 && draw(kSaltDrop) < spec_.drop) {
+    d.drop = true;
+    return d;
+  }
+  if (spec_.corrupt > 0.0 && draw(kSaltCorrupt) < spec_.corrupt) {
+    d.corrupt = true;
+    return d;
+  }
+  if (spec_.duplicate > 0.0 && draw(kSaltDuplicate) < spec_.duplicate) {
+    d.duplicate = true;
+    return d;
+  }
+  if (spec_.delay > 0.0 && spec_.max_delay_slots > 0 &&
+      draw(kSaltDelayFire) < spec_.delay) {
+    d.delay_slots =
+        1 + pick(node, step, kSaltDelayLen, spec_.max_delay_slots);
+  }
+  return d;
+}
+
+bool FaultInjector::reorder_batch(std::size_t node,
+                                  std::size_t batch) const {
+  if (spec_.reorder <= 0.0 || !spec_.applies_to(node)) return false;
+  return unit(decision_hash(spec_.seed, node, batch, kSaltReorder)) <
+         spec_.reorder;
+}
+
+std::size_t FaultInjector::pick(std::size_t node, std::size_t step,
+                                std::uint64_t salt, std::size_t n) const {
+  RESMON_REQUIRE(n > 0, "FaultInjector::pick needs n > 0");
+  return static_cast<std::size_t>(
+      decision_hash(spec_.seed, node, step, mix64(salt) | 0x80) %
+      static_cast<std::uint64_t>(n));
+}
+
+void FaultInjector::count(FaultKind kind) const {
+  obs::Counter* c = injected_[static_cast<int>(kind)];
+  if (c != nullptr) c->inc();
+}
+
+}  // namespace resmon::faultnet

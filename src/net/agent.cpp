@@ -148,6 +148,24 @@ void Agent::deliver(const std::vector<std::uint8_t>& bytes) {
                     ": connection lost and resend failed");
 }
 
+void Agent::dispatch(std::size_t t, std::vector<std::uint8_t> bytes) {
+  if (!options_.frame_hook) {
+    deliver(bytes);
+    return;
+  }
+  const FrameAction action = options_.frame_hook(t, bytes);
+  if (action.sever) {
+    // Half-open / agent-side partition: the frame is lost and the socket is
+    // closed without a FIN exchange; the next surviving frame reconnects.
+    sock_.close();
+    if (m_connected_ != nullptr) m_connected_->set(0.0);
+    return;
+  }
+  for (const std::vector<std::uint8_t>& frame : action.frames) {
+    deliver(frame);
+  }
+}
+
 bool Agent::observe(std::size_t t, std::span<const double> x) {
   RESMON_REQUIRE(x.size() == options_.num_resources,
                  "Agent::observe: measurement dimension mismatch");
@@ -157,12 +175,13 @@ bool Agent::observe(std::size_t t, std::span<const double> x) {
     m.node = options_.node;
     m.step = t;
     m.values.assign(x.begin(), x.end());
-    deliver(wire::encode(m));
+    dispatch(t, wire::encode(m));
     ++measurements_sent_;
     if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
   } else if (options_.heartbeat_when_silent) {
-    deliver(wire::encode(wire::HeartbeatFrame{
-        .node = options_.node, .step = static_cast<std::uint64_t>(t)}));
+    dispatch(t, wire::encode(wire::HeartbeatFrame{
+                    .node = options_.node,
+                    .step = static_cast<std::uint64_t>(t)}));
     if (m_heartbeats_total_ != nullptr) m_heartbeats_total_->inc();
   }
   return beta;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -20,6 +21,24 @@
 #include "obs/metrics.hpp"
 
 namespace resmon::net {
+
+/// What an AgentOptions::frame_hook decided about one outbound frame.
+struct FrameAction {
+  /// Close the connection instead of delivering anything this slot (the
+  /// agent reconnects lazily on its next delivery). Simulates half-open
+  /// stalls and agent-side partitions.
+  bool sever = false;
+  /// Frames to deliver in order. Empty (with sever = false) silently drops
+  /// the slot's frame; several entries duplicate or inject traffic.
+  std::vector<std::vector<std::uint8_t>> frames;
+};
+
+/// Outbound-frame interception point. Called once per observe() with the
+/// slot and the already-encoded frame (measurement or heartbeat). The agent
+/// stays generic: resmon::faultnet supplies hooks, but any caller can
+/// intercept traffic without the net layer knowing about fault schedules.
+using FrameHook = std::function<FrameAction(
+    std::size_t step, const std::vector<std::uint8_t>& frame)>;
 
 struct AgentOptions {
   std::string host = "127.0.0.1";
@@ -43,6 +62,10 @@ struct AgentOptions {
   /// Optional metrics sink (non-owning): the resmon_agent_* series,
   /// labeled {node="<id>"}. nullptr = no instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional outbound-frame interception (fault injection, tracing).
+  /// Empty = frames are delivered unchanged.
+  FrameHook frame_hook;
 };
 
 class Agent {
@@ -77,6 +100,9 @@ class Agent {
   void reconnect_with_backoff();
   /// Deliver one encoded frame, reconnecting as needed.
   void deliver(const std::vector<std::uint8_t>& bytes);
+  /// Route one encoded frame through the frame_hook (if set), then deliver
+  /// whatever the hook returned.
+  void dispatch(std::size_t t, std::vector<std::uint8_t> bytes);
 
   AgentOptions options_;
   std::unique_ptr<collect::TransmitPolicy> policy_;

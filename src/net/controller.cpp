@@ -19,16 +19,34 @@ constexpr int kPumpSliceMs = 20;  ///< poll granularity inside a wait loop
 
 }  // namespace
 
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kLive:
+      return "live";
+    case NodeState::kStale:
+      return "stale";
+    case NodeState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
 Controller::Controller(Socket listener, const ControllerOptions& options)
     : options_(options),
       listener_(std::move(listener)),
       seen_(options.num_nodes, 0),
       progress_(options.num_nodes, -1),
-      inbox_(options.num_nodes) {
+      inbox_(options.num_nodes),
+      states_(options.num_nodes, NodeState::kLive),
+      last_seen_(options.num_nodes, Clock::now()) {
   RESMON_REQUIRE(options.num_nodes > 0, "Controller needs at least one node");
   RESMON_REQUIRE(options.num_resources > 0,
                  "Controller needs at least one resource");
   RESMON_REQUIRE(listener_.valid(), "Controller needs a listening socket");
+  RESMON_REQUIRE(
+      options.dead_after_ms == 0 || options.stale_after_ms == 0 ||
+          options.dead_after_ms >= options.stale_after_ms,
+      "dead_after_ms must be >= stale_after_ms");
   poller_.watch(listener_.fd());
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
@@ -62,6 +80,50 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
         "resmon_net_slot_wait_ms",
         "Wall-clock milliseconds collect_slot waited at the slot barrier",
         obs::duration_ms_buckets());
+    // Eagerly register every wire-error label value so the family is
+    // complete (and visible to the docs drift test) before any error
+    // happens; count_wire_error then only looks existing series up.
+    for (int e = static_cast<int>(wire::WireError::kBadMagic);
+         e <= static_cast<int>(wire::WireError::kTruncated); ++e) {
+      reg.counter("resmon_net_wire_errors_total",
+                  "Byte streams rejected by the frame decoder, by error",
+                  {{"error",
+                    wire::wire_error_name(static_cast<wire::WireError>(e))}});
+    }
+    // Degradation observability.
+    m_stale_transitions_total_ =
+        &reg.counter("resmon_net_stale_transitions_total",
+                     "LIVE -> STALE transitions of the staleness policy");
+    m_dead_transitions_total_ =
+        &reg.counter("resmon_net_dead_transitions_total",
+                     "Transitions to DEAD (node evicted after silence)");
+    m_rejoins_total_ =
+        &reg.counter("resmon_net_rejoins_total",
+                     "STALE/DEAD -> LIVE transitions (node reported again)");
+    m_degraded_slots_total_ = &reg.counter(
+        "resmon_net_degraded_slots_total",
+        "Slots completed while skipping at least one non-LIVE node "
+        "(sample-and-hold degradation)");
+    m_blocked_frames_total_ = &reg.counter(
+        "resmon_net_blocked_frames_total",
+        "Inbound frames discarded by the controller's block hook");
+    m_stale_nodes_ =
+        &reg.gauge("resmon_net_stale_nodes", "Nodes currently STALE");
+    m_dead_nodes_ =
+        &reg.gauge("resmon_net_dead_nodes", "Nodes currently DEAD");
+    m_node_state_.resize(options_.num_nodes, nullptr);
+    m_node_staleness_ms_.resize(options_.num_nodes, nullptr);
+    for (std::size_t node = 0; node < options_.num_nodes; ++node) {
+      const obs::Labels labels = {{"node", std::to_string(node)}};
+      m_node_state_[node] = &reg.gauge(
+          "resmon_net_node_state",
+          "Liveness verdict per node: 0 = live, 1 = stale, 2 = dead",
+          labels);
+      m_node_staleness_ms_[node] = &reg.gauge(
+          "resmon_net_node_staleness_ms",
+          "Milliseconds since the node last showed evidence of life",
+          labels);
+    }
   }
 }
 
@@ -99,11 +161,18 @@ bool Controller::wait_for_agents(std::size_t count, int timeout_ms) {
 std::optional<std::vector<transport::MeasurementMessage>>
 Controller::collect_slot(std::size_t t, int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  // The barrier waits for LIVE nodes only: a STALE or DEAD node's slot is
+  // given up on, and the pipeline degrades to its last stored sample. The
+  // node's progress still counts if its frames do arrive (e.g. right before
+  // the verdict flipped).
   auto slot_complete = [&] {
-    return std::all_of(progress_.begin(), progress_.end(),
-                       [&](long long p) {
-                         return p >= static_cast<long long>(t);
-                       });
+    for (std::size_t node = 0; node < options_.num_nodes; ++node) {
+      if (progress_[node] < static_cast<long long>(t) &&
+          states_[node] == NodeState::kLive) {
+        return false;
+      }
+    }
+    return true;
   };
   const auto wait_start = Clock::now();
   while (!slot_complete()) {
@@ -113,6 +182,14 @@ Controller::collect_slot(std::size_t t, int timeout_ms) {
       return std::nullopt;
     }
     pump(std::min(left, kPumpSliceMs));
+  }
+  bool degraded = false;
+  for (std::size_t node = 0; node < options_.num_nodes; ++node) {
+    if (progress_[node] < static_cast<long long>(t)) degraded = true;
+  }
+  if (degraded) {
+    ++degraded_slots_;
+    if (m_degraded_slots_total_ != nullptr) m_degraded_slots_total_->inc();
   }
   if (m_slots_total_ != nullptr) {
     m_slots_total_->inc();
@@ -159,6 +236,7 @@ void Controller::pump(int timeout_ms) {
       if (!service(it->second)) drop(ev.fd, /*rejected=*/false);
     }
   }
+  update_node_states();
 }
 
 void Controller::accept_pending() {
@@ -235,13 +313,81 @@ void Controller::drop_metrics(int fd) {
 
 void Controller::count_wire_error(wire::WireError error) {
   if (options_.metrics == nullptr) return;
-  // Registered lazily: label values are only known when an error happens,
-  // and errors are rare enough that the registry mutex does not matter.
+  // Every label value was pre-registered in the constructor, so this is a
+  // pure lookup of the existing series.
   options_.metrics
       ->counter("resmon_net_wire_errors_total",
                 "Byte streams rejected by the frame decoder, by error",
                 {{"error", wire::wire_error_name(error)}})
       .inc();
+}
+
+void Controller::set_node_state(std::size_t node, NodeState state) {
+  const NodeState previous = states_[node];
+  if (previous == state) return;
+  states_[node] = state;
+  if (state == NodeState::kStale) {
+    ++stale_transitions_;
+    if (m_stale_transitions_total_ != nullptr) {
+      m_stale_transitions_total_->inc();
+    }
+  } else if (state == NodeState::kDead) {
+    ++dead_transitions_;
+    if (m_dead_transitions_total_ != nullptr) m_dead_transitions_total_->inc();
+  } else {
+    ++rejoins_;
+    if (m_rejoins_total_ != nullptr) m_rejoins_total_->inc();
+  }
+  if (options_.metrics != nullptr) {
+    m_node_state_[node]->set(static_cast<double>(state));
+    const auto count_in = [&](NodeState s) {
+      return static_cast<double>(
+          std::count(states_.begin(), states_.end(), s));
+    };
+    m_stale_nodes_->set(count_in(NodeState::kStale));
+    m_dead_nodes_->set(count_in(NodeState::kDead));
+  }
+}
+
+void Controller::touch(std::size_t node) {
+  last_seen_[node] = Clock::now();
+  if (m_node_staleness_ms_.size() > node &&
+      m_node_staleness_ms_[node] != nullptr) {
+    m_node_staleness_ms_[node]->set(0.0);
+  }
+  if (states_[node] != NodeState::kLive) {
+    set_node_state(node, NodeState::kLive);
+  }
+}
+
+void Controller::update_node_states() {
+  if (options_.stale_after_ms <= 0) return;
+  const auto now = Clock::now();
+  for (std::size_t node = 0; node < options_.num_nodes; ++node) {
+    const auto silence_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - last_seen_[node])
+            .count();
+    if (!m_node_staleness_ms_.empty()) {
+      m_node_staleness_ms_[node]->set(static_cast<double>(silence_ms));
+    }
+    if (options_.dead_after_ms > 0 && silence_ms >= options_.dead_after_ms) {
+      if (states_[node] != NodeState::kDead) {
+        set_node_state(node, NodeState::kDead);
+        // Evict: whatever socket the node still holds is presumed dead
+        // weight. A later frame requires a fresh connection (rejoin).
+        const auto it = std::find_if(
+            connections_.begin(), connections_.end(), [&](const auto& kv) {
+              return kv.second.node == static_cast<long long>(node);
+            });
+        if (it != connections_.end()) drop(it->first, /*rejected=*/false);
+      }
+    } else if (silence_ms >= options_.stale_after_ms) {
+      if (states_[node] == NodeState::kLive) {
+        set_node_state(node, NodeState::kStale);
+      }
+    }
+  }
 }
 
 bool Controller::service(Connection& conn) {
@@ -315,6 +461,7 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
       seen_[hello.node] = 1;
       ++nodes_seen_;
     }
+    touch(hello.node);  // a fresh handshake is evidence of life (rejoin)
     return true;
   }
 
@@ -327,8 +474,15 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
         m.values.size() != options_.num_resources) {
       return false;
     }
+    if (options_.block_hook &&
+        options_.block_hook(static_cast<std::uint32_t>(m.node), m.step)) {
+      ++blocked_frames_;
+      if (m_blocked_frames_total_ != nullptr) m_blocked_frames_total_->inc();
+      return true;  // frame eaten by the simulated partition; stream is fine
+    }
     progress_[m.node] =
         std::max(progress_[m.node], static_cast<long long>(m.step));
+    touch(m.node);
     inbox_[m.node].push_back(std::move(m));
     if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
     return true;
@@ -338,8 +492,14 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
     if (conn.node < 0 || hb.node != static_cast<std::uint32_t>(conn.node)) {
       return false;
     }
+    if (options_.block_hook && options_.block_hook(hb.node, hb.step)) {
+      ++blocked_frames_;
+      if (m_blocked_frames_total_ != nullptr) m_blocked_frames_total_->inc();
+      return true;
+    }
     progress_[hb.node] =
         std::max(progress_[hb.node], static_cast<long long>(hb.step));
+    touch(hb.node);
     if (m_heartbeats_total_ != nullptr) m_heartbeats_total_->inc();
     return true;
   }

@@ -16,10 +16,22 @@
 // has a live connection wins (newest-wins): the old socket is presumed
 // half-open — the controller may simply not have seen the death yet — and
 // is dropped in favor of the new one, so reconnection is never locked out.
+//
+// Graceful degradation: with a stale_after/dead_after policy configured,
+// a node that stops reporting is marked STALE after stale_after_ms of
+// silence — the slot barrier stops waiting for it, so the pipeline keeps
+// producing output from the node's last stored sample (sample-and-hold is
+// the CentralStore's natural behavior) — and DEAD after dead_after_ms,
+// which also evicts its connection. Any frame from the node, including a
+// fresh hello, rejoins it to LIVE immediately. LIVE -> STALE -> DEAD and
+// back is fully observable via resmon_net_node_state and the transition
+// counters.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,6 +45,24 @@
 
 namespace resmon::net {
 
+/// Inbound-frame gate: return true to discard the frame of (node, step)
+/// before it reaches the controller's state, as if the network ate it.
+/// resmon::faultnet builds these from a FaultSpec's partition windows; the
+/// controller itself knows nothing about fault schedules.
+using BlockHook = std::function<bool(std::uint32_t node, std::uint64_t step)>;
+
+/// Liveness verdict of the staleness state machine. Order matters: values
+/// are exported as the resmon_net_node_state gauge.
+enum class NodeState : std::uint8_t {
+  kLive = 0,   ///< reporting within stale_after_ms
+  kStale = 1,  ///< silent past stale_after_ms: barrier skips it, the
+               ///< pipeline degrades to sample-and-hold for this node
+  kDead = 2,   ///< silent past dead_after_ms: evicted; may still rejoin
+};
+
+/// Stable lower-case name of a NodeState ("live", "stale", "dead").
+const char* node_state_name(NodeState state);
+
 struct ControllerOptions {
   std::size_t num_nodes = 0;      ///< N: valid node ids are [0, N)
   std::size_t num_resources = 0;  ///< d: required hello dimensionality
@@ -42,6 +72,19 @@ struct ControllerOptions {
   /// registry the metrics endpoint (serve_metrics) exposes. nullptr = no
   /// instrumentation and no endpoint.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Graceful-degradation policy. A node silent for stale_after_ms becomes
+  /// STALE: the slot barrier stops waiting for it and downstream stages run
+  /// on its last stored sample (sample-and-hold). Silent past dead_after_ms
+  /// it becomes DEAD and its connection (if any) is evicted. Any frame from
+  /// the node — including a fresh hello — makes it LIVE again (rejoin).
+  /// 0 disables the state machine: the barrier waits for every node
+  /// forever (well, until collect_slot's timeout).
+  int stale_after_ms = 0;
+  int dead_after_ms = 0;  ///< 0 = nodes never pass STALE
+
+  /// Optional inbound-frame gate (fault injection). Empty = accept all.
+  BlockHook block_hook;
 };
 
 /// Hello rejection reasons carried in HelloAckFrame::reason.
@@ -107,6 +150,20 @@ class Controller {
   /// Connections dropped for wire-protocol or semantic violations.
   std::uint64_t connections_rejected() const { return connections_rejected_; }
 
+  /// Current liveness verdict for one node.
+  NodeState node_state(std::size_t node) const { return states_.at(node); }
+  /// LIVE -> STALE transitions (a node may contribute several).
+  std::uint64_t stale_transitions() const { return stale_transitions_; }
+  /// -> DEAD transitions.
+  std::uint64_t dead_transitions() const { return dead_transitions_; }
+  /// STALE/DEAD -> LIVE transitions (the node reported again).
+  std::uint64_t rejoins() const { return rejoins_; }
+  /// Slots the barrier completed while skipping at least one non-LIVE node
+  /// (i.e. slots that ran on sample-and-hold data for some node).
+  std::uint64_t degraded_slots() const { return degraded_slots_; }
+  /// Inbound frames discarded by ControllerOptions::block_hook.
+  std::uint64_t blocked_frames() const { return blocked_frames_; }
+
  private:
   struct Connection {
     Socket sock;
@@ -139,6 +196,14 @@ class Controller {
   void drop_metrics(int fd);
   /// Count a poisoned stream against resmon_net_wire_errors_total.
   void count_wire_error(wire::WireError error);
+  /// Record evidence of life from `node` and rejoin it if it was not LIVE.
+  void touch(std::size_t node);
+  /// Apply the stale_after/dead_after policy to every node's silence timer;
+  /// evicts connections of nodes that just became DEAD. Called once per
+  /// pump(). No-op when stale_after_ms is 0.
+  void update_node_states();
+  /// Move `node` to `state`, maintaining counters and gauges.
+  void set_node_state(std::size_t node, NodeState state);
 
   ControllerOptions options_;
   Socket listener_;
@@ -155,6 +220,16 @@ class Controller {
   /// Received measurements not yet surfaced by collect_slot, per node,
   /// in increasing step order (TCP preserves per-connection order).
   std::vector<std::deque<transport::MeasurementMessage>> inbox_;
+  /// Staleness state machine (all vectors indexed by node).
+  std::vector<NodeState> states_;
+  /// Last evidence of life; starts at construction, so a node that never
+  /// connects still ages into STALE/DEAD instead of blocking forever.
+  std::vector<std::chrono::steady_clock::time_point> last_seen_;
+  std::uint64_t stale_transitions_ = 0;
+  std::uint64_t dead_transitions_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t degraded_slots_ = 0;
+  std::uint64_t blocked_frames_ = 0;
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t connections_rejected_ = 0;
@@ -172,6 +247,16 @@ class Controller {
   obs::Counter* m_scrapes_total_ = nullptr;
   obs::Gauge* m_connected_agents_ = nullptr;
   obs::Histogram* m_slot_wait_ms_ = nullptr;
+  // Degradation metrics (nullptr without a registry).
+  obs::Counter* m_stale_transitions_total_ = nullptr;
+  obs::Counter* m_dead_transitions_total_ = nullptr;
+  obs::Counter* m_rejoins_total_ = nullptr;
+  obs::Counter* m_degraded_slots_total_ = nullptr;
+  obs::Counter* m_blocked_frames_total_ = nullptr;
+  obs::Gauge* m_stale_nodes_ = nullptr;
+  obs::Gauge* m_dead_nodes_ = nullptr;
+  std::vector<obs::Gauge*> m_node_state_;         ///< per node
+  std::vector<obs::Gauge*> m_node_staleness_ms_;  ///< per node
 };
 
 }  // namespace resmon::net

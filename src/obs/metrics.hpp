@@ -11,12 +11,17 @@
 //   Histogram  fixed-bucket distribution (slot wait, fit seconds, ...)
 //
 // Snapshot order is deterministic: render_text() and snapshot() emit
-// families sorted by metric name, series sorted by their rendered label
-// string, so two runs that registered the same series always produce
-// byte-comparable expositions regardless of registration order or thread
-// interleaving. render_text() is the Prometheus text exposition format
-// (text/plain; version=0.0.4), served by net::Controller's metrics
-// endpoint and written by the --metrics-out CLI path.
+// families sorted by metric name, series within a family sorted by their
+// rendered label string — never by registration order — so two registries
+// that hold the same series produce byte-identical expositions no matter
+// what order components registered them in or how threads interleaved
+// (test_obs asserts this byte-for-byte). Two caveats define the contract's
+// edges: a family's help text is fixed by its first registration, and label
+// keys render in the order the caller listed them, so a series must always
+// be registered with one canonical key order. render_text() is the
+// Prometheus text exposition format (text/plain; version=0.0.4), served by
+// net::Controller's metrics endpoint and written by the --metrics-out CLI
+// path.
 #pragma once
 
 #include <atomic>
@@ -99,8 +104,9 @@ struct Sample {
 ///
 // Registration is idempotent: asking for an existing (name, labels) series
 // returns the same instance, so N components can share one aggregate
-// counter simply by registering the same name. Re-registering a name as a
-// different metric type throws InvalidArgument. References returned by
+// counter simply by registering the same name (the help text of the first
+// registration wins). Re-registering a name as a different metric type
+// throws InvalidArgument. References returned by
 // counter()/gauge()/histogram() stay valid for the registry's lifetime.
 class MetricsRegistry {
  public:

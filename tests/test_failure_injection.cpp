@@ -1,5 +1,6 @@
-// Failure-injection tests: lossy/delayed channels, the deadband policy, and
-// the pipeline's behaviour under an unreliable uplink.
+// Failure-injection tests: lossy/delayed channels, the deadband policy, the
+// pipeline's behaviour under an unreliable uplink, and the faultnet chaos
+// harness layered over the wire-codec path.
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include "collect/fleet_collector.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
+#include "faultnet/fault_spec.hpp"
 #include "trace/synthetic.hpp"
 #include "transport/channel.hpp"
 
@@ -165,6 +167,102 @@ TEST(PipelineFailures, LossRaisesCollectionError) {
   };
   // 40% loss must hurt the stored view relative to a reliable uplink.
   EXPECT_GT(run_rmse(0.4), run_rmse(0.0));
+}
+
+// ---- chaos harness over the wire path --------------------------------------
+
+TEST(PipelineChaos, DuplicationAndReorderMatchTheGoldenRunBitForBit) {
+  // Duplicates are deduped by the store (freshest-wins) and a shuffled
+  // drain batch holds at most one fresh sample per node, so these wire
+  // faults must be invisible: the chaos run's forecasts equal the clean
+  // run's exactly, double for double.
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 15;
+  p.num_steps = 250;
+  const trace::InMemoryTrace t = trace::generate(p, 11);
+
+  // Stop one slot short so rmse_at(1) still has ground truth to score
+  // against.
+  core::PipelineOptions clean = lossy_options(0.0, 0);
+  core::MonitoringPipeline golden(t, clean);
+  golden.run(249);
+
+  core::PipelineOptions chaos = lossy_options(0.0, 0);
+  chaos.faults = faultnet::FaultSpec::parse("dup=0.4;reorder=0.6;seed=13");
+  core::MonitoringPipeline noisy(t, chaos);
+  noisy.run(249);
+
+  // The faults really fired...
+  const auto injected = [&](const char* kind) {
+    return noisy.metrics()
+        .value("resmon_faultnet_injected_total", {{"fault", kind}})
+        .value_or(0.0);
+  };
+  EXPECT_GT(injected("duplicate"), 0.0);
+  EXPECT_GT(injected("reorder"), 0.0);
+
+  // ...and changed nothing observable.
+  const Matrix expected = golden.forecast_all(1);
+  const Matrix actual = noisy.forecast_all(1);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_EQ(expected(i, r), actual(i, r)) << "node " << i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(golden.rmse_at(1), noisy.rmse_at(1));
+}
+
+TEST(PipelineChaos, CorruptedFramesAreCrcRejectedNeverFatal) {
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 12;
+  p.num_steps = 200;
+  const trace::InMemoryTrace t = trace::generate(p, 12);
+
+  core::PipelineOptions o = lossy_options(0.0, 0);
+  o.faults = faultnet::FaultSpec::parse("corrupt=0.05;seed=7");
+  core::MonitoringPipeline pipeline(t, o);
+  pipeline.run(200);
+  EXPECT_TRUE(pipeline.done());
+
+  // Every corrupted frame was caught by the decoder's CRC check and
+  // surfaced as a counted reject, not a crash or a poisoned sample.
+  const double rejects =
+      pipeline.metrics()
+          .value("resmon_faultnet_crc_rejects_total")
+          .value_or(0.0);
+  const double injected =
+      pipeline.metrics()
+          .value("resmon_faultnet_injected_total", {{"fault", "corrupt"}})
+          .value_or(0.0);
+  EXPECT_GT(rejects, 0.0);
+  EXPECT_EQ(rejects, injected);
+
+  const Matrix f = pipeline.forecast_all(1);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_TRUE(std::isfinite(f(i, r)));
+    }
+  }
+}
+
+TEST(PipelineChaos, StallAndPartitionWindowsDegradeToSampleAndHold) {
+  trace::SyntheticProfile p = trace::google_profile();
+  p.num_nodes = 10;
+  p.num_steps = 150;
+  const trace::InMemoryTrace t = trace::generate(p, 13);
+
+  core::PipelineOptions o = lossy_options(0.0, 0);
+  o.faults =
+      faultnet::FaultSpec::parse("stall=60-80;partition=100-120;nodes=2,5");
+  core::MonitoringPipeline pipeline(t, o);
+  pipeline.run(150);
+  EXPECT_TRUE(pipeline.done());
+  const Matrix f = pipeline.forecast_all(1);
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    for (std::size_t r = 0; r < t.num_resources(); ++r) {
+      EXPECT_TRUE(std::isfinite(f(i, r)));
+    }
+  }
 }
 
 TEST(PipelineFailures, DroppedInitialMeasurementsDelayClusteringSafely) {

@@ -144,6 +144,36 @@ TEST(Exposition, HelpTypeAndDeterministicOrder) {
   EXPECT_EQ(reg.render_text(), expected);
 }
 
+TEST(Exposition, RegistrationOrderNeverLeaksIntoTheExposition) {
+  // The header's determinism contract: two registries holding the same
+  // series — registered in opposite orders, histogram included — render
+  // byte-identical expositions. This is what makes diffing two runs'
+  // --metrics-out files (and the docs drift test) meaningful.
+  const auto populate = [](MetricsRegistry& reg, bool reversed) {
+    const auto series = [&](int i) {
+      switch (reversed ? 2 - i : i) {
+        case 0:
+          reg.counter("mid_total", "counts", {{"node", "0"}}).inc(3);
+          break;
+        case 1:
+          reg.histogram("a_hist", "timings", {1.0, 5.0}).observe(2.5);
+          break;
+        default:
+          reg.counter("mid_total", "counts", {{"node", "1"}}).inc(9);
+          reg.gauge("z_gauge", "level").set(4.5);
+          break;
+      }
+    };
+    for (int i = 0; i < 3; ++i) series(i);
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  populate(forward, false);
+  populate(backward, true);
+  EXPECT_EQ(forward.render_text(), backward.render_text());
+  EXPECT_FALSE(forward.render_text().empty());
+}
+
 TEST(Exposition, LabelValuesAreEscaped) {
   MetricsRegistry reg;
   reg.counter("x_total", "h", {{"path", "a\"b\\c\nd"}}).inc();

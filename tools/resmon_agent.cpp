@@ -8,13 +8,21 @@
 //
 //   resmon_agent --port PORT --node 3 --nodes 8 --steps 200
 //       --dataset alibaba --seed 1 [--policy adaptive] [--b 0.3]
-//       [--metrics-out file.prom] [--version]
+//       [--fault-spec "drop=0.05;corrupt=0.01"] [--start-step S]
+//       [--slot-delay-ms MS] [--metrics-out file.prom] [--version]
 //
 // The trace flags (--dataset/--nodes/--steps/--seed) must match the
-// controller's exactly.
+// controller's exactly. --fault-spec injects chaos into this agent's own
+// uplink (grammar in faultnet/fault_spec.hpp); --start-step resumes a
+// restarted agent mid-run (slots before S are skipped, as if the process
+// was down for them); --slot-delay-ms paces the slot loop so wall-clock
+// staleness policies have time to observe silence.
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "common/cli.hpp"
+#include "faultnet/agent_hook.hpp"
 #include "net/agent.hpp"
 #include "net_common.hpp"
 #include "obs/export.hpp"
@@ -50,11 +58,23 @@ int main(int argc, char** argv) {
     opts.max_reconnect_attempts =
         static_cast<std::size_t>(args.get_int("reconnect-attempts", 8));
     opts.metrics = &registry;
+    if (args.has("fault-spec")) {
+      opts.frame_hook = faultnet::make_agent_fault_hook(
+          faultnet::FaultSpec::parse(args.get("fault-spec", "")),
+          opts.node, &registry);
+    }
     net::Agent agent(opts, tools::make_policy(args));
     agent.connect();
 
-    for (std::size_t t = 0; t < slots; ++t) {
+    const std::size_t start =
+        static_cast<std::size_t>(args.get_int("start-step", 0));
+    const int slot_delay_ms =
+        static_cast<int>(args.get_int("slot-delay-ms", 0));
+    for (std::size_t t = start; t < slots; ++t) {
       agent.observe(t, trace.measurement(node, t));
+      if (slot_delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(slot_delay_ms));
+      }
     }
 
     if (args.has("metrics-out")) {

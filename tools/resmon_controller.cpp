@@ -8,8 +8,16 @@
 //
 //   resmon_controller --port 0 --nodes 8 --steps 200 --dataset alibaba
 //       --seed 1 [--b 0.3] [--k 3] [--model hold] [--threads 1]
+//       [--stale-after-ms MS] [--dead-after-ms MS] [--fault-spec SPEC]
 //       [--metrics-port 0] [--metrics-linger-ms 2000]
 //       [--metrics-out file.prom] [--trace-out file.jsonl] [--version]
+//
+// --stale-after-ms/--dead-after-ms enable graceful degradation: a node
+// silent that long is marked STALE (the slot barrier stops waiting for it;
+// its last stored sample feeds clustering and forecasting) respectively
+// DEAD (evicted; a reconnect rejoins it). --fault-spec applies the spec's
+// partition windows on the inbound side, discarding frames from the listed
+// nodes during those slots.
 //
 // With --port 0 the kernel picks a free port; the chosen one is printed as
 //   resmon_controller listening on 127.0.0.1:PORT
@@ -24,6 +32,7 @@
 
 #include "common/cli.hpp"
 #include "core/pipeline.hpp"
+#include "faultnet/agent_hook.hpp"
 #include "net/controller.hpp"
 #include "net/socket.hpp"
 #include "net_common.hpp"
@@ -47,6 +56,13 @@ int main(int argc, char** argv) {
     copts.num_nodes = trace.num_nodes();
     copts.num_resources = trace.num_resources();
     copts.metrics = &registry;
+    copts.stale_after_ms =
+        static_cast<int>(args.get_int("stale-after-ms", 0));
+    copts.dead_after_ms = static_cast<int>(args.get_int("dead-after-ms", 0));
+    if (args.has("fault-spec")) {
+      copts.block_hook = faultnet::make_controller_block_hook(
+          faultnet::FaultSpec::parse(args.get("fault-spec", "")), &registry);
+    }
     net::Controller controller(
         net::Socket::listen_tcp(
             host, static_cast<std::uint16_t>(args.get_int("port", 0))),
@@ -125,8 +141,21 @@ int main(int argc, char** argv) {
               << " (" << controller.bytes_received() << " bytes, "
               << freq << " frames/node/slot)\n"
               << "store complete:    " << (complete ? "yes" : "no") << "\n"
-              << "forecast RMSE h=1: " << rmse << "\n"
-              << "RESULT complete=" << (complete ? 1 : 0)
+              << "forecast RMSE h=1: " << rmse << "\n";
+    if (copts.stale_after_ms > 0 || copts.block_hook) {
+      std::cout << "degradation:       " << controller.stale_transitions()
+                << " stale, " << controller.dead_transitions() << " dead, "
+                << controller.rejoins() << " rejoins, "
+                << controller.degraded_slots() << " degraded slots, "
+                << controller.blocked_frames() << " blocked frames\n"
+                << "node states:      ";
+      for (std::size_t n = 0; n < trace.num_nodes(); ++n) {
+        std::cout << " " << n << "="
+                  << net::node_state_name(controller.node_state(n));
+      }
+      std::cout << "\n";
+    }
+    std::cout << "RESULT complete=" << (complete ? 1 : 0)
               << " rmse_finite=" << (std::isfinite(rmse) ? 1 : 0)
               << std::endl;
     return complete && std::isfinite(rmse) ? 0 : 1;
