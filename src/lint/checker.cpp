@@ -1,0 +1,90 @@
+#include "lint/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint/lexer.hpp"
+
+namespace resmon::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool entry_matches(const AllowEntry& e, const Finding& f) {
+  if (e.rule != "*" && e.rule != f.rule) return false;
+  if (!e.path.empty() && e.path.back() == '/') {
+    return f.path.compare(0, e.path.size(), e.path) == 0;
+  }
+  return f.path == e.path;
+}
+
+}  // namespace
+
+Allowlist parse_allowlist(const std::string& content) {
+  Allowlist out;
+  std::istringstream in(content);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto hash = line.find('#');
+    const std::string entry_part =
+        trim(hash == std::string::npos ? line : line.substr(0, hash));
+    const std::string reason =
+        hash == std::string::npos ? "" : trim(line.substr(hash + 1));
+    std::istringstream fields(entry_part);
+    AllowEntry e;
+    std::string extra;
+    fields >> e.rule >> e.path >> extra;
+    if (e.rule.empty() || e.path.empty() || !extra.empty()) {
+      out.errors.push_back("allowlist line " + std::to_string(lineno) +
+                           ": expected '<rule> <path> # <reason>'");
+      continue;
+    }
+    if (reason.empty()) {
+      out.errors.push_back("allowlist line " + std::to_string(lineno) +
+                           ": entry for '" + e.path +
+                           "' has no '# <reason>' comment");
+      continue;
+    }
+    const auto& names = rule_names();
+    if (e.rule != "*" &&
+        std::find(names.begin(), names.end(), e.rule) == names.end()) {
+      out.errors.push_back("allowlist line " + std::to_string(lineno) +
+                           ": unknown rule '" + e.rule + "'");
+      continue;
+    }
+    e.reason = reason;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<Finding> check_source(const std::string& path,
+                                  const std::string& content,
+                                  const Allowlist& allow,
+                                  std::vector<bool>* used) {
+  if (used != nullptr) used->assign(allow.entries.size(), false);
+  std::vector<Finding> kept;
+  for (auto& f : run_rules(path, lex(content))) {
+    bool suppressed = false;
+    for (std::size_t i = 0; i < allow.entries.size(); ++i) {
+      if (entry_matches(allow.entries[i], f)) {
+        suppressed = true;
+        if (used != nullptr) (*used)[i] = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  return kept;
+}
+
+}  // namespace resmon::lint

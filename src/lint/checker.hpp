@@ -1,0 +1,42 @@
+// Checker: runs the rule catalogue over (path, content) pairs and applies the
+// path-based allowlist. The library is filesystem-free so the tests can feed
+// crafted snippets through it; directory walking lives in tools/resmon_lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace resmon::lint {
+
+/// One allowlist entry: suppress `rule` ("*" for all) for `path` — an exact
+/// repo-relative file or, when it ends with '/', a directory prefix. Every
+/// entry must carry a reason; the parser rejects uncommented entries so the
+/// allowlist stays an auditable review record.
+struct AllowEntry {
+  std::string rule;
+  std::string path;
+  std::string reason;
+};
+
+struct Allowlist {
+  std::vector<AllowEntry> entries;
+  std::vector<std::string> errors;  // malformed lines, with line numbers
+};
+
+/// Parse allowlist text. Format, one entry per line:
+///   <rule> <path> # <reason>
+/// Blank lines and lines starting with '#' are comments.
+Allowlist parse_allowlist(const std::string& content);
+
+/// Lex + run every rule over one file. Inline suppressions are applied by
+/// run_rules; this additionally applies the allowlist. When `used` is
+/// non-null it is resized to entries.size() and used[i] is set when entry i
+/// suppressed at least one finding (stale-entry detection).
+std::vector<Finding> check_source(const std::string& path,
+                                  const std::string& content,
+                                  const Allowlist& allow,
+                                  std::vector<bool>* used = nullptr);
+
+}  // namespace resmon::lint

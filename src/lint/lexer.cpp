@@ -1,0 +1,198 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace resmon::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True for the identifier prefixes that may introduce a raw string literal.
+bool raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Record every resmon-lint-allow(rule, ...) directive found in a comment.
+// `line` is the line the comment ends on; the suppression also covers the
+// next line so the comment can sit above the flagged statement.
+void collect_suppressions(std::string_view comment, int line, LexResult* out) {
+  constexpr std::string_view kTag = "resmon-lint-allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string_view list = comment.substr(pos, close - pos);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string_view rule = trim(list.substr(0, comma));
+      if (!rule.empty()) {
+        out->suppressions[line].emplace(rule);
+        out->suppressions[line + 1].emplace(rule);
+      }
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow the whole (continued) line.
+    if (c == '#' && at_line_start) {
+      const int directive_line = line;
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          text += ' ';
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i++];
+      }
+      out.tokens.push_back({TokKind::Directive, text, directive_line});
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = (eol == std::string_view::npos) ? n : eol;
+      collect_suppressions(src.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int end_line = line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++end_line;
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      collect_suppressions(src.substr(i, end - i), end_line, &out);
+      line = end_line;
+      i = end;
+      continue;
+    }
+
+    // String literal (escaped quotes respected).
+    if (c == '"') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+        } else if (src[j] == '\n') {
+          ++line;  // ill-formed but keep line counts sane
+        }
+        ++j;
+      }
+      out.tokens.push_back({TokKind::String, "\"\"", start_line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Character literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.tokens.push_back({TokKind::CharLit, "''", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // Number (loose: covers hex, separators, exponents well enough).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n &&
+             (ident_char(src[j]) || src[j] == '.' ||
+              (src[j] == '\'' && j + 1 < n && ident_char(src[j + 1])))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          {TokKind::Number, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Identifier — possibly a raw-string prefix.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      const std::string_view id = src.substr(i, j - i);
+      if (j < n && src[j] == '"' && raw_string_prefix(id)) {
+        // Raw string: R"delim( ... )delim"
+        const int start_line = line;
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim += src[k++];
+        const std::string close = ")" + delim + "\"";
+        const std::size_t endpos = src.find(close, k);
+        const std::size_t end =
+            (endpos == std::string_view::npos) ? n : endpos + close.size();
+        for (std::size_t p = j; p < end; ++p) {
+          if (src[p] == '\n') ++line;
+        }
+        out.tokens.push_back({TokKind::String, "\"\"", start_line});
+        i = end;
+        continue;
+      }
+      out.tokens.push_back({TokKind::Identifier, std::string(id), line});
+      i = j;
+      continue;
+    }
+
+    // Everything else: single-character punctuation.
+    out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace resmon::lint

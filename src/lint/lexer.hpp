@@ -1,0 +1,49 @@
+// Minimal C++ lexer for resmon_lint (see DESIGN.md "Static analysis &
+// invariants").
+//
+// This is not a compiler front end: it splits a translation unit into
+// identifiers, literals, punctuation, and preprocessor directives, which is
+// exactly enough signal for the project-invariant rules in rules.hpp.
+// Comments and string/char literal *contents* never reach the rules, so a
+// mention of rand() in prose cannot trip the determinism check. Inline
+// suppression comments of the form
+//
+//   // resmon-lint-allow(rule-a, rule-b): reason
+//
+// are collected during lexing; a suppression applies to the line the comment
+// ends on and to the following line (comment-above style).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resmon::lint {
+
+enum class TokKind {
+  Identifier,  // foo, rand, virtual, ...
+  Number,      // 42, 1'000, 0x1f, 1.5e-3
+  String,      // "..." including raw strings; text holds a placeholder
+  CharLit,     // 'x'
+  Punct,       // single punctuation character
+  Directive,   // whole preprocessor line, continuations folded
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // line -> rule names suppressed on that line (from resmon-lint-allow
+  // comments). "*" suppresses every rule.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+LexResult lex(std::string_view source);
+
+}  // namespace resmon::lint

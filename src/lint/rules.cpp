@@ -1,0 +1,491 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace resmon::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_punct(const Token& t, char c) {
+  return t.kind == TokKind::Punct && t.text.size() == 1 && t.text[0] == c;
+}
+
+bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokKind::Identifier && t.text == name;
+}
+
+struct Ctx {
+  const std::string& path;
+  const std::vector<Token>& toks;
+  bool is_header;
+  std::vector<Finding>* out;
+
+  void emit(int line, std::string rule, std::string message) const {
+    out->push_back({path, line, std::move(rule), std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------- determinism
+
+// Library code must be replayable from a seed: wall clocks and unseeded
+// randomness are banned in src/. steady_clock is banned too — the timing
+// code that legitimately reads it (net staleness, span timestamps, fit-time
+// gauges) is enumerated in the allowlist so every new clock read is a
+// reviewed decision.
+void rule_determinism(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/")) return;
+  static constexpr std::array<std::string_view, 5> kBannedIds = {
+      "random_device", "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday"};
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Identifier) continue;
+    const std::string& id = t[i].text;
+    if (std::find(kBannedIds.begin(), kBannedIds.end(), id) !=
+        kBannedIds.end()) {
+      ctx.emit(t[i].line, "determinism",
+               "'" + id +
+                   "' is nondeterministic; route randomness through "
+                   "common/rng.hpp and clocks through an allowlisted file");
+      continue;
+    }
+    const bool call = i + 1 < t.size() && is_punct(t[i + 1], '(');
+    if ((id == "rand" || id == "srand") && call) {
+      ctx.emit(t[i].line, "determinism",
+               "'" + id + "()' breaks seeded reproducibility; use resmon::Rng");
+      continue;
+    }
+    if (id == "time" && call && i + 2 < t.size()) {
+      // Argless time() / time(0) / time(NULL) / time(nullptr): a wall-clock
+      // read. Any other argument list is some unrelated function.
+      const Token& a = t[i + 2];
+      const bool wall_read =
+          is_punct(a, ')') ||
+          ((a.text == "0" || a.text == "NULL" || a.text == "nullptr") &&
+           i + 3 < t.size() && is_punct(t[i + 3], ')'));
+      if (wall_read) {
+        ctx.emit(t[i].line, "determinism",
+                 "'time()' reads the wall clock; library code must be "
+                 "replayable from a seed");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- pragma-once
+
+void rule_pragma_once(const Ctx& ctx) {
+  if (!ctx.is_header) return;
+  for (const Token& t : ctx.toks) {
+    if (t.kind != TokKind::Directive) continue;
+    const std::string_view text = t.text;
+    if (text.find("pragma") != std::string_view::npos &&
+        text.find("once") != std::string_view::npos) {
+      return;
+    }
+  }
+  ctx.emit(1, "pragma-once", "header is missing '#pragma once'");
+}
+
+// --------------------------------------------------- using-namespace-header
+
+// A `{` opens a function body if, walking left, a `)` appears before any
+// statement/scope terminator. Good enough to tell `void f() {` and control
+// flow apart from namespace/class/aggregate braces.
+bool looks_like_function_brace(const std::vector<Token>& t, std::size_t brace) {
+  std::size_t steps = 0;
+  for (std::size_t j = brace; j-- > 0 && steps < 48; ++steps) {
+    const Token& p = t[j];
+    if (p.kind == TokKind::Directive) continue;
+    if (is_punct(p, ')')) return true;
+    if (is_punct(p, ';') || is_punct(p, '{') || is_punct(p, '}') ||
+        is_punct(p, '=') || is_ident(p, "class") || is_ident(p, "struct") ||
+        is_ident(p, "namespace") || is_ident(p, "enum")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void rule_using_namespace(const Ctx& ctx) {
+  if (!ctx.is_header) return;
+  const auto& t = ctx.toks;
+  std::vector<bool> body_stack;  // true: inside a function body
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_punct(t[i], '{')) {
+      const bool already = !body_stack.empty() && body_stack.back();
+      body_stack.push_back(already || looks_like_function_brace(t, i));
+      continue;
+    }
+    if (is_punct(t[i], '}')) {
+      if (!body_stack.empty()) body_stack.pop_back();
+      continue;
+    }
+    const bool in_function = !body_stack.empty() && body_stack.back();
+    if (!in_function && is_ident(t[i], "using") && i + 1 < t.size() &&
+        is_ident(t[i + 1], "namespace")) {
+      ctx.emit(t[i].line, "using-namespace-header",
+               "'using namespace' at namespace scope in a header leaks into "
+               "every includer");
+    }
+  }
+}
+
+// ------------------------------------------------------------------ std-endl
+
+void rule_std_endl(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/") && !starts_with(ctx.path, "tools/")) {
+    return;
+  }
+  for (const Token& t : ctx.toks) {
+    if (is_ident(t, "endl")) {
+      ctx.emit(t.line, "std-endl",
+               "std::endl forces a flush; write '\\n' and flush explicitly "
+               "where needed (std::flush)");
+    }
+  }
+}
+
+// --------------------------------------------------------- catch-all-swallow
+
+// In the runtime (src/net, src/faultnet) a catch (...) that neither rethrows
+// nor logs turns protocol violations and I/O failures into silent hangs.
+void rule_catch_all(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/net/") &&
+      !starts_with(ctx.path, "src/faultnet/")) {
+    return;
+  }
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i + 5 < t.size(); ++i) {
+    if (!(is_ident(t[i], "catch") && is_punct(t[i + 1], '(') &&
+          is_punct(t[i + 2], '.') && is_punct(t[i + 3], '.') &&
+          is_punct(t[i + 4], '.') && is_punct(t[i + 5], ')'))) {
+      continue;
+    }
+    std::size_t j = i + 6;
+    while (j < t.size() && !is_punct(t[j], '{')) ++j;
+    if (j >= t.size()) continue;
+    int depth = 1;
+    bool handled = false;
+    for (++j; j < t.size() && depth > 0; ++j) {
+      if (is_punct(t[j], '{')) ++depth;
+      if (is_punct(t[j], '}')) --depth;
+      if (t[j].kind != TokKind::Identifier) continue;
+      const std::string& id = t[j].text;
+      if (id == "throw" || id == "cerr" || id == "clog" || id == "fprintf" ||
+          id == "perror" || id == "syslog" ||
+          id.find("log") != std::string::npos ||
+          id.find("Log") != std::string::npos) {
+        handled = true;
+      }
+    }
+    if (!handled) {
+      ctx.emit(t[i].line, "catch-all-swallow",
+               "catch (...) swallows the error; rethrow, log, or catch a "
+               "concrete exception type");
+    }
+  }
+}
+
+// ------------------------------------------- explicit-ctor and virtual-dtor
+
+struct ClassScope {
+  std::string name;
+  int body_depth = 0;
+  int line = 0;
+  bool has_virtual = false;
+  bool dtor_ok = false;
+  bool has_base = false;
+  bool is_final = false;
+  bool in_public = false;
+};
+
+struct PendingClass {
+  std::string name;
+  int line = 0;
+  bool has_base = false;
+  bool is_final = false;
+  bool is_struct = false;
+};
+
+// Parse the parameter list starting at the '(' at index `open`. Returns the
+// index one past the matching ')' or npos on imbalance.
+struct ParamScan {
+  std::size_t end = 0;        // one past ')'
+  int total = 0;              // parameter count
+  int first_default = -1;     // index of first '=' param, -1 if none
+  bool exempt = false;        // copy/move/initializer_list/variadic/void
+};
+
+std::optional<ParamScan> scan_params(const std::vector<Token>& t,
+                                     std::size_t open,
+                                     const std::string& class_name) {
+  ParamScan r;
+  int paren = 1;
+  int angle = 0;
+  bool any_tokens = false;
+  bool only_void = true;
+  int param_index = 0;
+  bool current_has_default = false;
+  std::size_t j = open + 1;
+  for (; j < t.size() && paren > 0; ++j) {
+    const Token& u = t[j];
+    if (is_punct(u, '(')) ++paren;
+    else if (is_punct(u, ')')) {
+      --paren;
+      if (paren == 0) break;
+    } else if (is_punct(u, '<')) {
+      ++angle;
+    } else if (is_punct(u, '>')) {
+      angle = std::max(0, angle - 1);
+    } else if (is_punct(u, ',') && paren == 1 && angle == 0) {
+      ++param_index;
+      current_has_default = false;
+      continue;
+    } else if (is_punct(u, '=') && paren == 1 && angle == 0) {
+      if (!current_has_default && r.first_default < 0) {
+        r.first_default = param_index;
+      }
+      current_has_default = true;
+    } else if (is_punct(u, '.')) {
+      r.exempt = true;  // variadic / parameter pack
+    }
+    if (u.kind == TokKind::Identifier) {
+      if (u.text == class_name || u.text == "initializer_list") {
+        r.exempt = true;
+      }
+      if (u.text != "void") only_void = false;
+      any_tokens = true;
+    } else if (!is_punct(u, ')')) {
+      if (u.kind != TokKind::Directive) {
+        if (!(is_punct(u, '('))) only_void = false;
+      }
+      any_tokens = true;
+    }
+  }
+  if (j >= t.size()) return std::nullopt;
+  r.end = j + 1;
+  r.total = any_tokens ? param_index + 1 : 0;
+  if (any_tokens && only_void && r.total == 1) {
+    r.total = 0;  // Foo(void)
+  }
+  return r;
+}
+
+void rule_class_checks(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/")) return;
+  const auto& t = ctx.toks;
+  std::vector<ClassScope> stack;
+  std::optional<PendingClass> pending;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::Directive) continue;
+
+    if (is_ident(tok, "class") || is_ident(tok, "struct")) {
+      if (i > 0) {
+        const Token& p = t[i - 1];
+        // Not a definition: enum class, template parameters, friend decls.
+        if (is_ident(p, "enum") || is_ident(p, "friend") ||
+            is_ident(p, "typename") || is_punct(p, '<') || is_punct(p, ',')) {
+          continue;
+        }
+      }
+      std::string name;
+      bool is_final = false;
+      std::size_t j = i + 1;
+      while (j < t.size()) {
+        const Token& u = t[j];
+        if (u.kind == TokKind::Identifier) {
+          if (u.text == "final") {
+            is_final = true;
+          } else {
+            name = u.text;
+          }
+          ++j;
+          continue;
+        }
+        if (is_punct(u, '[') || is_punct(u, ']')) {  // [[attributes]]
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (name.empty() || j >= t.size()) continue;
+      const Token& next = t[j];
+      if (is_punct(next, ';') || is_punct(next, '<')) continue;
+      if (!is_punct(next, '{') && !is_punct(next, ':')) continue;
+      pending = PendingClass{name, tok.line, is_punct(next, ':'), is_final,
+                             is_ident(tok, "struct")};
+      continue;
+    }
+
+    if (is_punct(tok, '{')) {
+      ++depth;
+      if (pending) {
+        ClassScope cs;
+        cs.name = pending->name;
+        cs.body_depth = depth;
+        cs.line = pending->line;
+        cs.has_base = pending->has_base;
+        cs.is_final = pending->is_final;
+        cs.in_public = pending->is_struct;
+        stack.push_back(cs);
+        pending.reset();
+      }
+      continue;
+    }
+    if (is_punct(tok, '}')) {
+      if (!stack.empty() && stack.back().body_depth == depth) {
+        const ClassScope& cs = stack.back();
+        // A class that introduces virtual members is a polymorphic base; it
+        // needs a virtual destructor (or a non-public one, which forbids
+        // deletion through the base). Classes with bases inherit virtuality;
+        // final classes cannot be deleted through a derived handle.
+        if (cs.has_virtual && !cs.dtor_ok && !cs.has_base && !cs.is_final) {
+          ctx.emit(cs.line, "virtual-dtor",
+                   "'" + cs.name +
+                       "' declares virtual members but no virtual (or "
+                       "non-public) destructor");
+        }
+        stack.pop_back();
+      }
+      --depth;
+      continue;
+    }
+
+    if (stack.empty() || depth != stack.back().body_depth) continue;
+    ClassScope& cs = stack.back();
+
+    if (tok.kind == TokKind::Identifier) {
+      if (tok.text == "virtual") {
+        cs.has_virtual = true;
+        continue;
+      }
+      if ((tok.text == "public" || tok.text == "protected" ||
+           tok.text == "private") &&
+          i + 1 < t.size() && is_punct(t[i + 1], ':')) {
+        cs.in_public = tok.text == "public";
+        continue;
+      }
+    }
+
+    if (is_punct(tok, '~') && i + 1 < t.size() && is_ident(t[i + 1], cs.name)) {
+      const bool virt = i > 0 && is_ident(t[i - 1], "virtual");
+      if (virt || !cs.in_public) cs.dtor_ok = true;
+      continue;
+    }
+
+    // Constructor: ClassName '(' at class-body depth.
+    if (is_ident(tok, cs.name) && i + 1 < t.size() && is_punct(t[i + 1], '(')) {
+      if (i > 0) {
+        const Token& p = t[i - 1];
+        // Not a declaration: destructors, member access, expression contexts
+        // (in-class initializers, default arguments), conversion operators.
+        if (is_punct(p, '~') || is_punct(p, '.') || is_punct(p, '=') ||
+            is_punct(p, '(') || is_punct(p, ',') || is_punct(p, '<') ||
+            is_ident(p, "return") || is_ident(p, "new") ||
+            is_ident(p, "operator")) {
+          continue;
+        }
+        // A ':' directly before the name is fine only when it closes an
+        // access label (`public: Foo(...)`); otherwise it is a qualified
+        // name or a delegating-constructor call.
+        if (is_punct(p, ':')) {
+          const bool access_label =
+              i >= 2 && (is_ident(t[i - 2], "public") ||
+                         is_ident(t[i - 2], "protected") ||
+                         is_ident(t[i - 2], "private"));
+          if (!access_label) continue;
+        }
+      }
+      // `Foo (*fn)(...)`: a member function pointer returning Foo.
+      if (i + 2 < t.size() && is_punct(t[i + 2], '*')) continue;
+      bool is_explicit = false;
+      for (std::size_t k = 1; k <= 3 && k <= i; ++k) {
+        const Token& p = t[i - k];
+        if (is_ident(p, "explicit")) {
+          is_explicit = true;
+          break;
+        }
+        if (!(is_ident(p, "constexpr") || is_ident(p, "inline"))) break;
+      }
+      const auto params = scan_params(t, i + 1, cs.name);
+      if (!params) continue;
+      // `Foo(...) = delete` cannot convert anything.
+      if (params->end + 1 < t.size() && is_punct(t[params->end], '=') &&
+          is_ident(t[params->end + 1], "delete")) {
+        continue;
+      }
+      const int min_arity =
+          params->first_default >= 0 ? params->first_default : params->total;
+      const bool callable_with_one = params->total >= 1 && min_arity <= 1;
+      if (callable_with_one && !params->exempt && !is_explicit) {
+        ctx.emit(tok.line, "explicit-ctor",
+                 "constructor of '" + cs.name +
+                     "' is callable with one argument and not marked "
+                     "explicit (implicit conversion hazard)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "determinism",       "pragma-once", "using-namespace-header",
+      "std-endl",          "catch-all-swallow",
+      "explicit-ctor",     "virtual-dtor"};
+  return kNames;
+}
+
+std::vector<Finding> run_rules(const std::string& path, const LexResult& lex) {
+  std::vector<Finding> findings;
+  Ctx ctx{path, lex.tokens, ends_with(path, ".hpp") || ends_with(path, ".h"),
+          &findings};
+  rule_determinism(ctx);
+  rule_pragma_once(ctx);
+  rule_using_namespace(ctx);
+  rule_std_endl(ctx);
+  rule_catch_all(ctx);
+  rule_class_checks(ctx);
+
+  // Apply inline suppressions: a resmon-lint-allow comment on the finding's
+  // line or the line above silences it.
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& f : findings) {
+    bool suppressed = false;
+    for (int l : {f.line, f.line - 1}) {
+      const auto it = lex.suppressions.find(l);
+      if (it != lex.suppressions.end() &&
+          (it->second.count(f.rule) != 0 || it->second.count("*") != 0)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+}  // namespace resmon::lint

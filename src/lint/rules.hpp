@@ -1,0 +1,42 @@
+// Project-invariant rules for resmon_lint (see DESIGN.md "Static analysis &
+// invariants" for the catalogue and the rationale behind each rule).
+//
+// Every rule is scoped by repo-relative path, so callers hand in paths like
+// "src/core/pipeline.cpp" and the rule decides whether it applies:
+//
+//   determinism            src/                banned clock & randomness APIs
+//   pragma-once            any *.hpp           #pragma once present
+//   using-namespace-header any *.hpp           no `using namespace` at
+//                                              namespace scope
+//   std-endl               src/, tools/        no std::endl (flush) on paths
+//                                              that may be hot
+//   catch-all-swallow      src/net, src/faultnet  catch (...) must rethrow or
+//                                              log
+//   explicit-ctor          src/                single-argument constructors
+//                                              must be explicit
+//   virtual-dtor           src/                polymorphic bases need a
+//                                              virtual (or non-public) dtor
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace resmon::lint {
+
+struct Finding {
+  std::string path;  // repo-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names, in reporting order (for --list-rules and the tests).
+const std::vector<std::string>& rule_names();
+
+/// Run every rule over one lexed file. Inline resmon-lint-allow suppressions
+/// are already applied; the path-based allowlist is applied by the checker.
+std::vector<Finding> run_rules(const std::string& path, const LexResult& lex);
+
+}  // namespace resmon::lint

@@ -1,0 +1,151 @@
+// resmon_lint: project-invariant static checker (DESIGN.md "Static analysis
+// & invariants").
+//
+// Walks the source tree, lexes every .cpp/.hpp, and enforces the resmon rule
+// catalogue (determinism, header hygiene, safety). Violations print as
+//
+//   path:line: error: [rule] message
+//
+// and make the tool exit 1, so CI and scripts/check_lint.sh can gate on it.
+// Sanctioned exceptions live in tools/lint_allowlist.txt — every entry needs
+// a '# reason' comment — or inline as '// resmon-lint-allow(rule): reason'.
+//
+// Usage:
+//   resmon_lint [--root DIR] [--allowlist FILE] [--list-rules] [paths...]
+//
+// With no paths, scans src/ tools/ bench/ examples/ tests/ under --root
+// (default: the current directory).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/checker.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+// Repo-relative path with forward slashes (rule scoping matches on these).
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allowlist_path;
+  std::vector<std::string> explicit_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& name : resmon::lint::rule_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: resmon_lint [--root DIR] [--allowlist FILE] "
+                   "[--list-rules] [paths...]\n";
+      return 0;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+  root = fs::absolute(root).lexically_normal();
+  if (allowlist_path.empty()) {
+    allowlist_path = root / "tools" / "lint_allowlist.txt";
+  }
+
+  resmon::lint::Allowlist allow;
+  if (fs::exists(allowlist_path)) {
+    allow = resmon::lint::parse_allowlist(read_file(allowlist_path));
+  }
+  if (!allow.errors.empty()) {
+    for (const auto& e : allow.errors) {
+      std::cerr << allowlist_path.string() << ": error: " << e << "\n";
+    }
+    return 2;
+  }
+
+  // Collect files: explicit paths, or the default roots.
+  std::vector<fs::path> files;
+  auto add_tree = [&](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  };
+  if (explicit_paths.empty()) {
+    for (const char* d : {"src", "tools", "bench", "examples", "tests"}) {
+      add_tree(root / d);
+    }
+  } else {
+    for (const auto& p : explicit_paths) {
+      const fs::path abs = fs::absolute(p);
+      if (fs::is_directory(abs)) {
+        add_tree(abs);
+      } else {
+        files.push_back(abs);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<bool> entry_used(allow.entries.size(), false);
+  std::size_t findings = 0;
+  for (const auto& file : files) {
+    std::vector<bool> used;
+    const auto result = resmon::lint::check_source(rel_path(file, root),
+                                                   read_file(file), allow,
+                                                   &used);
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      if (used[i]) entry_used[i] = true;
+    }
+    for (const auto& f : result) {
+      std::cout << f.path << ":" << f.line << ": error: [" << f.rule << "] "
+                << f.message << "\n";
+      ++findings;
+    }
+  }
+
+  // Stale allowlist entries are a warning, not an error: some entries (e.g.
+  // common/rng.hpp) document policy even while the file is currently clean.
+  for (std::size_t i = 0; i < allow.entries.size(); ++i) {
+    if (!entry_used[i]) {
+      std::cerr << "warning: allowlist entry '" << allow.entries[i].rule << " "
+                << allow.entries[i].path << "' suppressed nothing\n";
+    }
+  }
+
+  if (findings != 0) {
+    std::cerr << "resmon_lint: " << findings << " violation(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "resmon_lint: " << files.size() << " files clean\n";
+  return 0;
+}
