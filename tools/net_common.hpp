@@ -33,7 +33,7 @@ inline std::string version_line(const std::string& name) {
 /// Handle --version: print the version line and return true (caller exits 0).
 inline bool handle_version(const Args& args, const std::string& name) {
   if (!args.has("version")) return false;
-  std::cout << version_line(name) << std::endl;
+  std::cout << version_line(name) << '\n' << std::flush;
   return true;
 }
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
     if (tools::handle_version(args, "resmon_agent")) return 0;
-    std::cout << tools::version_line("resmon_agent") << std::endl;
+    std::cout << tools::version_line("resmon_agent") << '\n' << std::flush;
     const trace::InMemoryTrace trace = tools::build_trace(args);
     const std::size_t slots = tools::run_slots(args);
     const std::size_t node =

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
     if (tools::handle_version(args, "resmon_controller")) return 0;
-    std::cout << tools::version_line("resmon_controller") << std::endl;
+    std::cout << tools::version_line("resmon_controller") << '\n'
+              << std::flush;
     const trace::InMemoryTrace trace = tools::build_trace(args);
     const std::size_t slots = tools::run_slots(args);
     const std::string host = args.get("host", "127.0.0.1");
@@ -68,13 +69,15 @@ int main(int argc, char** argv) {
             host, static_cast<std::uint16_t>(args.get_int("port", 0))),
         copts);
     std::cout << "resmon_controller listening on " << host << ":"
-              << controller.port() << std::endl;  // flush: scripts parse this
+              << controller.port() << '\n'
+              << std::flush;  // flush: scripts parse this
 
     if (args.has("metrics-port")) {
       controller.serve_metrics(net::Socket::listen_tcp(
           host, static_cast<std::uint16_t>(args.get_int("metrics-port", 0))));
       std::cout << "resmon_controller metrics endpoint on " << host << ":"
-                << controller.metrics_port() << std::endl;
+                << controller.metrics_port() << '\n'
+                << std::flush;
     }
 
     const int wait_ms = static_cast<int>(args.get_int("wait-ms", 30000));
@@ -84,8 +87,8 @@ int main(int argc, char** argv) {
                 << wait_ms << " ms\n";
       return 1;
     }
-    std::cout << "all " << trace.num_nodes() << " agents connected"
-              << std::endl;
+    std::cout << "all " << trace.num_nodes() << " agents connected\n"
+              << std::flush;
 
     core::PipelineOptions popts;
     popts.max_frequency = args.get_double("b", 0.3);
@@ -156,8 +159,8 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
     std::cout << "RESULT complete=" << (complete ? 1 : 0)
-              << " rmse_finite=" << (std::isfinite(rmse) ? 1 : 0)
-              << std::endl;
+              << " rmse_finite=" << (std::isfinite(rmse) ? 1 : 0) << '\n'
+              << std::flush;
     return complete && std::isfinite(rmse) ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "resmon_controller: " << e.what() << "\n";
