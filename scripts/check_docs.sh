@@ -14,8 +14,10 @@ STATUS=0
 # All tracked markdown (top level + docs/), skipping build trees.
 while IFS= read -r -d '' file; do
   dir=$(dirname "$file")
-  # Inline links: ](target) — tolerate titles after a space.
-  while IFS= read -r target; do
+  # Inline links with their line numbers: LINE:](target) — tolerate titles
+  # after a space. Failures print file:line like resmon_lint output so the
+  # diagnostic is clickable.
+  while IFS=: read -r lineno target; do
     case "$target" in
       http://*|https://*|mailto:*|\#*) continue ;;
     esac
@@ -23,10 +25,10 @@ while IFS= read -r -d '' file; do
     path=${path%% *}              # strip optional "title"
     [ -n "$path" ] || continue
     if [ ! -e "$dir/$path" ]; then
-      echo "BROKEN LINK: $file -> $target" >&2
+      echo "$file:$lineno: error: broken link -> $target" >&2
       STATUS=1
     fi
-  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+  done < <(grep -onE '\]\([^)]+\)' "$file" | sed 's/:](/:/; s/)$//')
 done < <(find "$ROOT" -maxdepth 2 -name '*.md' \
            -not -path '*/build*' -not -path '*/.git/*' \
            -not -name 'SNIPPETS.md' -print0)

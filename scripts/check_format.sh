@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run -Werror over every tracked C++ file,
+# against the repo's .clang-format. Prints file:line diagnostics and exits
+# nonzero on drift; run `clang-format -i` on the offending files to fix.
+#
+# Usage: scripts/check_format.sh
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+FMT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "WARNING: $FMT not installed; skipping format check (CI runs it)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp' '*.h')
+"$FMT" --dry-run -Werror "${files[@]}"
+echo "format check OK (${#files[@]} files)"
