@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run every shipped scenario pack through the CLI runner.
+#
+# Each scenarios/*.scn file executes via `resmon scenario run` and must
+# pass its [assert] section; the first failure stops the suite with the
+# runner's own report (metric name, expected, actual). This is the CI
+# `scenarios` job; the same packs also run inside ctest (test_scenarios),
+# so a pack regression fails both the CLI path and the unit suite.
+#
+# Usage: scripts/scenario_suite.sh BUILD_DIR [SCENARIO_DIR]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: scenario_suite.sh BUILD_DIR [SCENARIO_DIR]}
+SCENARIO_DIR=${2:-"$(dirname "$0")/../scenarios"}
+
+RESMON="$BUILD_DIR/tools/resmon"
+[ -x "$RESMON" ] || { echo "missing $RESMON" >&2; exit 2; }
+
+shopt -s nullglob
+PACKS=("$SCENARIO_DIR"/*.scn)
+if [ "${#PACKS[@]}" -lt 5 ]; then
+  echo "expected at least 5 scenario packs in $SCENARIO_DIR, found ${#PACKS[@]}" >&2
+  exit 2
+fi
+
+"$RESMON" scenario list "$SCENARIO_DIR"
+for pack in "${PACKS[@]}"; do
+  "$RESMON" scenario run "$pack"
+done
+echo "OK: ${#PACKS[@]} scenario packs passed"

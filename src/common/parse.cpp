@@ -1,0 +1,66 @@
+#include "common/parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace resmon {
+
+std::size_t parse_size(const std::string& context, const std::string& text) {
+  if (text.empty()) {
+    throw InvalidArgument(context + ": expected a non-negative integer, got "
+                                    "an empty field");
+  }
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw InvalidArgument(context +
+                            ": expected a non-negative integer, got '" +
+                            text + "'");
+    }
+  }
+  unsigned long long v = 0;
+  std::size_t consumed = 0;
+  try {
+    v = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgument(context + ": integer out of range: '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    throw InvalidArgument(context + ": trailing characters in integer '" +
+                          text + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double(const std::string& context, const std::string& text) {
+  if (text.empty()) {
+    throw InvalidArgument(context + ": expected a number, got an empty field");
+  }
+  double v = 0.0;
+  std::size_t consumed = 0;
+  try {
+    v = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgument(context + ": expected a number, got '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    throw InvalidArgument(context + ": trailing characters in number '" +
+                          text + "'");
+  }
+  if (!std::isfinite(v)) {
+    throw InvalidArgument(context + ": number is not finite: '" + text + "'");
+  }
+  return v;
+}
+
+bool parse_bool(const std::string& context, const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  throw InvalidArgument(context + ": expected a boolean, got '" + text + "'");
+}
+
+}  // namespace resmon

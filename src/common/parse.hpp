@@ -1,0 +1,31 @@
+// Strict numeric/boolean parsing shared by every textual input surface
+// (the CSV trace loader, the scenario-pack parser, config-ish grammars).
+//
+// std::stoul/std::stod silently accept trailing garbage ("3x" -> 3) and
+// std::stoul wraps negative input into a huge unsigned value — both of
+// which turn a typo in an input file into a bogus in-memory layout instead
+// of a diagnosis. These helpers demand whole-string consumption and throw
+// resmon::InvalidArgument naming the caller's context on any violation, so
+// malformed input always fails with a message instead of UB downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace resmon {
+
+/// Parse a non-negative integer (digits only: no sign, no whitespace, no
+/// trailing characters). Throws InvalidArgument("<context>: ...").
+std::size_t parse_size(const std::string& context, const std::string& text);
+
+/// Parse a finite double, requiring the whole string to be consumed.
+/// Throws InvalidArgument("<context>: ...") on garbage, trailing
+/// characters, or non-finite results (inf/nan overflow).
+double parse_double(const std::string& context, const std::string& text);
+
+/// Parse a boolean: "true"/"1"/"yes"/"on" and "false"/"0"/"no"/"off".
+bool parse_bool(const std::string& context, const std::string& text);
+
+}  // namespace resmon

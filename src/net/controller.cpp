@@ -38,7 +38,8 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
       progress_(options.num_nodes, -1),
       inbox_(options.num_nodes),
       states_(options.num_nodes, NodeState::kLive),
-      last_seen_(options.num_nodes, Clock::now()) {
+      // staleness_now() reads only options_, which is initialized above.
+      last_seen_(options.num_nodes, staleness_now()) {
   RESMON_REQUIRE(options.num_nodes > 0, "Controller needs at least one node");
   RESMON_REQUIRE(options.num_resources > 0,
                  "Controller needs at least one resource");
@@ -349,8 +350,12 @@ void Controller::set_node_state(std::size_t node, NodeState state) {
   }
 }
 
+Clock::time_point Controller::staleness_now() const {
+  return options_.staleness_clock ? options_.staleness_clock() : Clock::now();
+}
+
 void Controller::touch(std::size_t node) {
-  last_seen_[node] = Clock::now();
+  last_seen_[node] = staleness_now();
   if (m_node_staleness_ms_.size() > node &&
       m_node_staleness_ms_[node] != nullptr) {
     m_node_staleness_ms_[node]->set(0.0);
@@ -362,7 +367,7 @@ void Controller::touch(std::size_t node) {
 
 void Controller::update_node_states() {
   if (options_.stale_after_ms <= 0) return;
-  const auto now = Clock::now();
+  const auto now = staleness_now();
   for (std::size_t node = 0; node < options_.num_nodes; ++node) {
     const auto silence_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(

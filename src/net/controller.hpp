@@ -83,6 +83,12 @@ struct ControllerOptions {
   int stale_after_ms = 0;
   int dead_after_ms = 0;  ///< 0 = nodes never pass STALE
 
+  /// Clock read by the staleness state machine (last-seen bookkeeping and
+  /// silence timers) — and by nothing else. Empty = steady_clock::now().
+  /// Tests and the scenario runner inject a manual clock here to drive
+  /// LIVE -> STALE -> DEAD deterministically, without real sleeps.
+  std::function<std::chrono::steady_clock::time_point()> staleness_clock;
+
   /// Optional inbound-frame gate (fault injection). Empty = accept all.
   BlockHook block_hook;
 };
@@ -196,6 +202,9 @@ class Controller {
   void drop_metrics(int fd);
   /// Count a poisoned stream against resmon_net_wire_errors_total.
   void count_wire_error(wire::WireError error);
+  /// Now according to the staleness clock (injectable; see
+  /// ControllerOptions::staleness_clock).
+  std::chrono::steady_clock::time_point staleness_now() const;
   /// Record evidence of life from `node` and rejoin it if it was not LIVE.
   void touch(std::size_t node);
   /// Apply the stale_after/dead_after policy to every node's silence timer;

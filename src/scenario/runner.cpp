@@ -1,0 +1,575 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "net/agent.hpp"
+#include "net/controller.hpp"
+#include "net/socket.hpp"
+#include "scenario/manual_clock.hpp"
+#include "trace/synthetic.hpp"
+
+namespace resmon::scenario {
+
+namespace {
+
+/// Metric values keyed by the exposition series key (name + labels).
+using SnapshotMap = std::map<std::string, double>;
+
+SnapshotMap snapshot_map(const obs::MetricsRegistry& registry) {
+  SnapshotMap out;
+  for (const obs::Sample& s : registry.snapshot()) {
+    out[s.name + s.labels] = s.value;
+  }
+  return out;
+}
+
+std::string op_name(Assertion::Op op) {
+  switch (op) {
+    case Assertion::Op::kEq:
+      return "==";
+    case Assertion::Op::kNe:
+      return "!=";
+    case Assertion::Op::kLe:
+      return "<=";
+    case Assertion::Op::kGe:
+      return ">=";
+    case Assertion::Op::kLt:
+      return "<";
+    case Assertion::Op::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool eval_op(Assertion::Op op, double actual, double threshold) {
+  switch (op) {
+    case Assertion::Op::kEq:
+      return actual == threshold;
+    case Assertion::Op::kNe:
+      return actual != threshold;
+    case Assertion::Op::kLe:
+      return actual <= threshold;
+    case Assertion::Op::kGe:
+      return actual >= threshold;
+    case Assertion::Op::kLt:
+      return actual < threshold;
+    case Assertion::Op::kGt:
+      return actual > threshold;
+  }
+  return false;
+}
+
+std::string fmt(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+/// Evaluate every assertion against the final snapshot and the sampled
+/// series history.
+void evaluate(const ScenarioSpec& spec, const SnapshotMap& final_values,
+              const std::map<std::string, std::vector<double>>& series,
+              ScenarioResult& result) {
+  for (const Assertion& a : spec.assertions) {
+    AssertionOutcome out;
+    out.assertion = a;
+    const std::string key = a.series_key();
+    switch (a.kind) {
+      case Assertion::Kind::kCompare: {
+        out.expected = op_name(a.op) + " " + fmt(a.value);
+        const auto it = final_values.find(key);
+        if (it == final_values.end()) {
+          out.found = false;
+          break;
+        }
+        out.actual = it->second;
+        out.passed = eval_op(a.op, out.actual, a.value);
+        break;
+      }
+      case Assertion::Kind::kBand: {
+        out.expected =
+            "in " + fmt(a.value) + " +- " + fmt(a.tolerance);
+        const auto it = final_values.find(key);
+        if (it == final_values.end()) {
+          out.found = false;
+          break;
+        }
+        out.actual = it->second;
+        out.passed = std::abs(out.actual - a.value) <= a.tolerance;
+        break;
+      }
+      case Assertion::Kind::kMonotonic: {
+        out.expected = a.increasing ? "nondecreasing" : "nonincreasing";
+        if (a.slack > 0) out.expected += " (slack " + fmt(a.slack) + ")";
+        const auto it = series.find(key);
+        if (it == series.end() || it->second.empty()) {
+          out.found = false;
+          break;
+        }
+        const std::vector<double>& v = it->second;
+        out.passed = true;
+        out.actual = v.back();
+        for (std::size_t i = 1; i < v.size(); ++i) {
+          const bool ok = a.increasing ? v[i] >= v[i - 1] - a.slack
+                                       : v[i] <= v[i - 1] + a.slack;
+          if (!ok) {
+            out.passed = false;
+            out.actual = v[i];
+            out.expected += " (violated at sample " + std::to_string(i) +
+                            ", previous " + fmt(v[i - 1]) + ")";
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (!out.found) out.passed = false;
+    if (!out.passed) result.passed = false;
+    result.outcomes.push_back(std::move(out));
+  }
+}
+
+trace::SyntheticProfile profile_for(const ScenarioSpec& spec) {
+  trace::SyntheticProfile profile = trace::profile_by_name(spec.profile);
+  if (spec.nodes != 0) profile.num_nodes = spec.nodes;
+  if (spec.steps != 0) profile.num_steps = spec.steps;
+  for (const auto& [key, value] : spec.profile_overrides) {
+    apply_profile_override(profile, key, value,
+                           "scenario '" + spec.name + "'");
+  }
+  return profile;
+}
+
+core::PipelineOptions pipeline_options(const ScenarioSpec& spec,
+                                       obs::MetricsRegistry* registry) {
+  core::PipelineOptions opt;
+  opt.policy = spec.policy;
+  opt.max_frequency = spec.max_frequency;
+  opt.num_clusters = spec.num_clusters;
+  opt.temporal_window = spec.temporal_window;
+  opt.forecaster = spec.model;
+  opt.schedule = {.initial_steps = spec.initial_steps,
+                  .retrain_interval = spec.retrain_interval};
+  opt.seed = spec.pipeline_seed;
+  opt.num_threads = spec.threads;
+  opt.faults = spec.faults;
+  opt.metrics = registry;
+  return opt;
+}
+
+std::size_t resolve_run_steps(const ScenarioSpec& spec,
+                              const trace::Trace& trace) {
+  const std::size_t steps =
+      spec.run_steps == 0 ? trace.num_steps() : spec.run_steps;
+  RESMON_REQUIRE(steps <= trace.num_steps(),
+                 "scenario run steps exceed the trace length");
+  RESMON_REQUIRE(steps > 0, "scenario would run zero steps");
+  return steps;
+}
+
+/// Shared result-export state: per-horizon RMSE accumulators plus the
+/// sampled series history for monotonicity assertions.
+struct ResultTracker {
+  explicit ResultTracker(const ScenarioSpec& spec) : spec_(spec) {
+    accumulators_.resize(spec.horizons.size());
+  }
+
+  /// Score the pipeline after it processed step t (0-based).
+  void score(const core::MonitoringPipeline& pipeline, std::size_t t) {
+    if (t + 1 < spec_.initial_steps) return;  // models still warming up
+    const std::size_t limit = pipeline.trace().num_steps();
+    for (std::size_t i = 0; i < spec_.horizons.size(); ++i) {
+      const std::size_t h = spec_.horizons[i];
+      if (t + h >= limit) continue;  // no ground truth that far out
+      accumulators_[i].add(pipeline.rmse_at(h));
+    }
+  }
+
+  void sample(const obs::MetricsRegistry& registry) {
+    for (const auto& [key, value] : snapshot_map(registry)) {
+      series_[key].push_back(value);
+    }
+  }
+
+  /// Export the resmon_scenario_* result gauges.
+  void publish(const ScenarioSpec& spec, obs::MetricsRegistry& registry,
+               const core::MonitoringPipeline& pipeline,
+               std::size_t steps_run, double traffic_fraction,
+               double bytes_sent, double divergence) {
+    register_result_metrics(registry, spec.horizons);
+    registry.gauge("resmon_scenario_steps", "")
+        .set(static_cast<double>(steps_run));
+    registry.gauge("resmon_scenario_traffic_fraction", "")
+        .set(traffic_fraction);
+    registry.gauge("resmon_scenario_bytes_sent", "").set(bytes_sent);
+    registry.gauge("resmon_scenario_forecast_divergence", "")
+        .set(divergence);
+    const std::size_t last = pipeline.current_step() - 1;
+    const std::size_t limit = pipeline.trace().num_steps();
+    for (std::size_t i = 0; i < spec.horizons.size(); ++i) {
+      const std::size_t h = spec.horizons[i];
+      const obs::Labels labels = {{"h", std::to_string(h)}};
+      registry.gauge("resmon_scenario_rmse", "", labels)
+          .set(accumulators_[i].value());
+      // Aggregate |mean forecast - mean truth| at the end of the run: the
+      // capacity-planning view (how much total load h slots ahead).
+      if (last + h < limit) {
+        const Matrix forecast = pipeline.forecast_all(h);
+        double fsum = 0.0;
+        double tsum = 0.0;
+        for (std::size_t n = 0; n < forecast.rows(); ++n) {
+          for (std::size_t r = 0; r < forecast.cols(); ++r) {
+            fsum += forecast(n, r);
+            tsum += pipeline.trace().value(n, last + h, r);
+          }
+        }
+        const double cells =
+            static_cast<double>(forecast.rows() * forecast.cols());
+        registry.gauge("resmon_scenario_aggregate_abs_error", "", labels)
+            .set(std::abs(fsum - tsum) / cells);
+      }
+    }
+  }
+
+  const std::map<std::string, std::vector<double>>& series() const {
+    return series_;
+  }
+
+ private:
+  const ScenarioSpec& spec_;
+  std::vector<core::RmseAccumulator> accumulators_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+/// Max elementwise |a - b|; infinity on shape mismatch.
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  return worst;
+}
+
+ScenarioResult run_in_process(const ScenarioSpec& spec,
+                              obs::MetricsRegistry& registry) {
+  const trace::SyntheticProfile profile = profile_for(spec);
+  const trace::InMemoryTrace trace =
+      trace::generate(profile, spec.trace_seed);
+  const std::size_t steps = resolve_run_steps(spec, trace);
+
+  core::MonitoringPipeline pipeline(trace, pipeline_options(spec, &registry));
+
+  // Fault-free twin for bit-identity divergence: same trace, same options,
+  // no faultnet spec, metrics kept out of the shared registry.
+  std::unique_ptr<obs::MetricsRegistry> twin_registry;
+  std::unique_ptr<core::MonitoringPipeline> twin;
+  if (spec.baseline_compare) {
+    twin_registry = std::make_unique<obs::MetricsRegistry>();
+    core::PipelineOptions twin_options =
+        pipeline_options(spec, twin_registry.get());
+    twin_options.faults = {};
+    twin = std::make_unique<core::MonitoringPipeline>(trace, twin_options);
+  }
+
+  ResultTracker tracker(spec);
+  double divergence = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    pipeline.step();
+    if (twin != nullptr) twin->step();
+    tracker.score(pipeline, t);
+    const bool sampled = (t + 1) % spec.sample_every == 0 || t + 1 == steps;
+    if (sampled) {
+      tracker.sample(registry);
+      if (twin != nullptr) {
+        // h = 0 compares the stored central view, h >= 1 the forecasts.
+        divergence = std::max(
+            divergence,
+            max_abs_diff(pipeline.forecast_all(0), twin->forecast_all(0)));
+        for (const std::size_t h : spec.horizons) {
+          if (t + h >= trace.num_steps()) continue;
+          divergence = std::max(
+              divergence,
+              max_abs_diff(pipeline.forecast_all(h), twin->forecast_all(h)));
+        }
+      }
+    }
+  }
+
+  const double traffic = pipeline.collector().average_actual_frequency();
+  const double bytes =
+      registry.value("resmon_collect_link_bytes_sent").value_or(0.0);
+  tracker.publish(spec, registry, pipeline, steps, traffic, bytes,
+                  divergence);
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.steps_run = steps;
+  // One final sample so monotonic assertions see the published gauges too.
+  tracker.sample(registry);
+  evaluate(spec, snapshot_map(registry), tracker.series(), result);
+  return result;
+}
+
+// ---------------------------------------------------------------- socket mode
+
+/// One churn-driven agent slot: the Agent object (absent while killed) and
+/// the scheduled events for this node.
+struct AgentSlot {
+  std::unique_ptr<net::Agent> agent;
+};
+
+std::unique_ptr<net::Agent> make_agent(const ScenarioSpec& spec,
+                                       std::uint16_t port, std::size_t node,
+                                       std::size_t num_resources) {
+  net::AgentOptions opt;
+  opt.port = port;
+  opt.node = static_cast<std::uint32_t>(node);
+  opt.num_resources = static_cast<std::uint32_t>(num_resources);
+  return std::make_unique<net::Agent>(
+      opt, collect::make_policy_factory(spec.policy, spec.max_frequency)());
+}
+
+/// Run `connect()` on a helper thread while the controller pumps its event
+/// loop until the node's hello lands (the rejoin flips it back to LIVE);
+/// rethrows any connect failure on the caller. Bounded so a wedged
+/// handshake cannot hang the runner.
+void connect_pumping(net::Agent& agent, net::Controller& controller,
+                     std::size_t node) {
+  std::exception_ptr failure;
+  std::thread th([&] {
+    try {
+      agent.connect();
+      // Captured for the deferred std::rethrow_exception after join().
+      // resmon-lint-allow(catch-all-swallow): rethrown on the caller
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  });
+  for (int rounds = 0;
+       rounds < 1000 && controller.node_state(node) != net::NodeState::kLive;
+       ++rounds) {
+    controller.pump_idle(10);
+  }
+  th.join();
+  if (failure != nullptr) std::rethrow_exception(failure);
+  RESMON_REQUIRE(controller.node_state(node) == net::NodeState::kLive,
+                 "scenario: node did not rejoin after restart");
+}
+
+ScenarioResult run_socket(const ScenarioSpec& spec,
+                          obs::MetricsRegistry& registry) {
+  const trace::SyntheticProfile profile = profile_for(spec);
+  const trace::InMemoryTrace trace =
+      trace::generate(profile, spec.trace_seed);
+  const std::size_t steps = resolve_run_steps(spec, trace);
+  const std::size_t n = trace.num_nodes();
+  const int msps = static_cast<int>(spec.ms_per_slot);
+
+  ManualClock clock;
+  net::ControllerOptions copt;
+  copt.num_nodes = n;
+  copt.num_resources = trace.num_resources();
+  copt.metrics = &registry;
+  // The +msps/2 offset keeps thresholds off exact slot multiples: a live
+  // node's silence peaks at whole slots, so it can never tie the limit.
+  copt.stale_after_ms =
+      static_cast<int>(spec.stale_after_slots) * msps + msps / 2;
+  if (spec.dead_after_slots != 0) {
+    copt.dead_after_ms =
+        static_cast<int>(spec.dead_after_slots) * msps + msps / 2;
+  }
+  copt.staleness_clock = clock.now_fn();
+  net::Controller controller(net::Socket::listen_tcp("127.0.0.1", 0), copt);
+  const std::uint16_t port = controller.port();
+
+  core::PipelineOptions popt = pipeline_options(spec, &registry);
+  core::MonitoringPipeline pipeline(trace, popt, core::ExternalCollection{});
+
+  // Connect the whole fleet: agents block on their hello/ack handshake in
+  // helper threads while the main thread pumps the controller.
+  std::vector<AgentSlot> agents(n);
+  {
+    std::vector<std::exception_ptr> failures(n);
+    std::vector<std::thread> connectors;
+    connectors.reserve(n);
+    for (std::size_t node = 0; node < n; ++node) {
+      agents[node].agent =
+          make_agent(spec, port, node, trace.num_resources());
+      connectors.emplace_back([&, node] {
+        try {
+          agents[node].agent->connect();
+          // resmon-lint-allow(catch-all-swallow): rethrown after the joins
+        } catch (...) {
+          failures[node] = std::current_exception();
+        }
+      });
+    }
+    const bool all_in = controller.wait_for_agents(n, 10000);
+    for (std::thread& th : connectors) th.join();
+    for (const std::exception_ptr& failure : failures) {
+      if (failure != nullptr) std::rethrow_exception(failure);
+    }
+    RESMON_REQUIRE(all_in, "scenario: fleet did not finish its handshakes");
+  }
+
+  // Index churn events by slot for the lock-step loop.
+  std::map<std::size_t, std::vector<ChurnEvent>> churn_at;
+  for (const ChurnEvent& ev : spec.churn) churn_at[ev.slot].push_back(ev);
+
+  ResultTracker tracker(spec);
+  std::uint64_t agent_bytes = 0;
+  std::uint64_t agent_measurements = 0;
+  const auto retire = [&](AgentSlot& slot) {
+    // Keep traffic totals across kills: the Agent object dies with them.
+    agent_bytes += slot.agent->bytes_sent();
+    agent_measurements += slot.agent->measurements_sent();
+    slot.agent.reset();
+  };
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (const auto it = churn_at.find(t); it != churn_at.end()) {
+      for (const ChurnEvent& ev : it->second) {
+        RESMON_REQUIRE(ev.node < n, "scenario: churn node out of range");
+        AgentSlot& slot = agents[ev.node];
+        if (!ev.restart) {
+          RESMON_REQUIRE(slot.agent != nullptr,
+                         "scenario: kill of an already-dead node");
+          retire(slot);
+        } else {
+          RESMON_REQUIRE(slot.agent == nullptr,
+                         "scenario: restart of a live node");
+          slot.agent =
+              make_agent(spec, port, ev.node, trace.num_resources());
+          connect_pumping(*slot.agent, controller, ev.node);
+        }
+      }
+    }
+
+    // Lock-step: every live agent writes its slot-t frame (measurement or
+    // heartbeat) before the controller starts collecting, so the first
+    // pump below touches every live node at the *current* manual time.
+    for (std::size_t node = 0; node < n; ++node) {
+      if (agents[node].agent == nullptr) continue;
+      agents[node].agent->observe(t, trace.measurement(node, t));
+    }
+    clock.advance_ms(msps);
+
+    // The barrier waits for LIVE nodes only. While a freshly-killed node
+    // is still LIVE the barrier cannot complete — each timed-out attempt
+    // advances the manual clock one slot until the staleness machine
+    // notices the silence and degrades the node.
+    std::optional<std::vector<transport::MeasurementMessage>> messages;
+    const std::size_t max_attempts = spec.stale_after_slots + 8;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      messages = controller.collect_slot(t, 200);
+      if (messages.has_value()) break;
+      clock.advance_ms(msps);
+    }
+    RESMON_REQUIRE(messages.has_value(),
+                   "scenario: slot barrier stuck past the staleness policy");
+    pipeline.step_external(*messages);
+    tracker.score(pipeline, t);
+    if ((t + 1) % spec.sample_every == 0 || t + 1 == steps) {
+      tracker.sample(registry);
+    }
+  }
+
+  for (AgentSlot& slot : agents) {
+    if (slot.agent != nullptr) retire(slot);
+  }
+  const double traffic =
+      static_cast<double>(agent_measurements) /
+      (static_cast<double>(n) * static_cast<double>(steps));
+  tracker.publish(spec, registry, pipeline, steps, traffic,
+                  static_cast<double>(agent_bytes), 0.0);
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.steps_run = steps;
+  tracker.sample(registry);
+  evaluate(spec, snapshot_map(registry), tracker.series(), result);
+  return result;
+}
+
+}  // namespace
+
+const AssertionOutcome* ScenarioResult::first_failure() const {
+  for (const AssertionOutcome& out : outcomes) {
+    if (!out.passed) return &out;
+  }
+  return nullptr;
+}
+
+void register_result_metrics(obs::MetricsRegistry& registry,
+                             const std::vector<std::size_t>& horizons) {
+  registry.gauge("resmon_scenario_steps",
+                 "Time slots the scenario actually executed");
+  registry.gauge("resmon_scenario_traffic_fraction",
+                 "Measurements transmitted per node-slot (actual frequency)");
+  registry.gauge("resmon_scenario_bytes_sent",
+                 "Total uplink bytes the fleet paid for during the scenario");
+  registry.gauge(
+      "resmon_scenario_forecast_divergence",
+      "Max |difference| between the faulted run and its fault-free twin "
+      "(stored values and forecasts; 0 = bit-identical)");
+  for (const std::size_t h : horizons) {
+    const obs::Labels labels = {{"h", std::to_string(h)}};
+    registry.gauge("resmon_scenario_rmse",
+                   "Time-averaged forecast RMSE (eq. (4)) at horizon h",
+                   labels);
+    registry.gauge(
+        "resmon_scenario_aggregate_abs_error",
+        "Capacity-planning error: |mean forecast - mean truth| per cell at "
+        "horizon h, scored at the end of the run",
+        labels);
+  }
+}
+
+ScenarioResult run(const ScenarioSpec& spec, obs::MetricsRegistry& registry) {
+  if (spec.socket_mode) return run_socket(spec, registry);
+  return run_in_process(spec, registry);
+}
+
+bool print_report(const ScenarioResult& result, std::ostream& out,
+                  bool verbose) {
+  if (verbose) {
+    for (const AssertionOutcome& o : result.outcomes) {
+      out << "  [" << (o.passed ? "PASS" : "FAIL") << "] "
+          << o.assertion.raw << '\n';
+    }
+  }
+  if (result.passed) {
+    out << "PASS " << result.name << " (" << result.outcomes.size()
+        << " assertions, " << result.steps_run << " steps)\n";
+    return true;
+  }
+  const AssertionOutcome* first = result.first_failure();
+  out << "FAIL " << result.name << ": " << first->assertion.series_key()
+      << " expected " << first->expected << ", actual ";
+  if (first->found) {
+    out << first->actual;
+  } else {
+    out << "<metric not found>";
+  }
+  out << '\n';
+  return false;
+}
+
+}  // namespace resmon::scenario

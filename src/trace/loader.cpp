@@ -6,16 +6,30 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
+
 namespace resmon::trace {
 
 namespace {
+
+// A row can place a node/step index anywhere, and the resulting dense
+// grid is n*steps cells. Bound both axes so a corrupt index ("4294967295"
+// where "42" was meant) is diagnosed instead of attempting a huge
+// allocation.
+constexpr std::size_t kMaxIndex = 10'000'000;
 
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   std::istringstream ss(line);
   while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
   return fields;
+}
+
+std::string strip_cr(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
 }
 
 }  // namespace
@@ -25,7 +39,7 @@ InMemoryTrace load_csv(std::istream& in) {
   if (!std::getline(in, line)) {
     throw Error("load_csv: empty input");
   }
-  const std::vector<std::string> header = split_csv_line(line);
+  const std::vector<std::string> header = split_csv_line(strip_cr(line));
   RESMON_REQUIRE(header.size() >= 3,
                  "trace CSV needs node,step and at least one resource column");
   const std::size_t num_resources = header.size() - 2;
@@ -41,23 +55,26 @@ InMemoryTrace load_csv(std::istream& in) {
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    line = strip_cr(line);
     if (line.empty()) continue;
     const std::vector<std::string> fields = split_csv_line(line);
     if (fields.size() != header.size()) {
       throw Error("load_csv: line " + std::to_string(line_no) +
-                  " has wrong field count");
+                  " has wrong field count (expected " +
+                  std::to_string(header.size()) + ", got " +
+                  std::to_string(fields.size()) + ")");
     }
+    const std::string where = "load_csv: line " + std::to_string(line_no);
     Row row;
-    try {
-      row.node = std::stoul(fields[0]);
-      row.step = std::stoul(fields[1]);
-      row.values.reserve(num_resources);
-      for (std::size_t r = 0; r < num_resources; ++r) {
-        row.values.push_back(std::stod(fields[2 + r]));
-      }
-    } catch (const std::exception&) {
-      throw Error("load_csv: malformed number on line " +
-                  std::to_string(line_no));
+    row.node = parse_size(where + " node", fields[0]);
+    row.step = parse_size(where + " step", fields[1]);
+    if (row.node > kMaxIndex || row.step > kMaxIndex) {
+      throw Error(where + ": node/step index out of range");
+    }
+    row.values.reserve(num_resources);
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      row.values.push_back(parse_double(where + " column " + header[2 + r],
+                                        fields[2 + r]));
     }
     max_node = std::max(max_node, row.node);
     max_step = std::max(max_step, row.step);

@@ -1,0 +1,37 @@
+// Shared golden-trace setup for the end-to-end suites. Every suite that
+// replays a seeded synthetic fleet used to open with the same four lines
+// (look up a profile, resize it, pick a seed, generate); keeping them here
+// means the suites agree on what "the golden trace" is and a profile tweak
+// can't silently fork the fixtures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/synthetic.hpp"
+
+namespace resmon::testing {
+
+/// A seeded fleet from a named profile, resized to the requested shape.
+/// Throws InvalidArgument for unknown profile names (see test_trace).
+inline trace::InMemoryTrace make_golden_trace(const std::string& profile,
+                                              std::size_t nodes,
+                                              std::size_t steps,
+                                              std::uint64_t seed) {
+  trace::SyntheticProfile p = trace::profile_by_name(profile);
+  p.num_nodes = nodes;
+  p.num_steps = steps;
+  return trace::generate(p, seed);
+}
+
+/// The heavyweight golden trace (60 nodes x 400 steps, Alibaba profile,
+/// seed 11) shared by the determinism suites. Cached: generating it is the
+/// expensive part of those tests, and the cache also guarantees every user
+/// scores against literally the same object.
+inline const trace::InMemoryTrace& golden_alibaba_trace() {
+  static const trace::InMemoryTrace t =
+      make_golden_trace("alibaba", 60, 400, 11);
+  return t;
+}
+
+}  // namespace resmon::testing

@@ -1,30 +1,34 @@
 // Graceful-degradation tests: the controller's LIVE -> STALE -> DEAD
 // staleness machine over real sockets — barrier skip, sample-and-hold
 // substitution, eviction, rejoin, and controller-side partitions.
+//
+// Silence is measured on a hand-advanced ManualClock injected through
+// ControllerOptions::staleness_clock, so every transition below happens at
+// an exact, asserted slot regardless of scheduler or sanitizer slowdowns —
+// no sleeps, no wall-clock deadlines, no flakes.
 #include <gtest/gtest.h>
 
-#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "collect/fleet_collector.hpp"
 #include "faultnet/agent_hook.hpp"
+#include "golden_fixture.hpp"
 #include "net/agent.hpp"
 #include "net/controller.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
-#include "trace/synthetic.hpp"
+#include "scenario/manual_clock.hpp"
 #include "transport/channel.hpp"
 
 namespace resmon::net {
 namespace {
 
-trace::InMemoryTrace make_trace(std::size_t nodes, std::size_t steps) {
-  trace::SyntheticProfile profile = trace::profile_by_name("alibaba");
-  profile.num_nodes = nodes;
-  profile.num_steps = steps;
-  return trace::generate(profile, 21);
-}
+constexpr int kMsPerSlot = 100;
 
 AgentOptions agent_options(const Controller& controller, std::uint32_t node,
                            std::size_t num_resources) {
@@ -38,60 +42,84 @@ AgentOptions agent_options(const Controller& controller, std::uint32_t node,
 const auto kAlways =
     collect::make_policy_factory(collect::PolicyKind::kAlways, 1.0);
 
+/// Connect a fleet of agents whose hello/ack handshakes block until the
+/// controller pumps: each connect runs on a helper thread while the main
+/// thread drives wait_for_agents.
+std::vector<std::unique_ptr<Agent>> connect_fleet(
+    Controller& controller, std::size_t count, std::size_t num_resources) {
+  std::vector<std::unique_ptr<Agent>> agents(count);
+  std::vector<std::thread> connectors;
+  connectors.reserve(count);
+  for (std::uint32_t node = 0; node < count; ++node) {
+    agents[node] = std::make_unique<Agent>(
+        agent_options(controller, node, num_resources), kAlways());
+    connectors.emplace_back([&, node] { agents[node]->connect(); });
+  }
+  EXPECT_TRUE(controller.wait_for_agents(count, 10000));
+  for (std::thread& th : connectors) th.join();
+  return agents;
+}
+
+/// One lock-step slot: frames are already written, the manual clock has
+/// advanced, and the barrier may need extra pumps (each aging the clock one
+/// more slot) before staleness lets a silent node be skipped.
+std::optional<std::vector<transport::MeasurementMessage>> collect_aging(
+    Controller& controller, scenario::ManualClock& clock, std::size_t t) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto messages = controller.collect_slot(t, 200);
+    if (messages.has_value()) return messages;
+    clock.advance_ms(kMsPerSlot);
+  }
+  return std::nullopt;
+}
+
 TEST(Degradation, SilentNodeGoesStaleThenDeadWhileTheBarrierCompletes) {
   constexpr std::size_t kSlots = 10;
   constexpr std::size_t kQuitAfter = 5;  // node 1 dies after this many slots
-  const trace::InMemoryTrace trace = make_trace(2, kSlots);
+  const trace::InMemoryTrace trace =
+      resmon::testing::make_golden_trace("alibaba", 2, kSlots, 21);
 
+  scenario::ManualClock clock;
   obs::MetricsRegistry registry;
   ControllerOptions copts;
   copts.num_nodes = 2;
   copts.num_resources = trace.num_resources();
   copts.metrics = &registry;
-  copts.stale_after_ms = 150;
-  copts.dead_after_ms = 450;
+  // 1.5 / 4.5 slots of silence: the half-slot offset keeps the thresholds
+  // off exact multiples, so a live node (whose silence peaks at whole
+  // slots) can never tie the limit.
+  copts.stale_after_ms = kMsPerSlot + kMsPerSlot / 2;
+  copts.dead_after_ms = 4 * kMsPerSlot + kMsPerSlot / 2;
+  copts.staleness_clock = clock.now_fn();
   Controller controller(Socket::listen_tcp("127.0.0.1", 0), copts);
 
-  std::vector<std::thread> agents;
-  for (std::uint32_t node = 0; node < 2; ++node) {
-    agents.emplace_back([&, node] {
-      Agent agent(agent_options(controller, node, trace.num_resources()),
-                  kAlways());
-      agent.connect();
-      const std::size_t slots = node == 1 ? kQuitAfter : kSlots;
-      for (std::size_t t = 0; t < slots; ++t) {
-        agent.observe(t, trace.measurement(node, t));
-        // Pace the run so silence is measured in wall-clock, like a real
-        // monitoring cadence.
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      }
-    });
-  }
-
-  ASSERT_TRUE(controller.wait_for_agents(2, 10000));
+  auto agents = connect_fleet(controller, 2, trace.num_resources());
   transport::CentralStore store(2, trace.num_resources());
   for (std::size_t t = 0; t < kSlots; ++t) {
-    auto messages = controller.collect_slot(t, 10000);
+    if (t == kQuitAfter) agents[1].reset();  // the quiet death
+    for (std::size_t node = 0; node < 2; ++node) {
+      if (agents[node]) agents[node]->observe(t, trace.measurement(node, t));
+    }
+    clock.advance_ms(kMsPerSlot);
+    auto messages = collect_aging(controller, clock, t);
     ASSERT_TRUE(messages.has_value()) << "slot " << t << " timed out";
     for (const auto& m : *messages) store.apply(m);
   }
-  for (std::thread& th : agents) th.join();
 
-  // Node 1 fell silent: the barrier kept completing by skipping it, its
-  // last sample stayed in the store (sample-and-hold), and the verdict
-  // reached STALE and then — after dead_after_ms — DEAD.
-  EXPECT_GE(controller.stale_transitions(), 1u);
-  EXPECT_GE(controller.degraded_slots(), 1u);
-  EXPECT_NE(controller.node_state(1), NodeState::kLive);
+  // Node 1 fell silent after slot 4. Its frame for slot 4 landed at manual
+  // time 500ms, so it crossed stale_after during slot 5's barrier wait
+  // (whose retry ages the clock one extra slot) and dead_after during slot
+  // 8's — every count below is exact.
+  EXPECT_EQ(controller.stale_transitions(), 1u);
+  EXPECT_EQ(controller.dead_transitions(), 1u);
+  EXPECT_EQ(controller.degraded_slots(), kSlots - kQuitAfter);
+  EXPECT_EQ(controller.node_state(1), NodeState::kDead);
+  // Node 0 kept observing every slot, so the frozen clock leaves it LIVE —
+  // with wall-clock silence it would have aged out after the loop too.
+  EXPECT_EQ(controller.node_state(0), NodeState::kLive);
+  // Sample-and-hold: the silent node's last sample stays in the store.
   EXPECT_TRUE(store.has(1));
   EXPECT_EQ(store.last_update_step(1), kQuitAfter - 1);
-
-  // Let the silence age past dead_after_ms; pump_idle drives the timers.
-  // (Node 0 ages out too once its run is over — that is the policy working,
-  // not a failure, so only node 1's verdict is asserted.)
-  controller.pump_idle(600);
-  EXPECT_EQ(controller.node_state(1), NodeState::kDead);
-  EXPECT_GE(controller.dead_transitions(), 1u);
 
   // The states are visible on the wire exposition.
   const std::string text = registry.render_text();
@@ -101,74 +129,72 @@ TEST(Degradation, SilentNodeGoesStaleThenDeadWhileTheBarrierCompletes) {
 }
 
 TEST(Degradation, RejoiningNodeIsPromotedBackToLive) {
-  const trace::InMemoryTrace trace = make_trace(1, 10);
+  const trace::InMemoryTrace trace =
+      resmon::testing::make_golden_trace("alibaba", 1, 10, 21);
 
+  scenario::ManualClock clock;
   ControllerOptions copts;
   copts.num_nodes = 1;
   copts.num_resources = trace.num_resources();
-  copts.stale_after_ms = 100;
-  copts.dead_after_ms = 250;
+  copts.stale_after_ms = kMsPerSlot + kMsPerSlot / 2;
+  copts.dead_after_ms = 2 * kMsPerSlot + kMsPerSlot / 2;
+  copts.staleness_clock = clock.now_fn();
   Controller controller(Socket::listen_tcp("127.0.0.1", 0), copts);
 
-  // Handshakes need the controller pumping, so agents run in threads while
-  // the main thread drives the event loop.
-  std::thread first([&] {
-    Agent agent(agent_options(controller, 0, trace.num_resources()),
-                kAlways());
-    agent.connect();
-    agent.observe(0, trace.measurement(0, 0));
-  });  // agent gone afterwards: node 0 falls silent
-  ASSERT_TRUE(controller.wait_for_agents(1, 5000));
-  ASSERT_TRUE(controller.collect_slot(0, 5000).has_value());
-  first.join();
-  controller.pump_idle(400);
+  {
+    auto agents = connect_fleet(controller, 1, trace.num_resources());
+    agents[0]->observe(0, trace.measurement(0, 0));
+    ASSERT_TRUE(controller.collect_slot(0, 5000).has_value());
+  }  // agent gone afterwards: node 0 falls silent
+
+  // Age the silence three slots past the frame: STALE, then DEAD, purely
+  // from the manual clock — pump_idle only runs the timers.
+  clock.advance_ms(3 * kMsPerSlot);
+  controller.pump_idle(50);
   EXPECT_EQ(controller.node_state(0), NodeState::kDead);
 
   // A restarted agent resumes mid-run: the fresh hello alone rejoins the
   // node, and its progress picks up where the new process starts. With
   // every node DEAD the slot barrier is trivially complete, so the rejoin
   // handshake must be pumped explicitly before collecting the slot.
-  std::thread restarted([&] {
-    Agent agent(agent_options(controller, 0, trace.num_resources()),
-                kAlways());
-    agent.connect();
-    agent.observe(5, trace.measurement(0, 5));
-  });
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (controller.node_state(0) != NodeState::kLive &&
-         std::chrono::steady_clock::now() < deadline) {
-    controller.pump_idle(50);
+  Agent restarted(agent_options(controller, 0, trace.num_resources()),
+                  kAlways());
+  std::thread connector([&] { restarted.connect(); });
+  for (int rounds = 0;
+       rounds < 1000 && controller.node_state(0) != NodeState::kLive;
+       ++rounds) {
+    controller.pump_idle(10);
   }
+  connector.join();
+  restarted.observe(5, trace.measurement(0, 5));
   auto messages = controller.collect_slot(5, 5000);
-  restarted.join();
   ASSERT_TRUE(messages.has_value());
   ASSERT_EQ(messages->size(), 1u);
   EXPECT_EQ(controller.node_state(0), NodeState::kLive);
-  EXPECT_GE(controller.rejoins(), 1u);
+  EXPECT_EQ(controller.rejoins(), 1u);
 }
 
 TEST(Degradation, BlockHookDiscardsPartitionWindowFrames) {
   constexpr std::size_t kSlots = 10;
-  const trace::InMemoryTrace trace = make_trace(1, kSlots);
+  const trace::InMemoryTrace trace =
+      resmon::testing::make_golden_trace("alibaba", 1, kSlots, 21);
 
+  // The clock never advances: staleness can't interfere no matter how
+  // slowly a sanitized run delivers the frames.
+  scenario::ManualClock clock;
   ControllerOptions copts;
   copts.num_nodes = 1;
   copts.num_resources = trace.num_resources();
+  copts.staleness_clock = clock.now_fn();
   copts.block_hook = faultnet::make_controller_block_hook(
       faultnet::FaultSpec::parse("partition=3-5;nodes=0"));
   Controller controller(Socket::listen_tcp("127.0.0.1", 0), copts);
 
-  std::thread agent_thread([&] {
-    Agent agent(agent_options(controller, 0, trace.num_resources()),
-                kAlways());
-    agent.connect();
-    for (std::size_t t = 0; t < kSlots; ++t) {
-      agent.observe(t, trace.measurement(0, t));
-    }
-  });
+  auto agents = connect_fleet(controller, 1, trace.num_resources());
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    agents[0]->observe(t, trace.measurement(0, t));
+  }
 
-  ASSERT_TRUE(controller.wait_for_agents(1, 10000));
   // Slots outside the window deliver; in-window frames were eaten before
   // they touched progress or the inbox — but the step-6 frame had already
   // advanced the node's progress past them, so the barrier never stalls.
@@ -178,7 +204,6 @@ TEST(Degradation, BlockHookDiscardsPartitionWindowFrames) {
     EXPECT_EQ(messages->size(), (t >= 3 && t <= 5) ? 0u : 1u)
         << "slot " << t;
   }
-  agent_thread.join();
   EXPECT_EQ(controller.blocked_frames(), 3u);
 }
 

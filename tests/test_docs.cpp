@@ -16,6 +16,7 @@
 #include "net/controller.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "scenario/runner.hpp"
 #include "trace/synthetic.hpp"
 
 namespace resmon {
@@ -61,6 +62,10 @@ obs::MetricsRegistry& populated_registry() {
   aopts.metrics = &registry;
   static net::Agent agent(
       aopts, collect::make_policy_factory(collect::PolicyKind::kAlways, 1.0)());
+
+  // Scenario-runner result gauges (resmon_scenario_*), registered the same
+  // way ScenarioResult publication does.
+  scenario::register_result_metrics(registry);
 
   return registry;
 }

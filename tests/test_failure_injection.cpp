@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "faultnet/fault_spec.hpp"
+#include "golden_fixture.hpp"
 #include "trace/synthetic.hpp"
 #include "transport/channel.hpp"
 
@@ -111,10 +112,8 @@ TEST(Deadband, CalibrationTracksTargetFrequency) {
 }
 
 TEST(Deadband, FleetFactorySupportsIt) {
-  trace::SyntheticProfile p = trace::alibaba_profile();
-  p.num_nodes = 10;
-  p.num_steps = 500;
-  const trace::InMemoryTrace t = trace::generate(p, 5);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("alibaba", 10, 500, 5);
   collect::FleetCollector fleet(
       t, collect::make_policy_factory(collect::PolicyKind::kDeadband, 0.3));
   for (std::size_t step = 0; step < t.num_steps(); ++step) fleet.step(step);
@@ -134,10 +133,8 @@ core::PipelineOptions lossy_options(double drop, std::size_t delay) {
 }
 
 TEST(PipelineFailures, SurvivesDropsAndDelays) {
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 20;
-  p.num_steps = 300;
-  const trace::InMemoryTrace t = trace::generate(p, 6);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 20, 300, 6);
   core::MonitoringPipeline pipeline(t, lossy_options(0.2, 2));
   pipeline.run(300);
   EXPECT_TRUE(pipeline.done());
@@ -150,10 +147,8 @@ TEST(PipelineFailures, SurvivesDropsAndDelays) {
 }
 
 TEST(PipelineFailures, LossRaisesCollectionError) {
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 25;
-  p.num_steps = 400;
-  const trace::InMemoryTrace t = trace::generate(p, 7);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 25, 400, 7);
 
   auto run_rmse = [&](double drop) {
     core::MonitoringPipeline pipeline(t, lossy_options(drop, 0));
@@ -176,10 +171,8 @@ TEST(PipelineChaos, DuplicationAndReorderMatchTheGoldenRunBitForBit) {
   // drain batch holds at most one fresh sample per node, so these wire
   // faults must be invisible: the chaos run's forecasts equal the clean
   // run's exactly, double for double.
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 15;
-  p.num_steps = 250;
-  const trace::InMemoryTrace t = trace::generate(p, 11);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 15, 250, 11);
 
   // Stop one slot short so rmse_at(1) still has ground truth to score
   // against.
@@ -213,10 +206,8 @@ TEST(PipelineChaos, DuplicationAndReorderMatchTheGoldenRunBitForBit) {
 }
 
 TEST(PipelineChaos, CorruptedFramesAreCrcRejectedNeverFatal) {
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 12;
-  p.num_steps = 200;
-  const trace::InMemoryTrace t = trace::generate(p, 12);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 12, 200, 12);
 
   core::PipelineOptions o = lossy_options(0.0, 0);
   o.faults = faultnet::FaultSpec::parse("corrupt=0.05;seed=7");
@@ -246,10 +237,8 @@ TEST(PipelineChaos, CorruptedFramesAreCrcRejectedNeverFatal) {
 }
 
 TEST(PipelineChaos, StallAndPartitionWindowsDegradeToSampleAndHold) {
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 10;
-  p.num_steps = 150;
-  const trace::InMemoryTrace t = trace::generate(p, 13);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 10, 150, 13);
 
   core::PipelineOptions o = lossy_options(0.0, 0);
   o.faults =
@@ -268,10 +257,8 @@ TEST(PipelineChaos, StallAndPartitionWindowsDegradeToSampleAndHold) {
 TEST(PipelineFailures, DroppedInitialMeasurementsDelayClusteringSafely) {
   // With 90% loss the store may take a while to become complete; the
   // pipeline must keep collecting without throwing and eventually cluster.
-  trace::SyntheticProfile p = trace::google_profile();
-  p.num_nodes = 10;
-  p.num_steps = 200;
-  const trace::InMemoryTrace t = trace::generate(p, 8);
+  const trace::InMemoryTrace t =
+      testing::make_golden_trace("google", 10, 200, 8);
   core::MonitoringPipeline pipeline(t, lossy_options(0.9, 0));
   pipeline.run(200);
   EXPECT_TRUE(pipeline.done());

@@ -174,6 +174,13 @@ TEST(CatchAll, FlagsSilentSwallowInRuntime) {
   EXPECT_TRUE(fires(check("src/net/agent.cpp", bad), "catch-all-swallow"));
   EXPECT_TRUE(
       fires(check("src/faultnet/injector.cpp", bad), "catch-all-swallow"));
+  // The scenario runner drives the runtime and turns its failures into
+  // pass/fail verdicts, so a swallowed error there means bogus greens —
+  // the rule covers src/scenario/ too (spec parser included).
+  EXPECT_TRUE(
+      fires(check("src/scenario/runner.cpp", bad), "catch-all-swallow"));
+  EXPECT_TRUE(fires(check("src/scenario/scenario_spec.cpp", bad),
+                    "catch-all-swallow"));
   // Out of the rule's blast radius.
   EXPECT_FALSE(fires(check("src/common/thread_pool.cpp", bad),
                      "catch-all-swallow"));

@@ -10,22 +10,16 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "golden_fixture.hpp"
 #include "trace/synthetic.hpp"
 
 namespace resmon {
 namespace {
 
-constexpr std::size_t kNodes = 60;
-constexpr std::size_t kSteps = 400;
+constexpr std::size_t kSteps = 400;  // golden_alibaba_trace() step count
 
 const trace::InMemoryTrace& shared_trace() {
-  static const trace::InMemoryTrace t = []() {
-    trace::SyntheticProfile p = trace::alibaba_profile();
-    p.num_nodes = kNodes;
-    p.num_steps = kSteps;
-    return trace::generate(p, 11);
-  }();
-  return t;
+  return testing::golden_alibaba_trace();
 }
 
 /// Everything a pipeline run produces that downstream consumers can see.

@@ -121,6 +121,15 @@ TEST(Synthetic, UnknownProfileThrows) {
   EXPECT_THROW(profile_by_name("nope"), InvalidArgument);
 }
 
+TEST(Synthetic, ProfileLookupIsCaseSensitive) {
+  // Scenario packs (and the CLI) pass names through verbatim; "Google"
+  // silently mapping to "google" would hide pack typos, so it must throw.
+  EXPECT_NO_THROW(profile_by_name("google"));
+  EXPECT_THROW(profile_by_name("Google"), InvalidArgument);
+  EXPECT_THROW(profile_by_name("ALIBABA"), InvalidArgument);
+  EXPECT_THROW(profile_by_name(" google"), InvalidArgument);
+}
+
 TEST(Synthetic, PaperScaleProfilesMatchPaper) {
   EXPECT_EQ(scale_to_paper(alibaba_profile()).num_nodes, 4000u);
   EXPECT_EQ(scale_to_paper(bitbrains_profile()).num_nodes, 500u);
@@ -221,6 +230,89 @@ TEST(Loader, RejectsWrongFieldCount) {
 
 TEST(Loader, MissingFileThrows) {
   EXPECT_THROW(load_csv_file("/nonexistent/trace.csv"), Error);
+}
+
+// Malformed-input coverage: every corrupt row must surface as a clean
+// Error naming the line (and where possible the column), never UB or a
+// giant allocation. The scenario .scn parser shares these parse helpers.
+
+namespace {
+template <typename Fn>
+void expect_error_containing(Fn fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+}  // namespace
+
+TEST(Loader, TruncatedRowNamesLineAndFieldCount) {
+  std::stringstream ss;
+  ss << "node,step,cpu,mem\n"
+     << "0,0,0.5,0.6\n"
+     << "0,1,0.5\n";  // row truncated mid-record
+  expect_error_containing([&] { load_csv(ss); },
+                          "line 3 has wrong field count (expected 4, got 3)");
+}
+
+TEST(Loader, NonNumericCellNamesLineAndColumn) {
+  std::stringstream ss;
+  ss << "node,step,cpu,mem\n"
+     << "0,0,0.5,fast\n";
+  expect_error_containing([&] { load_csv(ss); }, "line 2 column mem");
+}
+
+TEST(Loader, NonNumericNodeIndexNamesTheLine) {
+  std::stringstream ss;
+  ss << "node,step,cpu\n"
+     << "host-7,0,0.5\n";
+  expect_error_containing([&] { load_csv(ss); }, "line 2 node");
+}
+
+TEST(Loader, NegativeIndexIsRejectedNotWrappedAround) {
+  std::stringstream ss;
+  ss << "node,step,cpu\n"
+     << "-1,0,0.5\n";
+  EXPECT_THROW(load_csv(ss), Error);
+}
+
+TEST(Loader, AbsurdIndexFailsInsteadOfAllocating) {
+  // A corrupt "4294967295" index must be diagnosed, not turned into a
+  // multi-terabyte dense grid.
+  std::stringstream ss;
+  ss << "node,step,cpu\n"
+     << "4294967295,0,0.5\n";
+  expect_error_containing([&] { load_csv(ss); }, "index out of range");
+}
+
+TEST(Loader, HeaderOnlyFileIsRejected) {
+  std::stringstream ss;
+  ss << "node,step,cpu\n";
+  expect_error_containing([&] { load_csv(ss); }, "no data rows");
+}
+
+TEST(Loader, TooFewHeaderColumnsIsRejected) {
+  std::stringstream ss;
+  ss << "node,step\n0,0\n";
+  EXPECT_THROW(load_csv(ss), Error);
+}
+
+TEST(Loader, TrailingCommaCountsAsAnEmptyField) {
+  std::stringstream ss;
+  ss << "node,step,cpu\n"
+     << "0,0,\n";  // empty cpu cell, field count is right
+  expect_error_containing([&] { load_csv(ss); }, "line 2 column cpu");
+}
+
+TEST(Loader, CrlfLineEndingsParse) {
+  std::stringstream ss;
+  ss << "node,step,cpu\r\n"
+     << "0,0,0.25\r\n";
+  const InMemoryTrace t = load_csv(ss);
+  EXPECT_DOUBLE_EQ(t.value(0, 0, 0), 0.25);
 }
 
 // ---- generator realism features -----------------------------------------

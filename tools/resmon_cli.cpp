@@ -11,18 +11,26 @@
 //   choose-k  — recommend a cluster count for a CSV trace from the
 //               silhouette score over a K sweep
 //               resmon choose-k --trace trace.csv [--kmax 12]
+//   scenario  — run a declarative scenario pack and grade its assertions,
+//               or list the packs in a directory
+//               resmon scenario run scenarios/paper_baseline.scn [--verbose]
+//               resmon scenario list [scenarios/]
 //
 // The first positional token selects the subcommand; everything after it is
-// ordinary --flag arguments.
+// ordinary --flag arguments (`scenario` takes positional operands).
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cluster/quality.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "obs/export.hpp"
+#include "scenario/runner.hpp"
 #include "trace/loader.hpp"
 #include "trace/synthetic.hpp"
 
@@ -40,8 +48,65 @@ int usage() {
          "           [--h 5] [--initial 400] [--retrain 288]\n"
          "           [--threads 1] [--report FILE]\n"
          "           [--metrics-out FILE.prom] [--trace-out FILE.jsonl]\n"
-         "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n";
+         "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n"
+         "  scenario run FILE.scn [--verbose] [--metrics-out FILE.prom]\n"
+         "  scenario list [DIR]\n";
   return 2;
+}
+
+int cmd_scenario(int argc, char** argv) {
+  // Positional operands, parsed by hand: Args rejects positionals.
+  if (argc < 3) return usage();
+  const std::string action = argv[2];
+  if (action == "list") {
+    const std::string dir = argc > 3 ? argv[3] : "scenarios";
+    std::vector<std::filesystem::path> packs;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".scn") packs.push_back(entry.path());
+    }
+    if (ec) {
+      std::cerr << "scenario list: cannot read " << dir << ": "
+                << ec.message() << "\n";
+      return 1;
+    }
+    std::sort(packs.begin(), packs.end());
+    for (const auto& path : packs) {
+      const auto spec = scenario::ScenarioSpec::parse_file(path.string());
+      std::cout << path.string() << ": " << spec.name;
+      if (!spec.description.empty()) std::cout << " — " << spec.description;
+      std::cout << " (" << spec.assertions.size() << " assertions"
+                << (spec.socket_mode ? ", socket mode" : "") << ")\n";
+    }
+    if (packs.empty()) std::cout << "no .scn files in " << dir << "\n";
+    return 0;
+  }
+  if (action != "run") return usage();
+
+  std::string file;
+  bool verbose = false;
+  std::string metrics_out;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-' && file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse_file(file);
+  obs::MetricsRegistry registry;
+  const scenario::ScenarioResult result = scenario::run(spec, registry);
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out, registry);
+  }
+  return scenario::print_report(result, std::cout, verbose) ? 0 : 1;
 }
 
 int cmd_generate(const Args& args) {
@@ -185,6 +250,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "scenario") return cmd_scenario(argc, argv);
     const Args args(argc - 1, argv + 1);
     if (command == "generate") return cmd_generate(args);
     if (command == "monitor") return cmd_monitor(args);
