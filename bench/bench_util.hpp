@@ -6,8 +6,11 @@
 // `--steps`, `--seed` override individual knobs.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -16,6 +19,87 @@
 #include "trace/synthetic.hpp"
 
 namespace resmon::bench {
+
+/// Persistent benchmark results: a BENCH_*.json file one row per result,
+/// shared by several harnesses. The format is deliberately line-oriented —
+/// every row is a single-line JSON object carrying its harness name —
+/// so write() can merge without a JSON parser: rows belonging to *other*
+/// harnesses are kept verbatim, this harness's previous rows are replaced.
+///
+///   {
+///     "bench": "resmon-micro",
+///     "results": [
+///       {"harness": "micro_wire", "name": "encode/8", "ns_per_op": 85.2},
+///       {"harness": "micro_parallel_step", "name": "threads=4", ...}
+///     ]
+///   }
+class BenchJson {
+ public:
+  BenchJson(std::string bench_id, std::string harness)
+      : bench_id_(std::move(bench_id)), harness_(std::move(harness)) {}
+
+  /// Queue one result row: a name plus numeric fields, emitted in order.
+  void add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& fields) {
+    std::ostringstream row;
+    row << "    {\"harness\": \"" << harness_ << "\", \"name\": \"" << name
+        << "\"";
+    for (const auto& [key, value] : fields) {
+      row << ", \"" << key << "\": ";
+      // JSON has no NaN/Inf literals; null marks a failed measurement.
+      if (value != value || value > 1e308 || value < -1e308) {
+        row << "null";
+      } else {
+        std::ostringstream num;
+        num.precision(12);
+        num << value;
+        row << num.str();
+      }
+    }
+    row << "}";
+    rows_.push_back(row.str());
+  }
+
+  /// Merge-write into `path`: keeps rows of other harnesses already in the
+  /// file, replaces this harness's rows, rewrites the envelope.
+  void write(const std::string& path) const {
+    std::vector<std::string> kept;
+    {
+      std::ifstream in(path);
+      std::string line;
+      const std::string ours = "{\"harness\": \"" + harness_ + "\"";
+      while (std::getline(in, line)) {
+        const std::size_t brace = line.find('{');
+        if (brace == std::string::npos) continue;  // envelope line
+        if (line.compare(brace, ours.size(), ours) == 0) continue;
+        std::string row = line;
+        while (!row.empty() && (row.back() == ',' || row.back() == '\r')) {
+          row.pop_back();
+        }
+        if (row.find("\"harness\"") == std::string::npos) continue;
+        kept.push_back(row);
+      }
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"bench\": \"" << bench_id_ << "\",\n  \"results\": [\n";
+    bool first = true;
+    for (const std::vector<std::string>* rows :
+         {static_cast<const std::vector<std::string>*>(&kept), &rows_}) {
+      for (const std::string& row : *rows) {
+        if (!first) out << ",\n";
+        first = false;
+        out << row;
+      }
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "(bench results written to " << path << ")\n";
+  }
+
+ private:
+  std::string bench_id_;
+  std::string harness_;
+  std::vector<std::string> rows_;
+};
 
 /// Resolve a synthetic profile from CLI flags.
 inline trace::SyntheticProfile profile_from_args(const Args& args,

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   Table table({"threads", "collect_s", "cluster_s", "forecast_s",
                "cluster+forecast_s", "speedup", "identical"},
               4);
+  bench::BenchJson sink("resmon-micro", "micro_parallel_step");
   StageRun serial;
   double serial_hot = 0.0;
   for (const std::size_t threads : thread_counts) {
@@ -101,8 +102,16 @@ int main(int argc, char** argv) {
                    run.timers.forecast_seconds, hot,
                    serial_hot > 0.0 ? serial_hot / hot : 1.0,
                    identical ? 1.0 : 0.0});
+    sink.add("threads=" + std::to_string(threads),
+             {{"collect_s", run.timers.collect_seconds},
+              {"cluster_s", run.timers.cluster_seconds},
+              {"forecast_s", run.timers.forecast_seconds},
+              {"cluster_forecast_speedup",
+               serial_hot > 0.0 ? serial_hot / hot : 1.0},
+              {"identical", identical ? 1.0 : 0.0}});
   }
   bench::emit(table, args);
+  sink.write(args.get("json", "BENCH_micro.json"));
   bench::emit_observability(args, registry, &trace_events);
   std::cout << "\nspeedup = (cluster_s + forecast_s) at 1 thread / same at "
                "N threads; identical = h=1 forecasts bitwise equal to the "

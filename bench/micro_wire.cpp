@@ -5,8 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "net/wire.hpp"
 
@@ -79,6 +82,55 @@ void BM_WireDecodeStream(benchmark::State& state) {
 }
 BENCHMARK(BM_WireDecodeStream)->Arg(1000)->Arg(10000);
 
+/// Console output as usual, plus every iteration row captured for the
+/// persistent BENCH_micro.json sink.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(resmon::bench::BenchJson* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::vector<std::pair<std::string, double>> fields = {
+          {"ns_per_op", run.GetAdjustedRealTime()},
+          {"iterations", static_cast<double>(run.iterations)}};
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        fields.emplace_back("bytes_per_second", bytes->second.value);
+      }
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        fields.emplace_back("items_per_second", items->second.value);
+      }
+      sink_->add(run.benchmark_name(), fields);
+    }
+  }
+
+ private:
+  resmon::bench::BenchJson* sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): identical benchmark runs, but
+// the results also persist into BENCH_micro.json (merged with the other
+// micro harnesses' rows; --json PATH overrides the destination).
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  resmon::bench::BenchJson sink("resmon-micro", "micro_wire");
+  CapturingReporter reporter(&sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  sink.write(json_path);
+  return 0;
+}

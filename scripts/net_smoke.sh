@@ -1,60 +1,139 @@
 #!/usr/bin/env bash
 # Localhost smoke test for the resmon::net socket runtime.
 #
-# Starts one resmon_controller on an ephemeral port, launches N resmon_agent
-# processes against it, and checks that the controller exits 0 after printing
-# "RESULT complete=1 rmse_finite=1" — i.e. the central store saw every node
-# and the forecasting stage produced a finite RMSE over real TCP.
+# Single tier (default): starts one resmon_controller on an ephemeral
+# port, launches N resmon_agent processes against it, and checks that the
+# controller exits 0 after printing "RESULT complete=1 rmse_finite=1" —
+# i.e. the central store saw every node and the forecasting stage produced
+# a finite RMSE over real TCP.
+#
+# Two tiers (--tiers 2): the same fleet behind the aggregator tier — one
+# root (--shards 2), two resmon_aggregator processes forwarding compacted
+# slot summaries, and the agents split between them by the contiguous
+# shard partition. The root must additionally report every shard summary,
+# and the first aggregator's own metrics endpoint must serve nonzero
+# resmon_agg_forwarded_slots_total.
 #
 # Also scrapes the controller's live metrics endpoint (second listener,
 # --metrics-port) and fails unless the Prometheus exposition reports
 # nonzero resmon_net_frames_total and resmon_net_slots_total — proving the
 # observability path works end to end, not just that the run completed.
 #
-# Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]
+# Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED] [--tiers 1|2]
 set -euo pipefail
 
-BUILD_DIR=${1:?usage: net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]}
-NODES=${2:-8}
+TIERS=1
+POSITIONAL=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tiers) TIERS=${2:?--tiers needs a value}; shift 2 ;;
+    *) POSITIONAL+=("$1"); shift ;;
+  esac
+done
+set -- "${POSITIONAL[@]}"
+
+BUILD_DIR=${1:?usage: net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED] [--tiers 1|2]}
+if [ "$TIERS" = 2 ]; then DEFAULT_NODES=6; else DEFAULT_NODES=8; fi
+NODES=${2:-$DEFAULT_NODES}
 STEPS=${3:-200}
 SEED=${4:-1}
+SHARDS=2
 
 CONTROLLER="$BUILD_DIR/tools/resmon_controller"
 AGENT="$BUILD_DIR/tools/resmon_agent"
+AGGREGATOR="$BUILD_DIR/tools/resmon_aggregator"
 [ -x "$CONTROLLER" ] || { echo "missing $CONTROLLER" >&2; exit 2; }
 [ -x "$AGENT" ] || { echo "missing $AGENT" >&2; exit 2; }
+if [ "$TIERS" = 2 ]; then
+  [ -x "$AGGREGATOR" ] || { echo "missing $AGGREGATOR" >&2; exit 2; }
+fi
 
 WORK=$(mktemp -d)
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
+SHARD_FLAGS=()
+if [ "$TIERS" = 2 ]; then SHARD_FLAGS=(--shards "$SHARDS"); fi
 "$CONTROLLER" --port 0 --nodes "$NODES" --steps "$STEPS" --seed "$SEED" \
-  --metrics-port 0 --metrics-linger-ms 8000 \
+  --metrics-port 0 --metrics-linger-ms 8000 "${SHARD_FLAGS[@]}" \
   > "$WORK/controller.log" 2>&1 &
 CONTROLLER_PID=$!
 
-# The controller announces both resolved ephemeral ports; the greps are
-# anchored to the distinct phrasings ("listening on" vs "metrics endpoint
-# on") so neither can pick up the other's port.
-PORT=
-MPORT=
-for _ in $(seq 1 100); do
-  PORT=$(grep -oE '^resmon_controller listening on [0-9.]+:[0-9]+' \
-           "$WORK/controller.log" 2>/dev/null | grep -oE '[0-9]+$' || true)
-  MPORT=$(grep -oE '^resmon_controller metrics endpoint on [0-9.]+:[0-9]+' \
-           "$WORK/controller.log" 2>/dev/null | grep -oE '[0-9]+$' || true)
-  [ -n "$PORT" ] && [ -n "$MPORT" ] && break
-  kill -0 "$CONTROLLER_PID" 2>/dev/null || break
-  sleep 0.1
-done
-if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
+# Wait for "<name> listening on HOST:PORT" (or the "metrics endpoint on"
+# variant — a distinct phrasing so neither grep can pick up the other's
+# port) in a log file and print the resolved port.
+wait_for_port() {
+  local log=$1 pattern=$2 pid=$3 port=
+  for _ in $(seq 1 100); do
+    port=$(grep -oE "^$pattern [0-9.]+:[0-9]+" "$log" 2>/dev/null \
+             | grep -oE '[0-9]+$' || true)
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  return 1
+}
+
+PORT=$(wait_for_port "$WORK/controller.log" \
+  'resmon_controller listening on' "$CONTROLLER_PID") &&
+MPORT=$(wait_for_port "$WORK/controller.log" \
+  'resmon_controller metrics endpoint on' "$CONTROLLER_PID") || {
   echo "controller never announced its ports:" >&2
   cat "$WORK/controller.log" >&2
   exit 1
+}
+
+# Two-tier mode: the aggregators sit between the root and the agents.
+AGG_PIDS=()
+AGG_PORTS=()
+AGG_MPORT=
+if [ "$TIERS" = 2 ]; then
+  for ((shard = 0; shard < SHARDS; ++shard)); do
+    EXTRA=()
+    if [ "$shard" -eq 0 ]; then
+      EXTRA=(--metrics-port 0 --metrics-linger-ms 8000)
+    fi
+    "$AGGREGATOR" --shard "$shard" --shards "$SHARDS" \
+      --upstream-port "$PORT" --port 0 --nodes "$NODES" --steps "$STEPS" \
+      --seed "$SEED" "${EXTRA[@]}" > "$WORK/agg$shard.log" 2>&1 &
+    AGG_PIDS+=($!)
+  done
+  for ((shard = 0; shard < SHARDS; ++shard)); do
+    APORT=$(wait_for_port "$WORK/agg$shard.log" \
+      'resmon_aggregator listening on' "${AGG_PIDS[$shard]}") || {
+      echo "aggregator $shard never announced its port:" >&2
+      cat "$WORK/agg$shard.log" >&2
+      exit 1
+    }
+    AGG_PORTS+=("$APORT")
+  done
+  AGG_MPORT=$(wait_for_port "$WORK/agg0.log" \
+    'resmon_aggregator metrics endpoint on' "${AGG_PIDS[0]}") || {
+    echo "aggregator 0 never announced its metrics port:" >&2
+    cat "$WORK/agg0.log" >&2
+    exit 1
+  }
 fi
+
+# The shard owning a node, by the contiguous partition agg::shard_range
+# uses: the first NODES % SHARDS shards get one extra node.
+owner_of() {
+  local node=$1 shard=0 first=0 base=$((NODES / SHARDS)) count
+  while :; do
+    count=$base
+    [ "$shard" -lt $((NODES % SHARDS)) ] && count=$((base + 1))
+    if [ "$node" -lt $((first + count)) ]; then echo "$shard"; return; fi
+    first=$((first + count))
+    shard=$((shard + 1))
+  done
+}
 
 AGENT_PIDS=()
 for ((node = 0; node < NODES; ++node)); do
-  "$AGENT" --port "$PORT" --node "$node" --nodes "$NODES" \
+  TARGET_PORT=$PORT
+  if [ "$TIERS" = 2 ]; then
+    TARGET_PORT=${AGG_PORTS[$(owner_of "$node")]}
+  fi
+  "$AGENT" --port "$TARGET_PORT" --node "$node" --nodes "$NODES" \
     --steps "$STEPS" --seed "$SEED" > "$WORK/agent$node.log" 2>&1 &
   AGENT_PIDS+=($!)
 done
@@ -64,32 +143,55 @@ for pid in "${AGENT_PIDS[@]}"; do
   wait "$pid" || STATUS=1
 done
 
-# One HTTP/1.0 scrape of the live metrics endpoint over bash's /dev/tcp.
+# One HTTP/1.0 scrape of a live metrics endpoint over bash's /dev/tcp.
 scrape_metrics() {
-  exec 3<>"/dev/tcp/127.0.0.1/$MPORT" || return 1
+  local port=$1 out=$2
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
   printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
-  cat <&3 > "$WORK/scrape.txt"
+  cat <&3 > "$out"
   exec 3<&- 3>&-
 }
 
-# The controller may still be draining the last slots when the agents exit;
-# retry until a scrape shows the slot counter at its final nonzero value
-# (the controller lingers --metrics-linger-ms for exactly this window).
-SCRAPED=0
-for _ in $(seq 1 80); do
-  if scrape_metrics 2>/dev/null &&
-     grep -qE '^resmon_net_slots_total [1-9]' "$WORK/scrape.txt"; then
-    SCRAPED=1
-    break
-  fi
-  kill -0 "$CONTROLLER_PID" 2>/dev/null || break
-  sleep 0.1
-done
+# Retry until a scrape shows the wanted counter nonzero (the processes
+# linger --metrics-linger-ms for exactly this window).
+scrape_until() {
+  local port=$1 out=$2 pattern=$3 pid=$4
+  for _ in $(seq 1 80); do
+    if scrape_metrics "$port" "$out" 2>/dev/null &&
+       grep -qE "$pattern" "$out"; then
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  return 1
+}
 
+SCRAPED=0
+if scrape_until "$MPORT" "$WORK/scrape.txt" \
+     '^resmon_net_slots_total [1-9]' "$CONTROLLER_PID"; then
+  SCRAPED=1
+fi
+AGG_SCRAPED=1
+if [ "$TIERS" = 2 ]; then
+  AGG_SCRAPED=0
+  if scrape_until "$AGG_MPORT" "$WORK/agg_scrape.txt" \
+       '^resmon_agg_forwarded_slots_total\{[^}]*\} [1-9]' \
+       "${AGG_PIDS[0]}"; then
+    AGG_SCRAPED=1
+  fi
+fi
+
+for pid in "${AGG_PIDS[@]}"; do
+  wait "$pid" || STATUS=1
+done
 wait "$CONTROLLER_PID" || STATUS=1
 
 echo "--- controller ---"
 cat "$WORK/controller.log"
+for ((shard = 0; shard < ${#AGG_PIDS[@]}; ++shard)); do
+  sed "s/^/aggregator $shard: /" "$WORK/agg$shard.log" | tail -3
+done
 for ((node = 0; node < NODES; ++node)); do
   sed "s/^/agent $node: /" "$WORK/agent$node.log" | tail -1
 done
@@ -111,7 +213,30 @@ grep -qE '^resmon_net_frames_total [1-9]' "$WORK/scrape.txt" || {
   echo "resmon_net_frames_total missing or zero in the scrape" >&2
   exit 1
 }
+if [ "$TIERS" = 2 ]; then
+  grep -q "all $SHARDS shards connected" "$WORK/controller.log" || {
+    echo "root never reported all shards connected" >&2
+    exit 1
+  }
+  for ((shard = 0; shard < SHARDS; ++shard)); do
+    grep -q 'RESULT forwarded=1' "$WORK/agg$shard.log" || {
+      echo "aggregator $shard result line missing or not clean" >&2
+      exit 1
+    }
+  done
+  grep -qE '^resmon_net_summaries_total [1-9]' "$WORK/scrape.txt" || {
+    echo "resmon_net_summaries_total missing or zero in the root scrape" >&2
+    exit 1
+  }
+  if [ "$AGG_SCRAPED" -ne 1 ]; then
+    echo "aggregator metrics endpoint never served forwarded slots" >&2
+    [ -f "$WORK/agg_scrape.txt" ] && tail -20 "$WORK/agg_scrape.txt" >&2
+    exit 1
+  fi
+  SUMMARIES=$(grep -E '^resmon_net_summaries_total' "$WORK/scrape.txt" | awk '{print $2}')
+  echo "aggregator scrape OK (summaries_total=$SUMMARIES)"
+fi
 FRAMES=$(grep -E '^resmon_net_frames_total' "$WORK/scrape.txt" | awk '{print $2}')
 SLOTS=$(grep -E '^resmon_net_slots_total' "$WORK/scrape.txt" | awk '{print $2}')
 echo "metrics scrape OK (frames_total=$FRAMES slots_total=$SLOTS)"
-echo "net smoke test OK ($NODES agents, $STEPS slots)"
+echo "net smoke test OK ($NODES agents, $STEPS slots, $TIERS tier(s))"

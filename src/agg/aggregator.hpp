@@ -1,0 +1,212 @@
+// Aggregator: the intermediate tier of a two-tier collection topology.
+//
+// One Aggregator fronts a contiguous shard of agents [first_node,
+// first_node + num_nodes). Downstream it is simply a Controller — agents
+// connect with the unchanged wire protocol, the LIVE -> STALE -> DEAD
+// staleness machine runs locally (injectable clock), and the slot barrier
+// completes per shard. Upstream it speaks three shard frames to the root:
+// a kShardHello announcing its node range, one kSlotSummary per completed
+// slot (every measurement the shard's agents transmitted for that slot,
+// heartbeats compacted away, plus how many owned nodes the barrier skipped
+// as non-LIVE), and periodic kShardStatus staleness censuses.
+//
+// Bit-identity invariant (asserted by test_agg and the two_tier_fleet
+// scenario): measurements travel through the summary byte-exactly and in
+// node order, and the root applies them exactly as it would direct agent
+// frames — so a two-tier run's forecasts and RMSE are byte-identical to a
+// single-tier run over the same trace.
+//
+// The upstream link reuses the Agent's availability discipline: bounded
+// exponential backoff on connect, one transparent reconnect-and-resend per
+// delivery, and a *terminal* error when the root explicitly rejects the
+// shard hello (retrying an invalid hello cannot succeed).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/controller.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace resmon::agg {
+
+/// Contiguous node range of one shard.
+struct ShardRange {
+  std::size_t first_node = 0;
+  std::size_t num_nodes = 0;
+};
+
+/// Partition `num_nodes` nodes over `num_shards` contiguous shards: the
+/// first (num_nodes % num_shards) shards get one extra node. Every node
+/// lands in exactly one shard; shard order is node order.
+ShardRange shard_range(std::size_t num_nodes, std::size_t num_shards,
+                       std::size_t shard);
+
+struct AggregatorOptions {
+  std::size_t shard = 0;          ///< this aggregator's shard id
+  std::size_t first_node = 0;     ///< first global node id of the shard
+  std::size_t num_nodes = 0;      ///< nodes this shard fronts
+  std::size_t num_resources = 0;  ///< d: required hello dimensionality
+
+  std::string upstream_host = "127.0.0.1";  ///< root controller address
+  std::uint16_t upstream_port = 0;
+
+  /// Upstream availability knobs (mirrors AgentOptions).
+  std::size_t max_reconnect_attempts = 8;
+  int initial_backoff_ms = 20;
+  int max_backoff_ms = 1000;
+  int io_timeout_ms = 5000;
+
+  /// Downstream staleness policy + clock, handed to the internal
+  /// Controller verbatim (see ControllerOptions).
+  int stale_after_ms = 0;
+  int dead_after_ms = 0;
+  std::function<std::chrono::steady_clock::time_point()> staleness_clock;
+
+  /// Inbound-frame gate for the downstream side (fault injection).
+  net::BlockHook block_hook;
+
+  /// Send a kShardStatus census after every Nth forwarded slot
+  /// (0 = only on explicit send_status calls).
+  std::size_t status_every_slots = 8;
+
+  /// Per-connection payload cap for downstream decoders.
+  std::size_t max_payload = net::wire::kMaxPayloadSize;
+
+  /// Sink for the resmon_agg_* families (nullptr = no instrumentation).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Registry for the internal Controller's resmon_net_* families and the
+  /// metrics endpoint. Binaries pass the same registry as `metrics`; tests
+  /// running several aggregators in one process keep them separate so the
+  /// per-node series of different shards cannot collide.
+  obs::MetricsRegistry* net_metrics = nullptr;
+
+  /// Optional operator log sink (one line per noteworthy event), shared
+  /// with the internal Controller. Empty = silent.
+  std::function<void(const std::string&)> log_sink;
+};
+
+class Aggregator {
+ public:
+  /// Takes ownership of the downstream listening socket (agents connect
+  /// here) from Socket::listen_tcp.
+  Aggregator(net::Socket listener, const AggregatorOptions& options);
+
+  /// Downstream port agents should connect to.
+  std::uint16_t port() const { return downstream_.port(); }
+
+  /// Attach a metrics endpoint (see Controller::serve_metrics). Requires
+  /// AggregatorOptions::net_metrics; the exposition renders that registry,
+  /// so binaries that want resmon_agg_* visible pass one registry as both
+  /// `metrics` and `net_metrics`.
+  void serve_metrics(net::Socket listener) {
+    downstream_.serve_metrics(std::move(listener));
+  }
+  std::uint16_t metrics_port() const { return downstream_.metrics_port(); }
+
+  /// Connect-and-handshake upstream with bounded exponential backoff.
+  /// Throws net::SocketError if the root stays unreachable past the
+  /// attempt budget, or immediately if it rejects the shard hello
+  /// (terminal: the rejection reason is named in the message).
+  void connect_upstream();
+
+  bool upstream_connected() const { return upstream_.valid(); }
+
+  /// Pump the downstream event loop until `count` distinct shard nodes
+  /// completed a hello, or `timeout_ms` elapses.
+  bool wait_for_agents(std::size_t count, int timeout_ms) {
+    return downstream_.wait_for_agents(count, timeout_ms);
+  }
+
+  /// Complete the shard's slot-t barrier (Controller::collect_slot
+  /// semantics, including staleness-based degradation) and forward the
+  /// compacted summary upstream. Returns false if the barrier timed out —
+  /// nothing is sent and the caller may retry after advancing the
+  /// staleness clock, exactly like a root-side collect_slot retry loop.
+  /// Throws net::SocketError if the upstream link is lost beyond repair.
+  bool forward_slot(std::size_t t, int timeout_ms);
+
+  /// Send a kShardStatus census (LIVE/STALE/DEAD counts of owned nodes)
+  /// upstream now. forward_slot does this automatically every
+  /// status_every_slots slots.
+  void send_status();
+
+  /// Pump the downstream loop without waiting on a slot (metrics scrapes,
+  /// late frames). See Controller::pump_idle.
+  void pump_idle(int duration_ms, std::uint64_t until_scrapes = 0) {
+    downstream_.pump_idle(duration_ms, until_scrapes);
+  }
+
+  /// Staleness verdict for one owned node (global node id).
+  net::NodeState node_state(std::size_t node) const {
+    return downstream_.node_state(node);
+  }
+
+  /// The shard-local Controller (staleness counters, frame totals, ...).
+  const net::Controller& downstream() const { return downstream_; }
+  net::Controller& downstream() { return downstream_; }
+
+  std::uint64_t forwarded_slots() const { return forwarded_slots_; }
+  std::uint64_t forwarded_measurements() const {
+    return forwarded_measurements_;
+  }
+  std::uint64_t forwarded_bytes() const { return forwarded_bytes_; }
+  /// Successful upstream re-handshakes after a connection loss.
+  std::uint64_t upstream_reconnects() const { return upstream_reconnects_; }
+  /// Forwarded slots whose shard barrier skipped >= 1 non-LIVE node.
+  std::uint64_t degraded_slots_forwarded() const {
+    return degraded_slots_forwarded_;
+  }
+  /// kShardStatus frames sent upstream.
+  std::uint64_t status_frames() const { return status_frames_; }
+
+ private:
+  /// One upstream connect + shard-hello handshake attempt. Returns false
+  /// on transient failure (caller retries with backoff); throws on an
+  /// explicit rejection.
+  bool try_connect_upstream_once();
+  void reconnect_upstream_with_backoff();
+  /// Write one encoded frame upstream, transparently reconnecting (and
+  /// re-handshaking) once if the connection is gone. Throws when both
+  /// attempts fail.
+  void deliver_upstream(const std::vector<std::uint8_t>& bytes);
+  /// Census of owned-node staleness verdicts.
+  void count_states(std::size_t& live, std::size_t& stale,
+                    std::size_t& dead) const;
+  /// Refresh the resmon_agg_* gauges that mirror downstream state.
+  void update_gauges();
+  void log(const std::string& line) const;
+
+  AggregatorOptions options_;
+  net::Controller downstream_;
+  net::Socket upstream_;
+  bool ever_connected_upstream_ = false;
+  std::uint64_t forwarded_slots_ = 0;
+  std::uint64_t forwarded_measurements_ = 0;
+  std::uint64_t forwarded_bytes_ = 0;
+  std::uint64_t upstream_reconnects_ = 0;
+  std::uint64_t degraded_slots_forwarded_ = 0;
+  std::uint64_t status_frames_ = 0;
+  /// downstream_.degraded_slots() at the last forward, so each slot's
+  /// degraded verdict is the delta (0 or 1) across its collect_slot call.
+  std::uint64_t degraded_slots_baseline_ = 0;
+  // Optional metrics (all nullptr when options_.metrics is null).
+  obs::Counter* m_forwarded_slots_total_ = nullptr;
+  obs::Counter* m_forwarded_measurements_total_ = nullptr;
+  obs::Counter* m_forwarded_bytes_total_ = nullptr;
+  obs::Counter* m_degraded_slots_total_ = nullptr;
+  obs::Counter* m_status_frames_total_ = nullptr;
+  obs::Counter* m_upstream_reconnects_total_ = nullptr;
+  obs::Gauge* m_upstream_connected_ = nullptr;
+  obs::Gauge* m_compaction_ratio_ = nullptr;
+  obs::Gauge* m_shard_nodes_ = nullptr;
+  obs::Gauge* m_live_nodes_ = nullptr;
+  obs::Gauge* m_stale_nodes_ = nullptr;
+  obs::Gauge* m_dead_nodes_ = nullptr;
+};
+
+}  // namespace resmon::agg

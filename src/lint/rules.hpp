@@ -10,8 +10,9 @@
 //                                              namespace scope
 //   std-endl               src/, tools/        no std::endl (flush) on paths
 //                                              that may be hot
-//   catch-all-swallow      src/net, src/faultnet  catch (...) must rethrow or
-//                                              log
+//   catch-all-swallow      src/net, src/agg,   catch (...) must rethrow or
+//                          src/faultnet,       log
+//                          src/scenario
 //   explicit-ctor          src/                single-argument constructors
 //                                              must be explicit
 //   virtual-dtor           src/                polymorphic bases need a

@@ -48,6 +48,7 @@ bool Agent::try_connect_once() {
   // the try block so the terminal throw below cannot be swallowed by the
   // transient-I/O catch.
   std::optional<std::uint8_t> rejected;
+  std::uint8_t rejecter_version = 0;
   try {
     const wire::HelloFrame hello{.node = options_.node,
                                  .num_resources = options_.num_resources};
@@ -73,6 +74,7 @@ bool Agent::try_connect_once() {
         if (ack == nullptr || ack->node != options_.node) return false;
         if (!ack->accepted) {
           rejected = ack->reason;
+          rejecter_version = ack->speaker_version;
           break;
         }
         sock_ = std::move(sock);
@@ -90,8 +92,9 @@ bool Agent::try_connect_once() {
   // A rejected hello is terminal: retrying the same hello cannot succeed,
   // so this propagates out of the backoff loop.
   throw SocketError("agent " + std::to_string(options_.node) +
-                    ": controller rejected hello (reason " +
-                    std::to_string(*rejected) + ")");
+                    ": controller rejected hello (" +
+                    wire::describe_hello_reject(*rejected, rejecter_version) +
+                    ")");
 }
 
 void Agent::reconnect_with_backoff() {

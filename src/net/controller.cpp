@@ -48,6 +48,7 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
       options.dead_after_ms == 0 || options.stale_after_ms == 0 ||
           options.dead_after_ms >= options.stale_after_ms,
       "dead_after_ms must be >= stale_after_ms");
+  shards_.resize(options_.num_shards);
   poller_.watch(listener_.fd());
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
@@ -115,7 +116,10 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
     m_node_state_.resize(options_.num_nodes, nullptr);
     m_node_staleness_ms_.resize(options_.num_nodes, nullptr);
     for (std::size_t node = 0; node < options_.num_nodes; ++node) {
-      const obs::Labels labels = {{"node", std::to_string(node)}};
+      // Labels carry the *global* node id, so an aggregator fronting a
+      // mid-fleet shard exports the same series names the root would.
+      const obs::Labels labels = {
+          {"node", std::to_string(options_.first_node + node)}};
       m_node_state_[node] = &reg.gauge(
           "resmon_net_node_state",
           "Liveness verdict per node: 0 = live, 1 = stale, 2 = dead",
@@ -125,7 +129,43 @@ Controller::Controller(Socket listener, const ControllerOptions& options)
           "Milliseconds since the node last showed evidence of life",
           labels);
     }
+    if (options_.num_shards > 0) {
+      m_summaries_total_ =
+          &reg.counter("resmon_net_summaries_total",
+                       "Slot-summary frames accepted from aggregator shards");
+      m_summary_measurements_total_ = &reg.counter(
+          "resmon_net_summary_measurements_total",
+          "Measurements carried inside accepted slot summaries");
+      m_shard_status_total_ =
+          &reg.counter("resmon_net_shard_status_total",
+                       "Shard-status census frames accepted from aggregators");
+      m_shards_connected_ = &reg.gauge(
+          "resmon_net_shards_connected",
+          "Aggregator shards with a live, hello-completed connection");
+      m_shard_live_.resize(options_.num_shards, nullptr);
+      m_shard_stale_.resize(options_.num_shards, nullptr);
+      m_shard_dead_.resize(options_.num_shards, nullptr);
+      for (std::size_t shard = 0; shard < options_.num_shards; ++shard) {
+        const obs::Labels labels = {{"shard", std::to_string(shard)}};
+        m_shard_live_[shard] = &reg.gauge(
+            "resmon_net_shard_live_nodes",
+            "LIVE nodes per shard, from the latest shard-status census",
+            labels);
+        m_shard_stale_[shard] = &reg.gauge(
+            "resmon_net_shard_stale_nodes",
+            "STALE nodes per shard, from the latest shard-status census",
+            labels);
+        m_shard_dead_[shard] = &reg.gauge(
+            "resmon_net_shard_dead_nodes",
+            "DEAD nodes per shard, from the latest shard-status census",
+            labels);
+      }
+    }
   }
+}
+
+void Controller::log(const std::string& line) const {
+  if (options_.log_sink) options_.log_sink(line);
 }
 
 void Controller::serve_metrics(Socket listener) {
@@ -152,6 +192,16 @@ void Controller::pump_idle(int duration_ms, std::uint64_t until_scrapes) {
 bool Controller::wait_for_agents(std::size_t count, int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (nodes_seen_ < count) {
+    const int left = remaining_ms(deadline);
+    if (left == 0) return false;
+    pump(std::min(left, kPumpSliceMs));
+  }
+  return true;
+}
+
+bool Controller::wait_for_shards(std::size_t count, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (shards_seen_ < count) {
     const int left = remaining_ms(deadline);
     if (left == 0) return false;
     pump(std::min(left, kPumpSliceMs));
@@ -188,6 +238,13 @@ Controller::collect_slot(std::size_t t, int timeout_ms) {
   for (std::size_t node = 0; node < options_.num_nodes; ++node) {
     if (progress_[node] < static_cast<long long>(t)) degraded = true;
   }
+  // A shard summary marks the slot degraded when the *shard's* barrier
+  // skipped a non-LIVE node, even though the summary itself advances every
+  // covered node's progress here — this keeps the root's degraded-slot
+  // count identical to a single-tier controller fronting the same fleet.
+  if (degraded_marks_.count(t) != 0) degraded = true;
+  degraded_marks_.erase(degraded_marks_.begin(),
+                        degraded_marks_.upper_bound(t));
   if (degraded) {
     ++degraded_slots_;
     if (m_degraded_slots_total_ != nullptr) m_degraded_slots_total_->inc();
@@ -381,10 +438,11 @@ void Controller::update_node_states() {
         set_node_state(node, NodeState::kDead);
         // Evict: whatever socket the node still holds is presumed dead
         // weight. A later frame requires a fresh connection (rejoin).
+        const long long global =
+            static_cast<long long>(options_.first_node + node);
         const auto it = std::find_if(
-            connections_.begin(), connections_.end(), [&](const auto& kv) {
-              return kv.second.node == static_cast<long long>(node);
-            });
+            connections_.begin(), connections_.end(),
+            [&](const auto& kv) { return kv.second.node == global; });
         if (it != connections_.end()) drop(it->first, /*rejected=*/false);
       }
     } else if (silence_ms >= options_.stale_after_ms) {
@@ -427,47 +485,17 @@ bool Controller::service(Connection& conn) {
 
 bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
   if (std::holds_alternative<wire::HelloFrame>(frame)) {
-    const wire::HelloFrame hello = std::get<wire::HelloFrame>(frame);
-    HelloReject reject = HelloReject::kNone;
-    if (hello.node >= options_.num_nodes) {
-      reject = HelloReject::kNodeOutOfRange;
-    } else if (hello.num_resources != options_.num_resources) {
-      reject = HelloReject::kDimensionMismatch;
-    } else if (conn.node >= 0) {
-      reject = HelloReject::kDuplicateNode;  // second hello on one stream
-    } else {
-      // Newest-wins: a reconnecting agent can beat the controller to
-      // noticing its old connection died (lost RST, partition). The fresh
-      // hello is authoritative — drop the stale socket instead of locking
-      // the node out with kDuplicateNode. `conn` stays valid: erasing a
-      // different unordered_map element does not invalidate it.
-      const auto stale = std::find_if(
-          connections_.begin(), connections_.end(), [&](const auto& kv) {
-            return kv.second.node == static_cast<long long>(hello.node);
-          });
-      if (stale != connections_.end()) {
-        drop(stale->first, /*rejected=*/false);
-        if (m_stale_dropped_total_ != nullptr) m_stale_dropped_total_->inc();
-      }
-    }
-    const wire::HelloAckFrame ack{
-        .node = hello.node,
-        .accepted = reject == HelloReject::kNone,
-        .reason = static_cast<std::uint8_t>(reject)};
-    // Best-effort ack; a failed write surfaces as a drop either way.
-    const bool wrote = conn.sock.write_all(wire::encode(ack), 1000);
-    if (reject != HelloReject::kNone || !wrote) return false;
-    conn.node = static_cast<long long>(hello.node);
-    ++connected_nodes_;
-    if (m_connected_agents_ != nullptr) {
-      m_connected_agents_->set(static_cast<double>(connected_nodes_));
-    }
-    if (!seen_[hello.node]) {
-      seen_[hello.node] = 1;
-      ++nodes_seen_;
-    }
-    touch(hello.node);  // a fresh handshake is evidence of life (rejoin)
-    return true;
+    return handle_hello(conn, std::get<wire::HelloFrame>(frame));
+  }
+  if (std::holds_alternative<wire::ShardHelloFrame>(frame)) {
+    return handle_shard_hello(conn, std::get<wire::ShardHelloFrame>(frame));
+  }
+  if (std::holds_alternative<wire::SlotSummaryFrame>(frame)) {
+    return handle_slot_summary(
+        conn, std::move(std::get<wire::SlotSummaryFrame>(frame)));
+  }
+  if (std::holds_alternative<wire::ShardStatusFrame>(frame)) {
+    return handle_shard_status(conn, std::get<wire::ShardStatusFrame>(frame));
   }
 
   // Every other agent frame requires a completed handshake, and its node id
@@ -485,10 +513,11 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
       if (m_blocked_frames_total_ != nullptr) m_blocked_frames_total_->inc();
       return true;  // frame eaten by the simulated partition; stream is fine
     }
-    progress_[m.node] =
-        std::max(progress_[m.node], static_cast<long long>(m.step));
-    touch(m.node);
-    inbox_[m.node].push_back(std::move(m));
+    const std::size_t local = m.node - options_.first_node;
+    progress_[local] =
+        std::max(progress_[local], static_cast<long long>(m.step));
+    touch(local);
+    inbox_[local].push_back(std::move(m));
     if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
     return true;
   }
@@ -502,14 +531,189 @@ bool Controller::handle_frame(Connection& conn, wire::Frame&& frame) {
       if (m_blocked_frames_total_ != nullptr) m_blocked_frames_total_->inc();
       return true;
     }
-    progress_[hb.node] =
-        std::max(progress_[hb.node], static_cast<long long>(hb.step));
-    touch(hb.node);
+    const std::size_t local = hb.node - options_.first_node;
+    progress_[local] =
+        std::max(progress_[local], static_cast<long long>(hb.step));
+    touch(local);
     if (m_heartbeats_total_ != nullptr) m_heartbeats_total_->inc();
     return true;
   }
   // HelloAck is controller -> agent only.
   return false;
+}
+
+bool Controller::handle_hello(Connection& conn, const wire::HelloFrame& hello) {
+  HelloReject reject = HelloReject::kNone;
+  if (hello.node < options_.first_node ||
+      hello.node >= options_.first_node + options_.num_nodes) {
+    reject = HelloReject::kNodeOutOfRange;
+  } else if (hello.num_resources != options_.num_resources) {
+    reject = HelloReject::kDimensionMismatch;
+  } else if (conn.node >= 0 || conn.shard >= 0) {
+    reject = HelloReject::kDuplicateNode;  // second hello on one stream
+  } else {
+    // Newest-wins: a reconnecting agent can beat the controller to
+    // noticing its old connection died (lost RST, partition). The fresh
+    // hello is authoritative — drop the stale socket instead of locking
+    // the node out with kDuplicateNode. `conn` stays valid: erasing a
+    // different unordered_map element does not invalidate it.
+    const auto stale = std::find_if(
+        connections_.begin(), connections_.end(), [&](const auto& kv) {
+          return kv.second.node == static_cast<long long>(hello.node);
+        });
+    if (stale != connections_.end()) {
+      drop(stale->first, /*rejected=*/false);
+      if (m_stale_dropped_total_ != nullptr) m_stale_dropped_total_->inc();
+    }
+  }
+  const wire::HelloAckFrame ack{
+      .node = hello.node,
+      .accepted = reject == HelloReject::kNone,
+      .reason = static_cast<std::uint8_t>(reject)};
+  // Best-effort ack; a failed write surfaces as a drop either way.
+  const bool wrote = conn.sock.write_all(wire::encode(ack), 1000);
+  if (reject != HelloReject::kNone) {
+    log("rejected hello from node " + std::to_string(hello.node) + " (" +
+        wire::hello_reject_name(static_cast<std::uint8_t>(reject)) + ")");
+    return false;
+  }
+  if (!wrote) return false;
+  conn.node = static_cast<long long>(hello.node);
+  const std::size_t local = hello.node - options_.first_node;
+  ++connected_nodes_;
+  if (m_connected_agents_ != nullptr) {
+    m_connected_agents_->set(static_cast<double>(connected_nodes_));
+  }
+  if (!seen_[local]) {
+    seen_[local] = 1;
+    ++nodes_seen_;
+  }
+  touch(local);  // a fresh handshake is evidence of life (rejoin)
+  return true;
+}
+
+bool Controller::handle_shard_hello(Connection& conn,
+                                    const wire::ShardHelloFrame& sh) {
+  HelloReject reject = HelloReject::kNone;
+  if (options_.num_shards == 0) {
+    reject = HelloReject::kShardsNotEnabled;
+  } else if (sh.shard >= options_.num_shards) {
+    reject = HelloReject::kShardOutOfRange;
+  } else if (sh.protocol != wire::kProtocolVersion) {
+    reject = HelloReject::kVersionMismatch;
+  } else if (sh.num_nodes == 0 || sh.first_node < options_.first_node ||
+             std::size_t{sh.first_node} + sh.num_nodes >
+                 options_.first_node + options_.num_nodes) {
+    reject = HelloReject::kBadNodeRange;
+  } else if (sh.num_resources != options_.num_resources) {
+    reject = HelloReject::kDimensionMismatch;
+  } else if (conn.node >= 0 || conn.shard >= 0) {
+    reject = HelloReject::kDuplicateNode;  // second hello on one stream
+  } else {
+    // Newest-wins, exactly as for agent hellos: a reconnecting aggregator's
+    // fresh shard hello displaces whatever stale socket the shard held.
+    const auto stale = std::find_if(
+        connections_.begin(), connections_.end(), [&](const auto& kv) {
+          return kv.second.shard == static_cast<long long>(sh.shard);
+        });
+    if (stale != connections_.end()) {
+      drop(stale->first, /*rejected=*/false);
+      if (m_stale_dropped_total_ != nullptr) m_stale_dropped_total_->inc();
+    }
+  }
+  // The ack echoes the shard id in the node field.
+  const wire::HelloAckFrame ack{
+      .node = sh.shard,
+      .accepted = reject == HelloReject::kNone,
+      .reason = static_cast<std::uint8_t>(reject)};
+  const bool wrote = conn.sock.write_all(wire::encode(ack), 1000);
+  if (reject != HelloReject::kNone) {
+    log("rejected shard hello from shard " + std::to_string(sh.shard) + " (" +
+        wire::describe_hello_reject(static_cast<std::uint8_t>(reject),
+                                    static_cast<std::uint8_t>(sh.protocol)) +
+        ")");
+    return false;
+  }
+  if (!wrote) return false;
+  conn.shard = static_cast<long long>(sh.shard);
+  ShardInfo& info = shards_[sh.shard];
+  info.first_node = sh.first_node;
+  info.num_nodes = sh.num_nodes;
+  if (!info.seen) {
+    info.seen = true;
+    ++shards_seen_;
+  }
+  ++connected_shards_;
+  if (m_shards_connected_ != nullptr) {
+    m_shards_connected_->set(static_cast<double>(connected_shards_));
+  }
+  // The shard speaks for every node it fronts: mark them seen (so
+  // wait_for_agents counts fronted nodes too) and alive.
+  for (std::size_t node = sh.first_node;
+       node < std::size_t{sh.first_node} + sh.num_nodes; ++node) {
+    const std::size_t local = node - options_.first_node;
+    if (!seen_[local]) {
+      seen_[local] = 1;
+      ++nodes_seen_;
+    }
+    touch(local);
+  }
+  log("shard " + std::to_string(sh.shard) + " connected (nodes [" +
+      std::to_string(sh.first_node) + ", " +
+      std::to_string(std::size_t{sh.first_node} + sh.num_nodes) + "))");
+  return true;
+}
+
+bool Controller::handle_slot_summary(Connection& conn,
+                                     wire::SlotSummaryFrame&& s) {
+  if (conn.shard < 0 || s.shard != static_cast<std::uint32_t>(conn.shard) ||
+      s.num_resources != options_.num_resources) {
+    return false;
+  }
+  const ShardInfo& info = shards_[s.shard];
+  for (const transport::MeasurementMessage& m : s.measurements) {
+    if (m.node < info.first_node ||
+        m.node >= info.first_node + info.num_nodes) {
+      return false;  // summary smuggles a node the shard does not own
+    }
+  }
+  // The summary is the shard's slot barrier output: every fronted node has
+  // progressed to `step` (non-LIVE nodes were skipped, which the shard
+  // reports via `degraded` — see collect_slot).
+  for (std::size_t node = info.first_node;
+       node < info.first_node + info.num_nodes; ++node) {
+    const std::size_t local = node - options_.first_node;
+    progress_[local] =
+        std::max(progress_[local], static_cast<long long>(s.step));
+    touch(local);
+  }
+  for (transport::MeasurementMessage& m : s.measurements) {
+    const std::size_t local = m.node - options_.first_node;
+    inbox_[local].push_back(std::move(m));
+    if (m_measurements_total_ != nullptr) m_measurements_total_->inc();
+  }
+  if (s.degraded > 0) degraded_marks_.insert(s.step);
+  ++summaries_received_;
+  summary_measurements_ += s.measurements.size();
+  if (m_summaries_total_ != nullptr) m_summaries_total_->inc();
+  if (m_summary_measurements_total_ != nullptr) {
+    m_summary_measurements_total_->inc(s.measurements.size());
+  }
+  return true;
+}
+
+bool Controller::handle_shard_status(Connection& conn,
+                                     const wire::ShardStatusFrame& s) {
+  if (conn.shard < 0 || s.shard != static_cast<std::uint32_t>(conn.shard)) {
+    return false;
+  }
+  if (m_shard_status_total_ != nullptr) {
+    m_shard_status_total_->inc();
+    m_shard_live_[s.shard]->set(static_cast<double>(s.live));
+    m_shard_stale_[s.shard]->set(static_cast<double>(s.stale));
+    m_shard_dead_[s.shard]->set(static_cast<double>(s.dead));
+  }
+  return true;
 }
 
 void Controller::drop(int fd, bool rejected) {
@@ -522,6 +726,14 @@ void Controller::drop(int fd, bool rejected) {
   if (it->second.node >= 0) --connected_nodes_;
   if (m_connected_agents_ != nullptr) {
     m_connected_agents_->set(static_cast<double>(connected_nodes_));
+  }
+  if (it->second.shard >= 0) {
+    --connected_shards_;
+    if (m_shards_connected_ != nullptr) {
+      m_shards_connected_->set(static_cast<double>(connected_shards_));
+    }
+    log("shard " + std::to_string(it->second.shard) +
+        " connection dropped");
   }
   poller_.unwatch(fd);
   connections_.erase(it);  // Socket destructor closes the fd

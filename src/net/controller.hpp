@@ -33,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,8 +65,20 @@ enum class NodeState : std::uint8_t {
 const char* node_state_name(NodeState state);
 
 struct ControllerOptions {
-  std::size_t num_nodes = 0;      ///< N: valid node ids are [0, N)
+  std::size_t num_nodes = 0;      ///< N: nodes this collector fronts
   std::size_t num_resources = 0;  ///< d: required hello dimensionality
+  /// First global node id this collector owns: valid hello node ids are
+  /// [first_node, first_node + num_nodes). The root controller keeps the
+  /// default 0; an aggregator fronting a mid-fleet shard sets its range so
+  /// agents keep their global ids end to end (all public per-node APIs and
+  /// metric labels speak global ids too).
+  std::size_t first_node = 0;
+  /// Number of aggregator shards allowed to connect (two-tier root mode).
+  /// 0 = single-tier: shard hellos are rejected with kShardsNotEnabled.
+  /// With M > 0 the root also accepts kSlotSummary/kShardStatus frames and
+  /// exports per-shard staleness gauges; direct agent connections keep
+  /// working, so a fleet can migrate tier by tier.
+  std::size_t num_shards = 0;
   /// Per-connection payload cap handed to the decoders.
   std::size_t max_payload = wire::kMaxPayloadSize;
   /// Optional metrics sink (non-owning): the resmon_net_* series, and the
@@ -91,18 +104,17 @@ struct ControllerOptions {
 
   /// Optional inbound-frame gate (fault injection). Empty = accept all.
   BlockHook block_hook;
+
+  /// Optional operator log sink: one human-readable line per noteworthy
+  /// event (rejected hello with its named reason, shard connects, streams
+  /// dropped for wire errors). Empty = silent. The binaries route this to
+  /// stderr; the library never writes to std streams on its own.
+  std::function<void(const std::string&)> log_sink;
 };
 
-/// Hello rejection reasons carried in HelloAckFrame::reason.
-enum class HelloReject : std::uint8_t {
-  kNone = 0,
-  kNodeOutOfRange = 1,
-  kDimensionMismatch = 2,
-  /// Second hello on a stream that already completed its handshake. A
-  /// hello for a node connected on a *different* stream is not rejected:
-  /// the newer connection wins and the old one is dropped as stale.
-  kDuplicateNode = 3,
-};
+/// Hello rejection vocabulary — shared with agents/aggregators, so it lives
+/// in net/wire.hpp; aliased here for the controller-side call sites.
+using HelloReject = wire::HelloReject;
 
 class Controller {
  public:
@@ -146,18 +158,36 @@ class Controller {
   std::optional<std::vector<transport::MeasurementMessage>> collect_slot(
       std::size_t t, int timeout_ms);
 
-  /// Nodes currently connected (hello completed, socket alive).
+  /// Nodes currently connected (hello completed, socket alive). Nodes
+  /// fronted through a shard count from the shard hello on.
   std::size_t connected_agents() const { return connected_nodes_; }
-  /// Distinct nodes that have ever completed a hello handshake.
+  /// Distinct nodes that have ever completed a hello handshake (directly or
+  /// via a shard hello covering their range).
   std::size_t nodes_seen() const { return nodes_seen_; }
+
+  /// Pump until `count` distinct shards have completed their shard-hello
+  /// handshake, or `timeout_ms` elapses (two-tier root mode).
+  bool wait_for_shards(std::size_t count, int timeout_ms);
+  /// Distinct shards that ever completed a shard hello.
+  std::size_t shards_seen() const { return shards_seen_; }
+  /// Shards with a live, handshake-completed connection right now.
+  std::size_t connected_shards() const { return connected_shards_; }
+  /// Slot-summary frames accepted from shards.
+  std::uint64_t summaries_received() const { return summaries_received_; }
+  /// Measurements carried inside accepted slot summaries.
+  std::uint64_t summary_measurements() const {
+    return summary_measurements_;
+  }
 
   std::uint64_t frames_received() const { return frames_received_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
   /// Connections dropped for wire-protocol or semantic violations.
   std::uint64_t connections_rejected() const { return connections_rejected_; }
 
-  /// Current liveness verdict for one node.
-  NodeState node_state(std::size_t node) const { return states_.at(node); }
+  /// Current liveness verdict for one node (global node id).
+  NodeState node_state(std::size_t node) const {
+    return states_.at(node - options_.first_node);
+  }
   /// LIVE -> STALE transitions (a node may contribute several).
   std::uint64_t stale_transitions() const { return stale_transitions_; }
   /// -> DEAD transitions.
@@ -174,9 +204,17 @@ class Controller {
   struct Connection {
     Socket sock;
     wire::FrameDecoder decoder;
-    long long node = -1;  ///< -1 until the hello handshake completes
+    long long node = -1;   ///< -1 until the hello handshake completes
+    long long shard = -1;  ///< -1 unless a shard hello completed instead
     Connection(Socket s, std::size_t max_payload)
         : sock(std::move(s)), decoder(max_payload) {}
+  };
+
+  /// What the root knows about one aggregator shard after its hello.
+  struct ShardInfo {
+    std::size_t first_node = 0;
+    std::size_t num_nodes = 0;
+    bool seen = false;
   };
 
   /// A pending scrape on the metrics port: buffered request bytes until
@@ -198,6 +236,10 @@ class Controller {
   /// gone) and the connection should be closed.
   bool service_metrics(MetricsConnection& conn);
   bool handle_frame(Connection& conn, wire::Frame&& frame);
+  bool handle_hello(Connection& conn, const wire::HelloFrame& hello);
+  bool handle_shard_hello(Connection& conn, const wire::ShardHelloFrame& sh);
+  bool handle_slot_summary(Connection& conn, wire::SlotSummaryFrame&& s);
+  bool handle_shard_status(Connection& conn, const wire::ShardStatusFrame& s);
   void drop(int fd, bool rejected);
   void drop_metrics(int fd);
   /// Count a poisoned stream against resmon_net_wire_errors_total.
@@ -205,7 +247,9 @@ class Controller {
   /// Now according to the staleness clock (injectable; see
   /// ControllerOptions::staleness_clock).
   std::chrono::steady_clock::time_point staleness_now() const;
-  /// Record evidence of life from `node` and rejoin it if it was not LIVE.
+  /// Record evidence of life from a node and rejoin it if it was not LIVE.
+  /// Takes a *local* index (global id minus first_node), like every private
+  /// per-node helper; the public API and metric labels speak global ids.
   void touch(std::size_t node);
   /// Apply the stale_after/dead_after policy to every node's silence timer;
   /// evicts connections of nodes that just became DEAD. Called once per
@@ -243,6 +287,16 @@ class Controller {
   std::uint64_t bytes_received_ = 0;
   std::uint64_t connections_rejected_ = 0;
   std::uint64_t metrics_scrapes_ = 0;
+  /// Two-tier root bookkeeping (empty/zero in single-tier mode).
+  std::vector<ShardInfo> shards_;  ///< size num_shards
+  std::size_t shards_seen_ = 0;
+  std::size_t connected_shards_ = 0;
+  std::uint64_t summaries_received_ = 0;
+  std::uint64_t summary_measurements_ = 0;
+  /// Slots some shard summary flagged degraded, pending consumption by
+  /// collect_slot's own degradation accounting (so a two-tier root counts
+  /// exactly the slots a single-tier controller would).
+  std::set<std::uint64_t> degraded_marks_;
   // Optional metrics (all nullptr when no registry was given).
   obs::Counter* m_frames_total_ = nullptr;
   obs::Counter* m_measurements_total_ = nullptr;
@@ -266,6 +320,17 @@ class Controller {
   obs::Gauge* m_dead_nodes_ = nullptr;
   std::vector<obs::Gauge*> m_node_state_;         ///< per node
   std::vector<obs::Gauge*> m_node_staleness_ms_;  ///< per node
+  // Two-tier root metrics (nullptr/empty unless num_shards > 0).
+  obs::Counter* m_summaries_total_ = nullptr;
+  obs::Counter* m_summary_measurements_total_ = nullptr;
+  obs::Counter* m_shard_status_total_ = nullptr;
+  obs::Gauge* m_shards_connected_ = nullptr;
+  std::vector<obs::Gauge*> m_shard_live_;   ///< per shard
+  std::vector<obs::Gauge*> m_shard_stale_;  ///< per shard
+  std::vector<obs::Gauge*> m_shard_dead_;   ///< per shard
+
+  /// Emit one line to ControllerOptions::log_sink (no-op when unset).
+  void log(const std::string& line) const;
 };
 
 }  // namespace resmon::net

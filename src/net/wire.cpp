@@ -90,6 +90,37 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
   return c ^ 0xFFFFFFFFu;
 }
 
+const char* hello_reject_name(std::uint8_t reason) {
+  switch (static_cast<HelloReject>(reason)) {
+    case HelloReject::kNone: return "accepted";
+    case HelloReject::kNodeOutOfRange: return "node id out of range";
+    case HelloReject::kDimensionMismatch: return "dimension mismatch";
+    case HelloReject::kDuplicateNode: return "duplicate hello on one stream";
+    case HelloReject::kShardOutOfRange: return "shard id out of range";
+    case HelloReject::kBadNodeRange: return "invalid shard node range";
+    case HelloReject::kVersionMismatch: return "wire protocol version mismatch";
+    case HelloReject::kShardsNotEnabled:
+      return "shard hello to a single-tier controller";
+  }
+  return "unknown reason";
+}
+
+std::string describe_hello_reject(std::uint8_t reason,
+                                  std::uint8_t speaker_version) {
+  std::string out = "reason " + std::to_string(static_cast<int>(reason)) +
+                    ": " + hello_reject_name(reason);
+  if (static_cast<HelloReject>(reason) == HelloReject::kVersionMismatch) {
+    out += " (we speak wire protocol v" +
+           std::to_string(static_cast<int>(kProtocolVersion)) +
+           ", peer speaks ";
+    out += speaker_version == 0
+               ? std::string("an unreported version")
+               : "v" + std::to_string(static_cast<int>(speaker_version));
+    out += ")";
+  }
+  return out;
+}
+
 const char* wire_error_name(WireError error) {
   switch (error) {
     case WireError::kNone: return "none";
@@ -128,7 +159,8 @@ std::vector<std::uint8_t> encode(const HelloAckFrame& f) {
   put_u32(payload, f.node);
   payload.push_back(f.accepted ? 1 : 0);
   payload.push_back(f.reason);
-  put_u16(payload, 0);  // reserved
+  payload.push_back(f.speaker_version);
+  payload.push_back(0);  // reserved
   return frame(FrameType::kHelloAck, std::move(payload));
 }
 
@@ -138,6 +170,43 @@ std::vector<std::uint8_t> encode(const HeartbeatFrame& f) {
   put_u32(payload, f.node);
   put_u64(payload, f.step);
   return frame(FrameType::kHeartbeat, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const ShardHelloFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kShardHelloPayloadSize);
+  put_u32(payload, f.shard);
+  put_u32(payload, f.first_node);
+  put_u32(payload, f.num_nodes);
+  put_u32(payload, f.num_resources);
+  put_u32(payload, f.protocol);
+  return frame(FrameType::kShardHello, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const SlotSummaryFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(slot_summary_payload_size(f.measurements.size(),
+                                            f.num_resources));
+  put_u32(payload, f.shard);
+  put_u64(payload, f.step);
+  put_u32(payload, f.degraded);
+  put_u32(payload, f.num_resources);
+  put_u32(payload, static_cast<std::uint32_t>(f.measurements.size()));
+  for (const transport::MeasurementMessage& m : f.measurements) {
+    put_u32(payload, static_cast<std::uint32_t>(m.node));
+    for (double v : m.values) put_f64(payload, v);
+  }
+  return frame(FrameType::kSlotSummary, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode(const ShardStatusFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kShardStatusPayloadSize);
+  put_u32(payload, f.shard);
+  put_u32(payload, f.live);
+  put_u32(payload, f.stale);
+  put_u32(payload, f.dead);
+  return frame(FrameType::kShardStatus, std::move(payload));
 }
 
 FrameDecoder::FrameDecoder(std::size_t max_payload)
@@ -184,7 +253,7 @@ bool FrameDecoder::try_decode_one() {
   }
   const std::uint8_t type = h[5];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kHeartbeat)) {
+      type > static_cast<std::uint8_t>(FrameType::kShardStatus)) {
     error_ = WireError::kUnknownFrameType;
     return false;
   }
@@ -217,8 +286,10 @@ bool FrameDecoder::try_decode_one() {
         error_ = WireError::kMalformedPayload;
         return false;
       }
-      ready_.push_back(HelloAckFrame{
-          .node = get_u32(p), .accepted = p[4] != 0, .reason = p[5]});
+      ready_.push_back(HelloAckFrame{.node = get_u32(p),
+                                     .accepted = p[4] != 0,
+                                     .reason = p[5],
+                                     .speaker_version = p[6]});
       break;
     }
     case FrameType::kMeasurement: {
@@ -248,6 +319,67 @@ bool FrameDecoder::try_decode_one() {
       }
       ready_.push_back(
           HeartbeatFrame{.node = get_u32(p), .step = get_u64(p + 4)});
+      break;
+    }
+    case FrameType::kShardHello: {
+      if (payload_len != kShardHelloPayloadSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      ready_.push_back(ShardHelloFrame{.shard = get_u32(p),
+                                       .first_node = get_u32(p + 4),
+                                       .num_nodes = get_u32(p + 8),
+                                       .num_resources = get_u32(p + 12),
+                                       .protocol = get_u32(p + 16)});
+      break;
+    }
+    case FrameType::kSlotSummary: {
+      if (payload_len < kSlotSummaryHeaderSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      const std::size_t dim = get_u32(p + 16);
+      const std::size_t count = get_u32(p + 20);
+      // Bound both fields by what could possibly fit in the (already
+      // length-capped) payload before multiplying, so a hostile header
+      // cannot overflow the size arithmetic. An empty summary (a slot in
+      // which every shard agent stayed silent) carries dim but no entries,
+      // so dim is only bounded when entries exist to hold it.
+      if ((count > 0 && dim > payload_len / 8) || count > payload_len / 4 ||
+          payload_len != slot_summary_payload_size(count, dim)) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      SlotSummaryFrame s;
+      s.shard = get_u32(p);
+      s.step = get_u64(p + 4);
+      s.degraded = get_u32(p + 12);
+      s.num_resources = static_cast<std::uint32_t>(dim);
+      s.measurements.reserve(count);
+      const std::uint8_t* entry = p + kSlotSummaryHeaderSize;
+      for (std::size_t i = 0; i < count; ++i) {
+        transport::MeasurementMessage m;
+        m.node = get_u32(entry);
+        m.step = static_cast<std::size_t>(s.step);
+        m.values.resize(dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+          m.values[r] = get_f64(entry + 4 + 8 * r);
+        }
+        entry += 4 + 8 * dim;
+        s.measurements.push_back(std::move(m));
+      }
+      ready_.push_back(std::move(s));
+      break;
+    }
+    case FrameType::kShardStatus: {
+      if (payload_len != kShardStatusPayloadSize) {
+        error_ = WireError::kMalformedPayload;
+        return false;
+      }
+      ready_.push_back(ShardStatusFrame{.shard = get_u32(p),
+                                        .live = get_u32(p + 4),
+                                        .stale = get_u32(p + 8),
+                                        .dead = get_u32(p + 12)});
       break;
     }
   }

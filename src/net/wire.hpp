@@ -32,13 +32,45 @@ struct HelloFrame {
   std::uint32_t num_resources = 0;
 };
 
-/// Controller's reply to a hello.
+/// Controller's reply to a hello (agent or shard; for a shard hello `node`
+/// echoes the shard id).
 struct HelloAckFrame {
   std::uint32_t node = 0;
   bool accepted = false;
-  /// 0 = ok; nonzero = controller-defined rejection reason.
+  /// 0 = ok; nonzero = a HelloReject rejection reason.
   std::uint8_t reason = 0;
+  /// Wire protocol version the acking peer speaks, so a rejected hello can
+  /// be logged naming both sides. 0 = the ack came from a build predating
+  /// this field (it was a reserved-zero byte).
+  std::uint8_t speaker_version = kProtocolVersion;
 };
+
+/// Why a hello (or shard hello) was rejected, carried in
+/// HelloAckFrame::reason. Shared protocol vocabulary: the controller sets
+/// these, agents and aggregators render them via hello_reject_name().
+enum class HelloReject : std::uint8_t {
+  kNone = 0,
+  kNodeOutOfRange = 1,
+  kDimensionMismatch = 2,
+  /// Second hello on a stream that already completed its handshake. A
+  /// hello for a node connected on a *different* stream is not rejected:
+  /// the newer connection wins and the old one is dropped as stale.
+  kDuplicateNode = 3,
+  kShardOutOfRange = 4,   ///< shard id >= the root's configured shard count
+  kBadNodeRange = 5,      ///< shard's claimed node range is empty/overflows
+  kVersionMismatch = 6,   ///< shard hello's protocol field != ours
+  kShardsNotEnabled = 7,  ///< shard hello sent to a single-tier controller
+};
+
+/// Human-readable name of a HelloReject code (stable, for operator logs).
+/// Unknown codes render as "unknown reason".
+const char* hello_reject_name(std::uint8_t reason);
+
+/// One line an operator can act on: the named reason, plus both protocol
+/// versions when the rejection is a version mismatch (`speaker_version` is
+/// the rejecting peer's version from the ack, 0 if unreported).
+std::string describe_hello_reject(std::uint8_t reason,
+                                  std::uint8_t speaker_version);
 
 /// Liveness + slot progress: "node has processed slot `step` (and did not
 /// transmit a measurement for it)".
@@ -47,10 +79,48 @@ struct HeartbeatFrame {
   std::uint64_t step = 0;
 };
 
+/// First frame an aggregator sends its root: which shard it is and the
+/// contiguous node range [first_node, first_node + num_nodes) it fronts.
+struct ShardHelloFrame {
+  std::uint32_t shard = 0;
+  std::uint32_t first_node = 0;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_resources = 0;
+  /// The aggregator's kProtocolVersion, checked explicitly by the root so
+  /// a skew rejects with kVersionMismatch naming both versions.
+  std::uint32_t protocol = kProtocolVersion;
+};
+
+/// One compacted slot of a shard: every measurement the shard's agents
+/// transmitted for `step` (heartbeats are compacted away — the summary's
+/// existence is the progress signal), plus how many owned nodes were
+/// skipped as non-LIVE (`degraded`) so the root's degradation accounting
+/// matches a single-tier run exactly.
+struct SlotSummaryFrame {
+  std::uint32_t shard = 0;
+  std::uint64_t step = 0;
+  std::uint32_t degraded = 0;
+  std::uint32_t num_resources = 0;
+  /// Measurements in node order; every entry's step == `step` and values
+  /// size == num_resources (enforced by the decoder).
+  std::vector<transport::MeasurementMessage> measurements;
+};
+
+/// Periodic shard staleness census, so the root can export per-shard
+/// LIVE/STALE/DEAD gauges without owning the per-node machine.
+struct ShardStatusFrame {
+  std::uint32_t shard = 0;
+  std::uint32_t live = 0;
+  std::uint32_t stale = 0;
+  std::uint32_t dead = 0;
+};
+
 /// Any decoded frame. Measurements reuse the transport-layer struct so the
 /// controller can apply them to a CentralStore directly.
-using Frame = std::variant<HelloFrame, HelloAckFrame,
-                           transport::MeasurementMessage, HeartbeatFrame>;
+using Frame =
+    std::variant<HelloFrame, HelloAckFrame, transport::MeasurementMessage,
+                 HeartbeatFrame, ShardHelloFrame, SlotSummaryFrame,
+                 ShardStatusFrame>;
 
 /// Why a byte stream was rejected. kNone means the stream is healthy.
 enum class WireError : std::uint8_t {
@@ -76,6 +146,9 @@ std::vector<std::uint8_t> encode(const transport::MeasurementMessage& m);
 std::vector<std::uint8_t> encode(const HelloFrame& f);
 std::vector<std::uint8_t> encode(const HelloAckFrame& f);
 std::vector<std::uint8_t> encode(const HeartbeatFrame& f);
+std::vector<std::uint8_t> encode(const ShardHelloFrame& f);
+std::vector<std::uint8_t> encode(const SlotSummaryFrame& f);
+std::vector<std::uint8_t> encode(const ShardStatusFrame& f);
 
 /// Incremental frame decoder for one byte stream (one TCP connection).
 ///

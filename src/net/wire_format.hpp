@@ -45,12 +45,17 @@ inline constexpr std::size_t kHeaderSize = 16;
 /// allocation.
 inline constexpr std::size_t kMaxPayloadSize = std::size_t{1} << 20;
 
-/// Frame types of protocol version 1.
+/// Frame types of protocol version 1. The shard frames (5-7) were added
+/// within the version per the rules above: a pre-aggregator decoder rejects
+/// them as kUnknownFrameType instead of misparsing.
 enum class FrameType : std::uint8_t {
-  kHello = 1,        ///< agent -> controller: node id + dimensionality
-  kHelloAck = 2,     ///< controller -> agent: accept/reject the hello
-  kMeasurement = 3,  ///< agent -> controller: one MeasurementMessage
-  kHeartbeat = 4,    ///< agent -> controller: liveness + slot progress
+  kHello = 1,        ///< agent -> collector: node id + dimensionality
+  kHelloAck = 2,     ///< collector -> peer: accept/reject a hello
+  kMeasurement = 3,  ///< agent -> collector: one MeasurementMessage
+  kHeartbeat = 4,    ///< agent -> collector: liveness + slot progress
+  kShardHello = 5,   ///< aggregator -> root: shard id + owned node range
+  kSlotSummary = 6,  ///< aggregator -> root: one compacted slot of a shard
+  kShardStatus = 7,  ///< aggregator -> root: shard staleness census
 };
 
 /// Total frame size for a given payload size.
@@ -76,10 +81,34 @@ constexpr std::size_t measurement_frame_size(std::size_t num_values) {
 inline constexpr std::size_t kHelloPayloadSize = 8;
 
 /// Payload of a hello-ack frame: node (u32) + accepted (u8) + reason (u8) +
-/// reserved (u16).
+/// speaker_version (u8) + reserved (u8). speaker_version carries the acking
+/// peer's kProtocolVersion so rejection logs can name both sides; it
+/// occupies a formerly reserved-zero byte, so acks from older builds decode
+/// as speaker_version 0 ("unreported") rather than misparse.
 inline constexpr std::size_t kHelloAckPayloadSize = 8;
 
 /// Payload of a heartbeat frame: node (u32) + step (u64).
 inline constexpr std::size_t kHeartbeatPayloadSize = 12;
+
+/// Payload of a shard hello: shard (u32) + first_node (u32) + num_nodes
+/// (u32) + num_resources (u32) + protocol (u32). The explicit protocol
+/// field lets the root reject a version skew with a named HelloAck reason
+/// instead of a bare decoder drop.
+inline constexpr std::size_t kShardHelloPayloadSize = 20;
+
+/// Fixed prefix of a slot-summary payload: shard (u32) + step (u64) +
+/// degraded (u32) + num_resources (u32) + count (u32); `count` entries of
+/// (node u32 + num_resources IEEE-754 doubles) follow.
+inline constexpr std::size_t kSlotSummaryHeaderSize = 24;
+
+/// Total slot-summary payload for `count` measurements of dimension d.
+constexpr std::size_t slot_summary_payload_size(std::size_t count,
+                                                std::size_t num_resources) {
+  return kSlotSummaryHeaderSize + count * (4 + 8 * num_resources);
+}
+
+/// Payload of a shard status frame: shard (u32) + live (u32) + stale (u32)
+/// + dead (u32).
+inline constexpr std::size_t kShardStatusPayloadSize = 16;
 
 }  // namespace resmon::net::wire

@@ -1,6 +1,7 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <exception>
 #include <limits>
@@ -11,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "agg/aggregator.hpp"
 #include "common/error.hpp"
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
@@ -373,6 +375,232 @@ void connect_pumping(net::Agent& agent, net::Controller& controller,
                  "scenario: node did not rejoin after restart");
 }
 
+/// One socket-mode fleet: agents -> controller (single tier) or agents ->
+/// aggregators -> root (two tiers). baseline_compare in two-tier mode runs
+/// a second, single-tier fleet of these in lock-step over the same trace —
+/// the bit-identity twin. Not movable: the ManualClock's now_fn closures
+/// capture `this`-adjacent state, so the fleet is built in place.
+struct SocketFleet {
+  ManualClock clock;
+  std::unique_ptr<net::Controller> root;
+  /// Private registries for the aggregators' *internal* controllers: their
+  /// per-node resmon_net_* series would collide with the root's otherwise.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> agg_net_registries;
+  std::vector<std::unique_ptr<agg::Aggregator>> aggs;
+  std::vector<std::size_t> owner;  ///< node -> shard index (two-tier)
+  std::vector<AgentSlot> agents;
+  std::unique_ptr<core::MonitoringPipeline> pipeline;
+  std::uint64_t agent_bytes = 0;
+  std::uint64_t agent_measurements = 0;
+
+  bool two_tier() const { return !aggs.empty(); }
+  /// The controller a node's agent speaks to: its shard's downstream side
+  /// in two-tier mode, the root otherwise.
+  net::Controller& downstream_of(std::size_t node) {
+    return two_tier() ? aggs[owner[node]]->downstream() : *root;
+  }
+
+  /// Keep traffic totals across kills: the Agent object dies with them.
+  void retire(AgentSlot& slot) {
+    agent_bytes += slot.agent->bytes_sent();
+    agent_measurements += slot.agent->measurements_sent();
+    slot.agent.reset();
+  }
+};
+
+/// Build one fleet over `trace` and complete every handshake: shard hellos
+/// first (two-tier), then the whole agent fleet in parallel.
+std::unique_ptr<SocketFleet> make_socket_fleet(const ScenarioSpec& spec,
+                                               const trace::InMemoryTrace& trace,
+                                               obs::MetricsRegistry& registry,
+                                               bool two_tier) {
+  const std::size_t n = trace.num_nodes();
+  const int msps = static_cast<int>(spec.ms_per_slot);
+  auto fleet = std::make_unique<SocketFleet>();
+
+  // The +msps/2 offset keeps thresholds off exact slot multiples: a live
+  // node's silence peaks at whole slots, so it can never tie the limit.
+  const int stale_after_ms =
+      static_cast<int>(spec.stale_after_slots) * msps + msps / 2;
+  const int dead_after_ms =
+      spec.dead_after_slots == 0
+          ? 0
+          : static_cast<int>(spec.dead_after_slots) * msps + msps / 2;
+
+  net::ControllerOptions copt;
+  copt.num_nodes = n;
+  copt.num_resources = trace.num_resources();
+  copt.metrics = &registry;
+  if (two_tier) {
+    // The shard tier owns per-node staleness; the root's degraded-slot
+    // accounting comes from the summaries' degraded counts alone.
+    copt.num_shards = spec.shards;
+  } else {
+    copt.stale_after_ms = stale_after_ms;
+    copt.dead_after_ms = dead_after_ms;
+    copt.staleness_clock = fleet->clock.now_fn();
+  }
+  fleet->root = std::make_unique<net::Controller>(
+      net::Socket::listen_tcp("127.0.0.1", 0), copt);
+
+  if (two_tier) {
+    RESMON_REQUIRE(spec.shards <= n,
+                   "scenario: more shards than nodes in [topology]");
+    fleet->owner.resize(n);
+    for (std::size_t shard = 0; shard < spec.shards; ++shard) {
+      const agg::ShardRange range = agg::shard_range(n, spec.shards, shard);
+      agg::AggregatorOptions aopt;
+      aopt.shard = shard;
+      aopt.first_node = range.first_node;
+      aopt.num_nodes = range.num_nodes;
+      aopt.num_resources = trace.num_resources();
+      aopt.upstream_port = fleet->root->port();
+      aopt.stale_after_ms = stale_after_ms;
+      aopt.dead_after_ms = dead_after_ms;
+      aopt.staleness_clock = fleet->clock.now_fn();
+      aopt.metrics = &registry;  // resmon_agg_* series are shard-labeled
+      fleet->agg_net_registries.push_back(
+          std::make_unique<obs::MetricsRegistry>());
+      aopt.net_metrics = fleet->agg_net_registries.back().get();
+      fleet->aggs.push_back(std::make_unique<agg::Aggregator>(
+          net::Socket::listen_tcp("127.0.0.1", 0), aopt));
+      for (std::size_t node = range.first_node;
+           node < range.first_node + range.num_nodes; ++node) {
+        fleet->owner[node] = shard;
+      }
+      // The shard hello blocks until the root pumps the ack. The main
+      // thread owns the root, so the loop polls only the connector's done
+      // flag — never the aggregator's own state, which the helper thread
+      // is still writing.
+      agg::Aggregator& aggregator = *fleet->aggs.back();
+      std::exception_ptr failure;
+      std::atomic<bool> done{false};
+      std::thread connector([&] {
+        try {
+          aggregator.connect_upstream();
+          // resmon-lint-allow(catch-all-swallow): rethrown after the join
+        } catch (...) {
+          failure = std::current_exception();
+        }
+        done.store(true, std::memory_order_release);
+      });
+      while (!done.load(std::memory_order_acquire)) {
+        fleet->root->pump_idle(10);
+      }
+      connector.join();
+      if (failure != nullptr) std::rethrow_exception(failure);
+    }
+    RESMON_REQUIRE(fleet->root->wait_for_shards(spec.shards, 10000),
+                   "scenario: shard hellos did not finish");
+  }
+
+  core::PipelineOptions popt = pipeline_options(spec, &registry);
+  fleet->pipeline = std::make_unique<core::MonitoringPipeline>(
+      trace, popt, core::ExternalCollection{});
+
+  // Connect the whole fleet: agents block on their hello/ack handshake in
+  // helper threads while the main thread pumps their collectors.
+  fleet->agents.resize(n);
+  {
+    std::vector<std::exception_ptr> failures(n);
+    std::vector<std::thread> connectors;
+    connectors.reserve(n);
+    for (std::size_t node = 0; node < n; ++node) {
+      fleet->agents[node].agent = make_agent(
+          spec, fleet->downstream_of(node).port(), node,
+          trace.num_resources());
+      connectors.emplace_back([&fleet, &failures, node] {
+        try {
+          fleet->agents[node].agent->connect();
+          // resmon-lint-allow(catch-all-swallow): rethrown after the joins
+        } catch (...) {
+          failures[node] = std::current_exception();
+        }
+      });
+    }
+    bool all_in = true;
+    if (two_tier) {
+      for (std::size_t shard = 0; shard < spec.shards; ++shard) {
+        const agg::ShardRange range =
+            agg::shard_range(n, spec.shards, shard);
+        all_in = fleet->aggs[shard]->wait_for_agents(range.num_nodes, 10000)
+                 && all_in;
+      }
+    } else {
+      all_in = fleet->root->wait_for_agents(n, 10000);
+    }
+    for (std::thread& th : connectors) th.join();
+    for (const std::exception_ptr& failure : failures) {
+      if (failure != nullptr) std::rethrow_exception(failure);
+    }
+    RESMON_REQUIRE(all_in, "scenario: fleet did not finish its handshakes");
+  }
+  return fleet;
+}
+
+/// Apply one slot's churn events to a fleet. A restarted agent reconnects
+/// to its original collector (the shard's downstream side in two-tier
+/// mode), which pumps until the node is LIVE again.
+void apply_churn(const ScenarioSpec& spec, SocketFleet& fleet,
+                 const std::vector<ChurnEvent>& events,
+                 std::size_t num_resources) {
+  for (const ChurnEvent& ev : events) {
+    RESMON_REQUIRE(ev.node < fleet.agents.size(),
+                   "scenario: churn node out of range");
+    AgentSlot& slot = fleet.agents[ev.node];
+    if (!ev.restart) {
+      RESMON_REQUIRE(slot.agent != nullptr,
+                     "scenario: kill of an already-dead node");
+      fleet.retire(slot);
+    } else {
+      RESMON_REQUIRE(slot.agent == nullptr,
+                     "scenario: restart of a live node");
+      net::Controller& downstream = fleet.downstream_of(ev.node);
+      slot.agent =
+          make_agent(spec, downstream.port(), ev.node, num_resources);
+      connect_pumping(*slot.agent, downstream, ev.node);
+    }
+  }
+}
+
+/// Complete the fleet's slot-t barrier. The barrier waits for LIVE nodes
+/// only: while a freshly-killed node is still LIVE it cannot complete, so
+/// each timed-out attempt advances the manual clock one slot until the
+/// staleness machine notices the silence and degrades the node. In
+/// two-tier mode the aging happens per shard; the root then consumes one
+/// summary per shard without a staleness machine of its own.
+std::vector<transport::MeasurementMessage> collect_fleet_slot(
+    const ScenarioSpec& spec, SocketFleet& fleet, std::size_t t) {
+  const int msps = static_cast<int>(spec.ms_per_slot);
+  const std::size_t max_attempts = spec.stale_after_slots + 8;
+  if (fleet.two_tier()) {
+    for (auto& aggregator : fleet.aggs) {
+      bool forwarded = false;
+      for (std::size_t attempt = 0; attempt < max_attempts && !forwarded;
+           ++attempt) {
+        forwarded = aggregator->forward_slot(t, 200);
+        if (!forwarded) fleet.clock.advance_ms(msps);
+      }
+      RESMON_REQUIRE(forwarded,
+                     "scenario: shard barrier stuck past the staleness "
+                     "policy");
+    }
+    auto messages = fleet.root->collect_slot(t, 10000);
+    RESMON_REQUIRE(messages.has_value(),
+                   "scenario: root did not receive every shard summary");
+    return *messages;
+  }
+  std::optional<std::vector<transport::MeasurementMessage>> messages;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    messages = fleet.root->collect_slot(t, 200);
+    if (messages.has_value()) break;
+    fleet.clock.advance_ms(msps);
+  }
+  RESMON_REQUIRE(messages.has_value(),
+                 "scenario: slot barrier stuck past the staleness policy");
+  return *messages;
+}
+
 ScenarioResult run_socket(const ScenarioSpec& spec,
                           obs::MetricsRegistry& registry) {
   const trace::SyntheticProfile profile = profile_for(spec);
@@ -382,51 +610,19 @@ ScenarioResult run_socket(const ScenarioSpec& spec,
   const std::size_t n = trace.num_nodes();
   const int msps = static_cast<int>(spec.ms_per_slot);
 
-  ManualClock clock;
-  net::ControllerOptions copt;
-  copt.num_nodes = n;
-  copt.num_resources = trace.num_resources();
-  copt.metrics = &registry;
-  // The +msps/2 offset keeps thresholds off exact slot multiples: a live
-  // node's silence peaks at whole slots, so it can never tie the limit.
-  copt.stale_after_ms =
-      static_cast<int>(spec.stale_after_slots) * msps + msps / 2;
-  if (spec.dead_after_slots != 0) {
-    copt.dead_after_ms =
-        static_cast<int>(spec.dead_after_slots) * msps + msps / 2;
-  }
-  copt.staleness_clock = clock.now_fn();
-  net::Controller controller(net::Socket::listen_tcp("127.0.0.1", 0), copt);
-  const std::uint16_t port = controller.port();
+  auto fleet =
+      make_socket_fleet(spec, trace, registry, spec.tiers == 2);
 
-  core::PipelineOptions popt = pipeline_options(spec, &registry);
-  core::MonitoringPipeline pipeline(trace, popt, core::ExternalCollection{});
-
-  // Connect the whole fleet: agents block on their hello/ack handshake in
-  // helper threads while the main thread pumps the controller.
-  std::vector<AgentSlot> agents(n);
-  {
-    std::vector<std::exception_ptr> failures(n);
-    std::vector<std::thread> connectors;
-    connectors.reserve(n);
-    for (std::size_t node = 0; node < n; ++node) {
-      agents[node].agent =
-          make_agent(spec, port, node, trace.num_resources());
-      connectors.emplace_back([&, node] {
-        try {
-          agents[node].agent->connect();
-          // resmon-lint-allow(catch-all-swallow): rethrown after the joins
-        } catch (...) {
-          failures[node] = std::current_exception();
-        }
-      });
-    }
-    const bool all_in = controller.wait_for_agents(n, 10000);
-    for (std::thread& th : connectors) th.join();
-    for (const std::exception_ptr& failure : failures) {
-      if (failure != nullptr) std::rethrow_exception(failure);
-    }
-    RESMON_REQUIRE(all_in, "scenario: fleet did not finish its handshakes");
+  // The bit-identity twin (two-tier scenarios only, validated at parse
+  // time): a single-tier fleet over the same trace, same churn, its own
+  // clock and registry, driven in lock-step so the divergence gauge
+  // compares the two topologies sample by sample.
+  std::unique_ptr<obs::MetricsRegistry> twin_registry;
+  std::unique_ptr<SocketFleet> twin;
+  if (spec.baseline_compare) {
+    twin_registry = std::make_unique<obs::MetricsRegistry>();
+    twin = make_socket_fleet(spec, trace, *twin_registry,
+                             /*two_tier=*/false);
   }
 
   // Index churn events by slot for the lock-step loop.
@@ -434,71 +630,57 @@ ScenarioResult run_socket(const ScenarioSpec& spec,
   for (const ChurnEvent& ev : spec.churn) churn_at[ev.slot].push_back(ev);
 
   ResultTracker tracker(spec);
-  std::uint64_t agent_bytes = 0;
-  std::uint64_t agent_measurements = 0;
-  const auto retire = [&](AgentSlot& slot) {
-    // Keep traffic totals across kills: the Agent object dies with them.
-    agent_bytes += slot.agent->bytes_sent();
-    agent_measurements += slot.agent->measurements_sent();
-    slot.agent.reset();
-  };
-
+  double divergence = 0.0;
   for (std::size_t t = 0; t < steps; ++t) {
     if (const auto it = churn_at.find(t); it != churn_at.end()) {
-      for (const ChurnEvent& ev : it->second) {
-        RESMON_REQUIRE(ev.node < n, "scenario: churn node out of range");
-        AgentSlot& slot = agents[ev.node];
-        if (!ev.restart) {
-          RESMON_REQUIRE(slot.agent != nullptr,
-                         "scenario: kill of an already-dead node");
-          retire(slot);
-        } else {
-          RESMON_REQUIRE(slot.agent == nullptr,
-                         "scenario: restart of a live node");
-          slot.agent =
-              make_agent(spec, port, ev.node, trace.num_resources());
-          connect_pumping(*slot.agent, controller, ev.node);
-        }
+      apply_churn(spec, *fleet, it->second, trace.num_resources());
+      if (twin != nullptr) {
+        apply_churn(spec, *twin, it->second, trace.num_resources());
       }
     }
 
     // Lock-step: every live agent writes its slot-t frame (measurement or
-    // heartbeat) before the controller starts collecting, so the first
-    // pump below touches every live node at the *current* manual time.
-    for (std::size_t node = 0; node < n; ++node) {
-      if (agents[node].agent == nullptr) continue;
-      agents[node].agent->observe(t, trace.measurement(node, t));
+    // heartbeat) before the collectors start, so the first pump below
+    // touches every live node at the *current* manual time.
+    for (SocketFleet* f : {fleet.get(), twin.get()}) {
+      if (f == nullptr) continue;
+      for (std::size_t node = 0; node < n; ++node) {
+        if (f->agents[node].agent == nullptr) continue;
+        f->agents[node].agent->observe(t, trace.measurement(node, t));
+      }
+      f->clock.advance_ms(msps);
+      f->pipeline->step_external(collect_fleet_slot(spec, *f, t));
     }
-    clock.advance_ms(msps);
 
-    // The barrier waits for LIVE nodes only. While a freshly-killed node
-    // is still LIVE the barrier cannot complete — each timed-out attempt
-    // advances the manual clock one slot until the staleness machine
-    // notices the silence and degrades the node.
-    std::optional<std::vector<transport::MeasurementMessage>> messages;
-    const std::size_t max_attempts = spec.stale_after_slots + 8;
-    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-      messages = controller.collect_slot(t, 200);
-      if (messages.has_value()) break;
-      clock.advance_ms(msps);
-    }
-    RESMON_REQUIRE(messages.has_value(),
-                   "scenario: slot barrier stuck past the staleness policy");
-    pipeline.step_external(*messages);
-    tracker.score(pipeline, t);
+    tracker.score(*fleet->pipeline, t);
     if ((t + 1) % spec.sample_every == 0 || t + 1 == steps) {
       tracker.sample(registry);
+      if (twin != nullptr) {
+        // h = 0 compares the stored central view, h >= 1 the forecasts.
+        divergence = std::max(
+            divergence, max_abs_diff(fleet->pipeline->forecast_all(0),
+                                     twin->pipeline->forecast_all(0)));
+        for (const std::size_t h : spec.horizons) {
+          if (t + h >= trace.num_steps()) continue;
+          divergence = std::max(
+              divergence, max_abs_diff(fleet->pipeline->forecast_all(h),
+                                       twin->pipeline->forecast_all(h)));
+        }
+      }
     }
   }
 
-  for (AgentSlot& slot : agents) {
-    if (slot.agent != nullptr) retire(slot);
+  for (SocketFleet* f : {fleet.get(), twin.get()}) {
+    if (f == nullptr) continue;
+    for (AgentSlot& slot : f->agents) {
+      if (slot.agent != nullptr) f->retire(slot);
+    }
   }
   const double traffic =
-      static_cast<double>(agent_measurements) /
+      static_cast<double>(fleet->agent_measurements) /
       (static_cast<double>(n) * static_cast<double>(steps));
-  tracker.publish(spec, registry, pipeline, steps, traffic,
-                  static_cast<double>(agent_bytes), 0.0);
+  tracker.publish(spec, registry, *fleet->pipeline, steps, traffic,
+                  static_cast<double>(fleet->agent_bytes), divergence);
 
   ScenarioResult result;
   result.name = spec.name;

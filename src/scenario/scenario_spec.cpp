@@ -218,8 +218,8 @@ ScenarioSpec ScenarioSpec::parse(std::istream& in, const std::string& origin) {
       }
       section = line.substr(1, line.size() - 2);
       static const std::vector<std::string> kSections = {
-          "trace", "pipeline", "faults", "controller", "churn", "run",
-          "assert"};
+          "trace", "pipeline", "faults", "controller", "topology", "churn",
+          "run", "assert"};
       if (std::find(kSections.begin(), kSections.end(), section) ==
           kSections.end()) {
         throw InvalidArgument(context + ": unknown section [" + section + "]");
@@ -313,6 +313,15 @@ ScenarioSpec ScenarioSpec::parse(std::istream& in, const std::string& origin) {
         throw InvalidArgument(context + ": unknown [controller] key '" + key +
                               "'");
       }
+    } else if (section == "topology") {
+      if (key == "tiers") {
+        spec.tiers = parse_size(context, value);
+      } else if (key == "shards") {
+        spec.shards = parse_size(context, value);
+      } else {
+        throw InvalidArgument(context + ": unknown [topology] key '" + key +
+                              "' (want tiers or shards)");
+      }
     } else if (section == "churn") {
       if (key == "kill") {
         spec.churn.push_back(parse_churn(value, /*restart=*/false, context));
@@ -371,9 +380,23 @@ ScenarioSpec ScenarioSpec::parse(std::istream& in, const std::string& origin) {
                           ": [faults] applies to the in-process link; use "
                           "[churn] in socket mode");
   }
-  if (spec.socket_mode && spec.baseline_compare) {
+  if (spec.tiers != 1 && spec.tiers != 2) {
+    throw InvalidArgument(origin + ": tiers must be 1 or 2");
+  }
+  if (spec.tiers == 2 && !spec.socket_mode) {
     throw InvalidArgument(origin +
-                          ": baseline_compare is in-process only");
+                          ": tiers = 2 requires a [controller] section");
+  }
+  if (spec.tiers == 2 && spec.shards == 0) {
+    throw InvalidArgument(origin + ": shards must be >= 1");
+  }
+  // In socket mode the fault-free twin only exists for two-tier scenarios,
+  // where it is the single-tier fleet the bit-identity invariant compares
+  // against.
+  if (spec.socket_mode && spec.baseline_compare && spec.tiers != 2) {
+    throw InvalidArgument(origin +
+                          ": baseline_compare in socket mode requires "
+                          "tiers = 2 (it runs the single-tier twin)");
   }
   // A restart only makes sense after a kill of the same node.
   for (const ChurnEvent& ev : spec.churn) {

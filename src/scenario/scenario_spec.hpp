@@ -40,6 +40,10 @@
 //   dead_after_slots = 8              # (socket mode); absent = in-process
 //   ms_per_slot = 100                 # manual-clock milliseconds per slot
 //
+//   [topology]                        # optional; socket mode only
+//   tiers = 2                         # 1 = agents -> controller (default);
+//   shards = 2                        # 2 = agents -> aggregators -> root
+//
 //   [churn]                           # socket mode only; repeatable keys
 //   kill = 2:20                       # node 2 dies at slot 20
 //   restart = 2:50                    # node 2 rejoins at slot 50
@@ -144,6 +148,11 @@ struct ScenarioSpec {
   std::size_t stale_after_slots = 0;
   std::size_t dead_after_slots = 0;
   std::size_t ms_per_slot = 100;
+
+  // [topology] — optional; tiers = 2 inserts an aggregator tier between
+  // the agents and the root (socket mode only).
+  std::size_t tiers = 1;
+  std::size_t shards = 2;  ///< aggregator count when tiers == 2
 
   // [churn]
   std::vector<ChurnEvent> churn;

@@ -8,6 +8,7 @@
 // no sleeps, no wall-clock deadlines, no flakes.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "agg/aggregator.hpp"
 #include "collect/fleet_collector.hpp"
 #include "faultnet/agent_hook.hpp"
 #include "golden_fixture.hpp"
@@ -172,6 +174,109 @@ TEST(Degradation, RejoiningNodeIsPromotedBackToLive) {
   ASSERT_EQ(messages->size(), 1u);
   EXPECT_EQ(controller.node_state(0), NodeState::kLive);
   EXPECT_EQ(controller.rejoins(), 1u);
+}
+
+TEST(Degradation, AggregatorShardStalenessPropagatesToRootAccounting) {
+  // Two-tier twin of SilentNodeGoesStaleThenDead: the same 2-node fleet and
+  // the same quiet death, but the agents now front an Aggregator whose
+  // local staleness machine (same ManualClock thresholds) must (a) degrade
+  // the shard barrier locally and (b) propagate the verdict upstream so
+  // the root's degraded-slot accounting matches the single-tier run
+  // exactly — 1 stale transition, 1 dead transition, kSlots - kQuitAfter
+  // degraded slots.
+  constexpr std::size_t kSlots = 10;
+  constexpr std::size_t kQuitAfter = 5;
+  const trace::InMemoryTrace trace =
+      resmon::testing::make_golden_trace("alibaba", 2, kSlots, 21);
+
+  // Root: staleness disabled — in a two-tier topology the shard owns
+  // per-node silence; the root only consumes summary degraded counts.
+  obs::MetricsRegistry root_registry;
+  ControllerOptions copts;
+  copts.num_nodes = 2;
+  copts.num_resources = trace.num_resources();
+  copts.num_shards = 1;
+  copts.metrics = &root_registry;
+  Controller root(Socket::listen_tcp("127.0.0.1", 0), copts);
+
+  scenario::ManualClock clock;
+  agg::AggregatorOptions aopts;
+  aopts.shard = 0;
+  aopts.first_node = 0;
+  aopts.num_nodes = 2;
+  aopts.num_resources = trace.num_resources();
+  aopts.upstream_port = root.port();
+  aopts.stale_after_ms = kMsPerSlot + kMsPerSlot / 2;
+  aopts.dead_after_ms = 4 * kMsPerSlot + kMsPerSlot / 2;
+  aopts.staleness_clock = clock.now_fn();
+  aopts.status_every_slots = 0;  // censuses only when asked below
+  agg::Aggregator aggregator(Socket::listen_tcp("127.0.0.1", 0), aopts);
+
+  // Pump the root until the connector thread reports the handshake done —
+  // polling the aggregator's own state here would race its writer thread.
+  std::atomic<bool> hello_done{false};
+  std::thread connector([&] {
+    aggregator.connect_upstream();
+    hello_done.store(true, std::memory_order_release);
+  });
+  while (!hello_done.load(std::memory_order_acquire)) root.pump_idle(10);
+  connector.join();
+  ASSERT_TRUE(aggregator.upstream_connected());
+
+  auto agents =
+      connect_fleet(aggregator.downstream(), 2, trace.num_resources());
+  transport::CentralStore store(2, trace.num_resources());
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    if (t == kQuitAfter) agents[1].reset();  // the quiet death
+    for (std::size_t node = 0; node < 2; ++node) {
+      if (agents[node]) agents[node]->observe(t, trace.measurement(node, t));
+    }
+    clock.advance_ms(kMsPerSlot);
+    // Shard-side barrier with the same aging retries as the single-tier
+    // collect_aging: a timed-out attempt forwards nothing, the clock ages
+    // one slot, and the retry lets staleness unblock the barrier.
+    bool forwarded = false;
+    for (int attempt = 0; attempt < 16 && !forwarded; ++attempt) {
+      forwarded = aggregator.forward_slot(t, 200);
+      if (!forwarded) clock.advance_ms(kMsPerSlot);
+    }
+    ASSERT_TRUE(forwarded) << "shard slot " << t << " timed out";
+    auto messages = root.collect_slot(t, 5000);
+    ASSERT_TRUE(messages.has_value()) << "root slot " << t << " timed out";
+    // Post-death slots deliver exactly the surviving node's measurement,
+    // the same as the single-tier barrier skipping the silent node.
+    EXPECT_EQ(messages->size(), t >= kQuitAfter ? 1u : 2u) << "slot " << t;
+    for (const auto& m : *messages) store.apply(m);
+  }
+
+  // The shard saw the same transition timeline as the single-tier twin...
+  const Controller& shard = aggregator.downstream();
+  EXPECT_EQ(shard.stale_transitions(), 1u);
+  EXPECT_EQ(shard.dead_transitions(), 1u);
+  EXPECT_EQ(shard.degraded_slots(), kSlots - kQuitAfter);
+  EXPECT_EQ(shard.node_state(1), NodeState::kDead);
+  EXPECT_EQ(shard.node_state(0), NodeState::kLive);
+
+  // ...every degraded verdict rode its slot summary upstream...
+  EXPECT_EQ(aggregator.degraded_slots_forwarded(), kSlots - kQuitAfter);
+
+  // ...and the root's accounting matches the single-tier run exactly,
+  // without running a staleness machine of its own.
+  EXPECT_EQ(root.degraded_slots(), kSlots - kQuitAfter);
+  EXPECT_EQ(root.summaries_received(), kSlots);
+
+  // Sample-and-hold survives the extra tier: the dead node's last sample
+  // reached the root and stays in the store.
+  EXPECT_TRUE(store.has(1));
+  EXPECT_EQ(store.last_update_step(1), kQuitAfter - 1);
+
+  // A census reports the shard's verdicts on the root's exposition.
+  aggregator.send_status();
+  root.pump_idle(50);
+  const std::string text = root_registry.render_text();
+  EXPECT_NE(text.find("resmon_net_shard_dead_nodes{shard=\"0\"} 1"),
+            std::string::npos)
+      << text;
 }
 
 TEST(Degradation, BlockHookDiscardsPartitionWindowFrames) {

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "agg/aggregator.hpp"
 #include "core/pipeline.hpp"
 #include "net/agent.hpp"
 #include "net/controller.hpp"
@@ -46,15 +47,27 @@ obs::MetricsRegistry& populated_registry() {
   popts.faults = faultnet::FaultSpec::parse("drop=0.01;seed=1");
   static core::MonitoringPipeline pipeline(trace, popts);
 
-  // Socket controller with the staleness policy on (resmon_net_*).
+  // Socket controller with the staleness policy on (resmon_net_*), in
+  // shard mode so the two-tier root families register too.
   net::ControllerOptions copts;
   copts.num_nodes = 1;
   copts.num_resources = trace.num_resources();
   copts.metrics = &registry;
   copts.stale_after_ms = 1000;
   copts.dead_after_ms = 2000;
+  copts.num_shards = 1;
   static net::Controller controller(net::Socket::listen_tcp("127.0.0.1", 0),
                                     copts);
+
+  // Aggregator tier (resmon_agg_*); its internal controller's registry is
+  // left unset — the shard-mode controller above already covers those.
+  agg::AggregatorOptions gopts;
+  gopts.num_nodes = 1;
+  gopts.num_resources = trace.num_resources();
+  gopts.upstream_port = controller.port();  // never dialed: no connect here
+  gopts.metrics = &registry;
+  static agg::Aggregator aggregator(net::Socket::listen_tcp("127.0.0.1", 0),
+                                    gopts);
 
   // Agent-side families register at construction, no connect needed.
   net::AgentOptions aopts;

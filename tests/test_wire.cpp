@@ -247,6 +247,245 @@ TEST(Wire, PoisonedDecoderStaysPoisoned) {
   EXPECT_EQ(dec.error(), WireError::kBadMagic);
 }
 
+// -- shard frames (two-tier topology) ---------------------------------------
+
+TEST(Wire, ShardHelloRoundTrip) {
+  const auto sh = std::get<ShardHelloFrame>(decode_one(
+      encode(ShardHelloFrame{.shard = 3,
+                             .first_node = 96,
+                             .num_nodes = 32,
+                             .num_resources = 2,
+                             .protocol = kProtocolVersion})));
+  EXPECT_EQ(sh.shard, 3u);
+  EXPECT_EQ(sh.first_node, 96u);
+  EXPECT_EQ(sh.num_nodes, 32u);
+  EXPECT_EQ(sh.num_resources, 2u);
+  EXPECT_EQ(sh.protocol, kProtocolVersion);
+}
+
+TEST(Wire, HelloAckCarriesSpeakerVersion) {
+  const auto ack = std::get<HelloAckFrame>(decode_one(encode(
+      HelloAckFrame{.node = 1, .accepted = false, .reason = 6,
+                    .speaker_version = 9})));
+  EXPECT_EQ(ack.reason, 6u);
+  EXPECT_EQ(ack.speaker_version, 9u);
+  // The default-constructed ack reports this build's protocol version.
+  const auto dflt = std::get<HelloAckFrame>(
+      decode_one(encode(HelloAckFrame{.node = 0, .accepted = true})));
+  EXPECT_EQ(dflt.speaker_version, kProtocolVersion);
+}
+
+TEST(Wire, SlotSummaryRoundTripIsExactIdentity) {
+  SlotSummaryFrame s;
+  s.shard = 1;
+  s.step = (1ull << 41) + 17;
+  s.degraded = 2;
+  s.num_resources = 3;
+  s.measurements.push_back(sample_message(
+      4, static_cast<std::size_t>(s.step),
+      {0.25, std::numeric_limits<double>::quiet_NaN(), -0.0}));
+  s.measurements.push_back(sample_message(
+      5, static_cast<std::size_t>(s.step), {-1e308, 3.5e-320, 2.5}));
+
+  const std::vector<std::uint8_t> bytes = encode(s);
+  EXPECT_EQ(bytes.size(),
+            frame_size(slot_summary_payload_size(2, s.num_resources)));
+  const auto got = std::get<SlotSummaryFrame>(decode_one(bytes));
+  EXPECT_EQ(got.shard, s.shard);
+  EXPECT_EQ(got.step, s.step);
+  EXPECT_EQ(got.degraded, s.degraded);
+  EXPECT_EQ(got.num_resources, s.num_resources);
+  ASSERT_EQ(got.measurements.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(got.measurements[i].node, s.measurements[i].node);
+    // Each decoded entry inherits the summary's step.
+    EXPECT_EQ(got.measurements[i].step, static_cast<std::size_t>(s.step));
+    ASSERT_EQ(got.measurements[i].values.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.measurements[i].values[r]),
+                std::bit_cast<std::uint64_t>(s.measurements[i].values[r]))
+          << "entry " << i << " value " << r;
+    }
+  }
+}
+
+TEST(Wire, EmptySlotSummaryRoundTrips) {
+  // Every shard agent stayed silent this slot: the summary still travels
+  // (it IS the shard's progress signal) with zero entries.
+  SlotSummaryFrame s;
+  s.shard = 0;
+  s.step = 7;
+  s.num_resources = 4;
+  const auto got = std::get<SlotSummaryFrame>(decode_one(encode(s)));
+  EXPECT_EQ(got.step, 7u);
+  EXPECT_EQ(got.degraded, 0u);
+  EXPECT_TRUE(got.measurements.empty());
+}
+
+TEST(Wire, ShardStatusRoundTrip) {
+  const auto st = std::get<ShardStatusFrame>(decode_one(encode(
+      ShardStatusFrame{.shard = 2, .live = 30, .stale = 1, .dead = 1})));
+  EXPECT_EQ(st.shard, 2u);
+  EXPECT_EQ(st.live, 30u);
+  EXPECT_EQ(st.stale, 1u);
+  EXPECT_EQ(st.dead, 1u);
+}
+
+TEST(Wire, ShardFrameTruncationAtEveryByteBoundaryIsDetected) {
+  SlotSummaryFrame s;
+  s.shard = 1;
+  s.step = 9;
+  s.num_resources = 2;
+  s.measurements.push_back(sample_message(0, 9, {1.0, 2.0}));
+  for (const auto& bytes :
+       {encode(ShardHelloFrame{.shard = 0, .num_nodes = 3,
+                               .num_resources = 2}),
+        encode(s), encode(ShardStatusFrame{.shard = 0, .live = 3})}) {
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+      FrameDecoder dec;
+      ASSERT_TRUE(dec.feed({bytes.data(), cut})) << "cut=" << cut;
+      EXPECT_FALSE(dec.next().has_value()) << "cut=" << cut;
+      EXPECT_FALSE(dec.finish()) << "cut=" << cut;
+      EXPECT_EQ(dec.error(), WireError::kTruncated) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(Wire, EveryCorruptedShardFrameByteIsCaughtByTheCrc) {
+  SlotSummaryFrame s;
+  s.shard = 0;
+  s.step = 3;
+  s.num_resources = 1;
+  s.measurements.push_back(sample_message(1, 3, {4.0}));
+  const std::vector<std::uint8_t> clean = encode(s);
+  for (std::size_t i = kHeaderSize; i < clean.size(); ++i) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes[i] ^= 0x40;
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(bytes)) << "byte " << i;
+    EXPECT_EQ(dec.error(), WireError::kCrcMismatch) << "byte " << i;
+  }
+}
+
+/// Patch a 32-bit little-endian field inside the payload and fix up the
+/// header CRC, so only the structural validation can reject the frame.
+std::vector<std::uint8_t> with_patched_field(std::vector<std::uint8_t> bytes,
+                                             std::size_t payload_offset,
+                                             std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[kHeaderSize + payload_offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  const std::uint32_t crc =
+      crc32({bytes.data() + kHeaderSize, bytes.size() - kHeaderSize});
+  for (int i = 0; i < 4; ++i) {
+    bytes[12 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  return bytes;
+}
+
+TEST(Wire, HostileSlotSummaryCountIsMalformed) {
+  SlotSummaryFrame s;
+  s.num_resources = 2;
+  s.measurements.push_back(sample_message(0, 0, {1.0, 2.0}));
+  // count claims 2^31 entries; the payload holds one. The size check must
+  // reject this without multiplying into an overflow.
+  const std::vector<std::uint8_t> bytes =
+      with_patched_field(encode(s), 20, 1u << 31);
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kMalformedPayload);
+}
+
+TEST(Wire, HostileSlotSummaryDimensionIsMalformed) {
+  SlotSummaryFrame s;
+  s.num_resources = 2;
+  s.measurements.push_back(sample_message(0, 0, {1.0, 2.0}));
+  const std::vector<std::uint8_t> bytes =
+      with_patched_field(encode(s), 16, 0xFFFFFFFFu);
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kMalformedPayload);
+}
+
+TEST(Wire, SlotSummaryCountDimensionMismatchIsMalformed) {
+  // Internally consistent-looking fields whose product disagrees with the
+  // actual payload length by one entry.
+  SlotSummaryFrame s;
+  s.num_resources = 2;
+  s.measurements.push_back(sample_message(0, 0, {1.0, 2.0}));
+  s.measurements.push_back(sample_message(1, 0, {3.0, 4.0}));
+  const std::vector<std::uint8_t> bytes =
+      with_patched_field(encode(s), 20, 3);  // claims 3 entries, holds 2
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kMalformedPayload);
+}
+
+TEST(Wire, WrongSizeShardControlPayloadsAreMalformed) {
+  // Shrink each fixed-size shard frame by one payload byte (fixing length
+  // field + CRC) — the per-type size check must reject it.
+  for (const auto& clean :
+       {encode(ShardHelloFrame{.shard = 1, .num_nodes = 2,
+                               .num_resources = 1}),
+        encode(ShardStatusFrame{.shard = 1, .live = 2})}) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes.pop_back();
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(bytes.size() - kHeaderSize);
+    for (int i = 0; i < 4; ++i) {
+      bytes[8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(len >> (8 * i));
+    }
+    const std::uint32_t crc =
+        crc32({bytes.data() + kHeaderSize, bytes.size() - kHeaderSize});
+    for (int i = 0; i < 4; ++i) {
+      bytes[12 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(bytes));
+    EXPECT_EQ(dec.error(), WireError::kMalformedPayload);
+  }
+}
+
+TEST(Wire, FrameTypePastShardStatusIsUnknown) {
+  // Type 8 is the first unassigned id of protocol v1: a build from the
+  // future must be rejected as kUnknownFrameType, not misparsed.
+  std::vector<std::uint8_t> bytes = encode(ShardStatusFrame{.shard = 0});
+  bytes[5] = 8;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), WireError::kUnknownFrameType);
+}
+
+TEST(Wire, HelloRejectNamesAreStable) {
+  EXPECT_STREQ(hello_reject_name(0), "accepted");
+  EXPECT_STREQ(hello_reject_name(1), "node id out of range");
+  EXPECT_STREQ(hello_reject_name(6), "wire protocol version mismatch");
+  EXPECT_STREQ(hello_reject_name(7),
+               "shard hello to a single-tier controller");
+  EXPECT_STREQ(hello_reject_name(200), "unknown reason");
+}
+
+TEST(Wire, DescribeHelloRejectNamesBothVersionsOnMismatch) {
+  const std::string described = describe_hello_reject(
+      static_cast<std::uint8_t>(HelloReject::kVersionMismatch), 3);
+  EXPECT_NE(described.find("version mismatch"), std::string::npos);
+  EXPECT_NE(described.find("v" + std::to_string(kProtocolVersion)),
+            std::string::npos);
+  EXPECT_NE(described.find("v3"), std::string::npos);
+  // An ack from a build predating the speaker_version byte reports 0.
+  const std::string legacy = describe_hello_reject(
+      static_cast<std::uint8_t>(HelloReject::kVersionMismatch), 0);
+  EXPECT_NE(legacy.find("unreported"), std::string::npos);
+  // Non-version rejections stay a plain named reason.
+  const std::string plain = describe_hello_reject(
+      static_cast<std::uint8_t>(HelloReject::kDimensionMismatch), 0);
+  EXPECT_EQ(plain, "reason 2: dimension mismatch");
+}
+
 TEST(Wire, Crc32MatchesTheIeeeCheckValue) {
   // The canonical check string from the CRC-32/ISO-HDLC specification.
   const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};

@@ -9,7 +9,7 @@
 //   resmon_controller --port 0 --nodes 8 --steps 200 --dataset alibaba
 //       --seed 1 [--b 0.3] [--k 3] [--model hold] [--threads 1]
 //       [--stale-after-ms MS] [--dead-after-ms MS] [--fault-spec SPEC]
-//       [--metrics-port 0] [--metrics-linger-ms 2000]
+//       [--shards M] [--metrics-port 0] [--metrics-linger-ms 2000]
 //       [--metrics-out file.prom] [--trace-out file.jsonl] [--version]
 //
 // --stale-after-ms/--dead-after-ms enable graceful degradation: a node
@@ -26,7 +26,11 @@
 //   resmon_controller metrics endpoint on 127.0.0.1:PORT
 // — a distinct phrasing so port-parsing scripts cannot confuse the two);
 // --metrics-linger-ms keeps the endpoint answering scrapes after the slot
-// loop, returning early once one scrape lands.
+// loop, returning early once one scrape lands. --shards M runs the
+// two-tier root: M resmon_aggregator processes front the agents and the
+// controller consumes their compacted slot summaries instead of direct
+// agent frames (README "Networked quickstart", DESIGN.md "Hierarchical
+// collection").
 #include <cmath>
 #include <iostream>
 
@@ -60,6 +64,12 @@ int main(int argc, char** argv) {
     copts.stale_after_ms =
         static_cast<int>(args.get_int("stale-after-ms", 0));
     copts.dead_after_ms = static_cast<int>(args.get_int("dead-after-ms", 0));
+    // --shards M enables the two-tier root: M resmon_aggregator processes
+    // connect with shard hellos and forward compacted slot summaries.
+    copts.num_shards = static_cast<std::size_t>(args.get_int("shards", 0));
+    copts.log_sink = [](const std::string& line) {
+      std::cerr << "resmon_controller: " << line << "\n";
+    };
     if (args.has("fault-spec")) {
       copts.block_hook = faultnet::make_controller_block_hook(
           faultnet::FaultSpec::parse(args.get("fault-spec", "")), &registry);
@@ -81,14 +91,27 @@ int main(int argc, char** argv) {
     }
 
     const int wait_ms = static_cast<int>(args.get_int("wait-ms", 30000));
+    if (copts.num_shards > 0 &&
+        !controller.wait_for_shards(copts.num_shards, wait_ms)) {
+      std::cerr << "resmon_controller: only " << controller.shards_seen()
+                << "/" << copts.num_shards << " shards connected within "
+                << wait_ms << " ms\n";
+      return 1;
+    }
     if (!controller.wait_for_agents(trace.num_nodes(), wait_ms)) {
       std::cerr << "resmon_controller: only " << controller.nodes_seen()
                 << "/" << trace.num_nodes() << " agents connected within "
                 << wait_ms << " ms\n";
       return 1;
     }
-    std::cout << "all " << trace.num_nodes() << " agents connected\n"
-              << std::flush;
+    if (copts.num_shards > 0) {
+      std::cout << "all " << copts.num_shards << " shards connected ("
+                << trace.num_nodes() << " nodes fronted)\n"
+                << std::flush;
+    } else {
+      std::cout << "all " << trace.num_nodes() << " agents connected\n"
+                << std::flush;
+    }
 
     core::PipelineOptions popts;
     popts.max_frequency = args.get_double("b", 0.3);
@@ -145,6 +168,11 @@ int main(int argc, char** argv) {
               << freq << " frames/node/slot)\n"
               << "store complete:    " << (complete ? "yes" : "no") << "\n"
               << "forecast RMSE h=1: " << rmse << "\n";
+    if (copts.num_shards > 0) {
+      std::cout << "shard summaries:   " << controller.summaries_received()
+                << " (" << controller.summary_measurements()
+                << " measurements)\n";
+    }
     if (copts.stale_after_ms > 0 || copts.block_hook) {
       std::cout << "degradation:       " << controller.stale_transitions()
                 << " stale, " << controller.dead_transitions() << " dead, "
