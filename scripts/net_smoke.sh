@@ -19,20 +19,29 @@
 # nonzero resmon_net_frames_total and resmon_net_slots_total — proving the
 # observability path works end to end, not just that the run completed.
 #
-# Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED] [--tiers 1|2]
+# Real-host leg (--source procfs): one agent samples its own process tree
+# from the live kernel while recording, then the recording is replayed
+# through a fresh controller; the leg asserts nonzero
+# resmon_host_samples_total, zero parse errors, and a bit-identical h=1
+# RMSE between the live and replayed runs.
+#
+# Usage: scripts/net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED]
+#        [--tiers 1|2] [--source trace|procfs]
 set -euo pipefail
 
 TIERS=1
+SOURCE=trace
 POSITIONAL=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --tiers) TIERS=${2:?--tiers needs a value}; shift 2 ;;
+    --source) SOURCE=${2:?--source needs a value}; shift 2 ;;
     *) POSITIONAL+=("$1"); shift ;;
   esac
 done
 set -- "${POSITIONAL[@]}"
 
-BUILD_DIR=${1:?usage: net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED] [--tiers 1|2]}
+BUILD_DIR=${1:?usage: net_smoke.sh BUILD_DIR [NODES] [STEPS] [SEED] [--tiers 1|2] [--source trace|procfs]}
 if [ "$TIERS" = 2 ]; then DEFAULT_NODES=6; else DEFAULT_NODES=8; fi
 NODES=${2:-$DEFAULT_NODES}
 STEPS=${3:-200}
@@ -51,13 +60,6 @@ fi
 WORK=$(mktemp -d)
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
-SHARD_FLAGS=()
-if [ "$TIERS" = 2 ]; then SHARD_FLAGS=(--shards "$SHARDS"); fi
-"$CONTROLLER" --port 0 --nodes "$NODES" --steps "$STEPS" --seed "$SEED" \
-  --metrics-port 0 --metrics-linger-ms 8000 "${SHARD_FLAGS[@]}" \
-  > "$WORK/controller.log" 2>&1 &
-CONTROLLER_PID=$!
-
 # Wait for "<name> listening on HOST:PORT" (or the "metrics endpoint on"
 # variant — a distinct phrasing so neither grep can pick up the other's
 # port) in a log file and print the resolved port.
@@ -72,6 +74,80 @@ wait_for_port() {
   done
   return 1
 }
+
+# --source procfs: the real-host collection leg (DESIGN.md "Host
+# collection"). One agent samples its own process tree from the live
+# kernel while recording the series; the controller runs with
+# --resources 4 because there is no ground-truth trace for real
+# measurements (only rmse_finite matters). The recording is then
+# replayed through a fresh controller, and both runs must print the
+# same h=1 forecast RMSE — record/replay determinism over real TCP.
+if [ "$SOURCE" = procfs ]; then
+  STEPS=${3:-40}
+  run_leg() {
+    local tag=$1; shift
+    "$CONTROLLER" --port 0 --nodes 1 --resources 4 --k 1 --steps "$STEPS" \
+      > "$WORK/ctrl_$tag.log" 2>&1 &
+    local ctrl_pid=$!
+    local port
+    port=$(wait_for_port "$WORK/ctrl_$tag.log" \
+      'resmon_controller listening on' "$ctrl_pid") || {
+      echo "$tag controller never announced its port:" >&2
+      cat "$WORK/ctrl_$tag.log" >&2
+      return 1
+    }
+    "$AGENT" --port "$port" --node 0 --steps "$STEPS" "$@" \
+      --metrics-out "$WORK/agent_$tag.prom" > "$WORK/agent_$tag.log" 2>&1 || {
+      echo "$tag agent failed:" >&2
+      cat "$WORK/agent_$tag.log" >&2
+      return 1
+    }
+    wait "$ctrl_pid" || { cat "$WORK/ctrl_$tag.log" >&2; return 1; }
+    grep -q 'RESULT complete=1 rmse_finite=1' "$WORK/ctrl_$tag.log" || {
+      echo "$tag controller result line missing or not clean" >&2
+      cat "$WORK/ctrl_$tag.log" >&2
+      return 1
+    }
+  }
+
+  run_leg live --source procfs --pid self --interval-ms 20 \
+    --record "$WORK/host.rec" || exit 1
+  grep -qE '^resmon_host_samples_total [1-9]' "$WORK/agent_live.prom" || {
+    echo "agent never produced live host samples" >&2
+    cat "$WORK/agent_live.prom" >&2
+    exit 1
+  }
+  grep -qE '^resmon_host_parse_errors_total 0$' "$WORK/agent_live.prom" || {
+    echo "live sampling hit procfs parse errors" >&2
+    exit 1
+  }
+  [ -s "$WORK/host.rec" ] || { echo "recording missing or empty" >&2; exit 1; }
+
+  run_leg replay --source replay --replay "$WORK/host.rec" || exit 1
+  LIVE_RMSE=$(grep 'forecast RMSE h=1:' "$WORK/ctrl_live.log")
+  REPLAY_RMSE=$(grep 'forecast RMSE h=1:' "$WORK/ctrl_replay.log")
+  [ -n "$LIVE_RMSE" ] && [ "$LIVE_RMSE" = "$REPLAY_RMSE" ] || {
+    echo "replay diverged from the live run:" >&2
+    echo "  live:   $LIVE_RMSE" >&2
+    echo "  replay: $REPLAY_RMSE" >&2
+    exit 1
+  }
+  SAMPLES=$(grep -E '^resmon_host_samples_total' "$WORK/agent_live.prom" \
+              | awk '{print $2}')
+  echo "--- live controller ---"
+  cat "$WORK/ctrl_live.log"
+  echo "replay reproduced the live run ($LIVE_RMSE)"
+  echo "net smoke test OK (procfs source, $SAMPLES host samples," \
+       "$STEPS slots, record/replay RMSE identical)"
+  exit 0
+fi
+
+SHARD_FLAGS=()
+if [ "$TIERS" = 2 ]; then SHARD_FLAGS=(--shards "$SHARDS"); fi
+"$CONTROLLER" --port 0 --nodes "$NODES" --steps "$STEPS" --seed "$SEED" \
+  --metrics-port 0 --metrics-linger-ms 8000 "${SHARD_FLAGS[@]}" \
+  > "$WORK/controller.log" 2>&1 &
+CONTROLLER_PID=$!
 
 PORT=$(wait_for_port "$WORK/controller.log" \
   'resmon_controller listening on' "$CONTROLLER_PID") &&

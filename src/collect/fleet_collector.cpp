@@ -34,19 +34,59 @@ class AlwaysTransmitter final : public TransmitPolicy {
 
 }  // namespace
 
+namespace {
+
+std::vector<std::unique_ptr<MeasurementSource>> sources_over_trace(
+    const trace::Trace& trace) {
+  std::vector<std::unique_ptr<MeasurementSource>> sources;
+  sources.reserve(trace.num_nodes());
+  for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+    sources.push_back(std::make_unique<TraceSource>(trace, i));
+  }
+  return sources;
+}
+
+/// Contract checks that must run before the member initializers touch
+/// sources.front() (the CentralStore is sized from it).
+std::vector<std::unique_ptr<MeasurementSource>> validate_sources(
+    std::vector<std::unique_ptr<MeasurementSource>> sources) {
+  RESMON_REQUIRE(!sources.empty(), "FleetCollector needs >= 1 source");
+  for (const auto& source : sources) {
+    RESMON_REQUIRE(source != nullptr, "null MeasurementSource");
+    RESMON_REQUIRE(
+        source->num_resources() == sources.front()->num_resources(),
+        "MeasurementSources disagree on num_resources");
+  }
+  return sources;
+}
+
+}  // namespace
+
 FleetCollector::FleetCollector(
     const trace::Trace& trace,
     const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
     const transport::ChannelOptions& channel_options, ThreadPool* pool,
     std::unique_ptr<transport::Link> link, obs::MetricsRegistry* metrics)
-    : trace_(trace),
+    : FleetCollector(sources_over_trace(trace), make_policy, channel_options,
+                     pool, std::move(link), metrics) {}
+
+FleetCollector::FleetCollector(
+    std::vector<std::unique_ptr<MeasurementSource>> sources,
+    const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
+    const transport::ChannelOptions& channel_options, ThreadPool* pool,
+    std::unique_ptr<transport::Link> link, obs::MetricsRegistry* metrics)
+    : sources_(validate_sources(std::move(sources))),
       link_(link != nullptr
                 ? std::move(link)
                 : std::make_unique<transport::Channel>(channel_options)),
-      store_(trace.num_nodes(), trace.num_resources()),
+      store_(sources_.size(), sources_.front()->num_resources()),
       pool_(pool) {
-  policies_.reserve(trace.num_nodes());
-  for (std::size_t i = 0; i < trace.num_nodes(); ++i) {
+  num_steps_ = MeasurementSource::unbounded();
+  for (const auto& source : sources_) {
+    num_steps_ = std::min(num_steps_, source->num_steps());
+  }
+  policies_.reserve(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
     policies_.push_back(make_policy());
     RESMON_REQUIRE(policies_.back() != nullptr,
                    "policy factory returned nullptr");
@@ -70,21 +110,25 @@ FleetCollector::FleetCollector(
 std::vector<bool> FleetCollector::step(std::size_t t) {
   RESMON_REQUIRE(t == next_step_,
                  "FleetCollector::step must be called with consecutive t");
-  RESMON_REQUIRE(t < trace_.num_steps(), "step beyond end of trace");
+  RESMON_REQUIRE(t < num_steps_, "step beyond end of the shortest source");
   ++next_step_;
 
   // Every node's policy decision is independent, so the decide() calls run
   // in parallel; per-node results land in disjoint slots (std::vector<bool>
   // packs bits, hence the byte-wide scratch vector). The link sends then
   // happen on this thread in node order, so bandwidth accounting and the
-  // link's drop/delay RNG draws are identical to the serial path.
+  // link's drop/delay RNG draws are identical to the serial path. A fleet
+  // holding any unbounded (live-sampling) source stays serial: such sources
+  // pace themselves on the wall clock inside measurement().
   const std::size_t n = policies_.size();
   std::vector<std::uint8_t> transmit(n, 0);
   std::vector<std::vector<double>> measurements(n);
-  run_chunked(pool_, n, kNodeGrain,
+  ThreadPool* pool =
+      num_steps_ == MeasurementSource::unbounded() ? nullptr : pool_;
+  run_chunked(pool, n, kNodeGrain,
               [&](std::size_t, std::size_t begin, std::size_t end) {
                 for (std::size_t i = begin; i < end; ++i) {
-                  measurements[i] = trace_.measurement(i, t);
+                  measurements[i] = sources_[i]->measurement(t);
                   if (policies_[i]->decide(t, measurements[i])) {
                     transmit[i] = 1;
                   }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "collect/measurement_source.hpp"
 #include "collect/transmit_policy.hpp"
 #include "obs/metrics.hpp"
 #include "trace/trace.hpp"
@@ -53,6 +54,20 @@ class FleetCollector {
       std::unique_ptr<transport::Link> link = nullptr,
       obs::MetricsRegistry* metrics = nullptr);
 
+  /// Same, but over arbitrary MeasurementSources (one per node) instead of
+  /// a trace — the host-collection path (procfs sampling, recorded-series
+  /// replay). All sources must agree on num_resources(). Live sources may
+  /// block inside measurement(), so the per-node loop stays serial in node
+  /// order whenever any source is unbounded; `pool` still parallelizes the
+  /// policy decisions for bounded (trace-like) sources.
+  FleetCollector(
+      std::vector<std::unique_ptr<MeasurementSource>> sources,
+      const std::function<std::unique_ptr<TransmitPolicy>()>& make_policy,
+      const transport::ChannelOptions& channel_options = {},
+      ThreadPool* pool = nullptr,
+      std::unique_ptr<transport::Link> link = nullptr,
+      obs::MetricsRegistry* metrics = nullptr);
+
   /// Advance one time step. Must be called with consecutive t starting at 0.
   /// Returns the per-node transmission indicators beta_t.
   std::vector<bool> step(std::size_t t);
@@ -70,7 +85,8 @@ class FleetCollector {
   std::size_t num_nodes() const { return policies_.size(); }
 
  private:
-  const trace::Trace& trace_;
+  std::vector<std::unique_ptr<MeasurementSource>> sources_;
+  std::size_t num_steps_ = 0;  ///< min over sources (cached)
   std::vector<std::unique_ptr<TransmitPolicy>> policies_;
   std::unique_ptr<transport::Link> link_;
   transport::CentralStore store_;

@@ -1,0 +1,18 @@
+#include "host/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace resmon::host {
+
+std::uint64_t monotonic_ms() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace resmon::host

@@ -1,0 +1,20 @@
+// The host-collection backend's only wall-clock surface.
+//
+// Live sampling needs a monotonic timestamp per sample and a pacing sleep;
+// both are confined to these two functions so the lint wall's determinism
+// rule has exactly one file to allowlist (tools/lint_allowlist.txt) and the
+// rest of src/host stays clock-free. Tests and replay never call them —
+// they inject manual timestamps instead.
+#pragma once
+
+#include <cstdint>
+
+namespace resmon::host {
+
+/// Milliseconds on the monotonic clock (arbitrary epoch).
+std::uint64_t monotonic_ms();
+
+/// Block the calling thread for `ms` milliseconds.
+void sleep_ms(std::uint64_t ms);
+
+}  // namespace resmon::host

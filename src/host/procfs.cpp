@@ -1,0 +1,74 @@
+#include "host/procfs.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace resmon::host {
+
+namespace {
+
+/// True when `name` is all digits (a /proc/<pid> directory name). The
+/// length bound keeps std::stoull from overflowing on hostile fixtures.
+bool all_digits(const std::string& name) {
+  if (name.empty() || name.size() > 18) return false;
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace
+
+DirProcfs::DirProcfs(std::string root) : root_(std::move(root)) {}
+
+std::optional<std::string> DirProcfs::read(const std::string& path) const {
+  std::ifstream in(root_ + "/" + path);
+  if (!in) return std::nullopt;
+  // procfs files report size 0; read by streaming, not by seeking.
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return contents.str();
+}
+
+std::vector<std::uint64_t> DirProcfs::pids() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root_, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!all_digits(name)) continue;
+    out.push_back(std::stoull(name));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::string> FakeProcfs::read(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint64_t> FakeProcfs::pids() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [path, contents] : files_) {
+    const std::size_t slash = path.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string dir = path.substr(0, slash);
+    if (!all_digits(dir)) continue;
+    const std::uint64_t pid = std::stoull(dir);
+    if (out.empty() || out.back() != pid) out.push_back(pid);
+  }
+  // Map order keeps "10/..." before "9/..." lexicographically; re-sort
+  // numerically and dedupe.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace resmon::host

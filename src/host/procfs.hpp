@@ -1,0 +1,67 @@
+// ProcfsSource: the filesystem seam of the host-collection backend.
+//
+// The HostSampler never touches the kernel directly — it reads files
+// through this interface, addressed by procfs-relative paths ("stat",
+// "meminfo", "1234/stat", "net/dev"). Production uses DirProcfs rooted at
+// /proc (or a --procfs-root override); every unit test uses FakeProcfs, an
+// in-memory tree of checked-in fixture snapshots, so ctest never depends
+// on the live kernel (DESIGN.md "Host collection").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace resmon::host {
+
+/// Read-only view of a procfs-like file tree.
+class ProcfsSource {
+ public:
+  virtual ~ProcfsSource() = default;
+
+  /// Full contents of the file at root-relative `path`, or nullopt when it
+  /// does not exist / is unreadable (per-pid files routinely vanish when a
+  /// process exits between the directory scan and the read).
+  virtual std::optional<std::string> read(const std::string& path) const = 0;
+
+  /// Numeric top-level directory names — the process list — sorted
+  /// ascending so sampling walks the tree in a deterministic order.
+  virtual std::vector<std::uint64_t> pids() const = 0;
+};
+
+/// ProcfsSource over a real directory: /proc in production, a fixture
+/// directory in integration tests.
+class DirProcfs final : public ProcfsSource {
+ public:
+  explicit DirProcfs(std::string root);
+
+  std::optional<std::string> read(const std::string& path) const override;
+  std::vector<std::uint64_t> pids() const override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+/// In-memory ProcfsSource for unit tests: a mutable map of path ->
+/// contents. pids() is derived from the "N/..." keys present.
+class FakeProcfs final : public ProcfsSource {
+ public:
+  /// Create or replace one file.
+  void set(const std::string& path, std::string contents) {
+    files_[path] = std::move(contents);
+  }
+  /// Remove one file (simulates a process exit race mid-sample).
+  void remove(const std::string& path) { files_.erase(path); }
+
+  std::optional<std::string> read(const std::string& path) const override;
+  std::vector<std::uint64_t> pids() const override;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace resmon::host

@@ -161,15 +161,18 @@ void rule_std_endl(const Ctx& ctx) {
 
 // --------------------------------------------------------- catch-all-swallow
 
-// In the runtime (src/net, src/agg, src/faultnet) and the scenario runner —
+// In the runtime (src/net, src/agg, src/faultnet), the scenario runner —
 // which drives that runtime and turns its failures into pass/fail verdicts —
-// a catch (...) that neither rethrows nor logs turns protocol violations and
-// I/O failures into silent hangs or bogus green results.
+// and the host sampler (src/host) — whose hostile-procfs diagnostics must
+// surface, never vanish — a catch (...) that neither rethrows nor logs turns
+// protocol violations and I/O failures into silent hangs or bogus green
+// results.
 void rule_catch_all(const Ctx& ctx) {
   if (!starts_with(ctx.path, "src/net/") &&
       !starts_with(ctx.path, "src/agg/") &&
       !starts_with(ctx.path, "src/faultnet/") &&
-      !starts_with(ctx.path, "src/scenario/")) {
+      !starts_with(ctx.path, "src/scenario/") &&
+      !starts_with(ctx.path, "src/host/")) {
     return;
   }
   const auto& t = ctx.toks;

@@ -16,6 +16,10 @@
 #include "common/error.hpp"
 #include "core/metrics.hpp"
 #include "core/pipeline.hpp"
+#include "host/procfs.hpp"
+#include "host/recording.hpp"
+#include "host/sampler.hpp"
+#include "host/source.hpp"
 #include "net/agent.hpp"
 #include "net/controller.hpp"
 #include "net/socket.hpp"
@@ -324,6 +328,106 @@ ScenarioResult run_in_process(const ScenarioSpec& spec,
   result.name = spec.name;
   result.steps_run = steps;
   // One final sample so monotonic assertions see the published gauges too.
+  tracker.sample(registry);
+  evaluate(spec, snapshot_map(registry), tracker.series(), result);
+  return result;
+}
+
+// ------------------------------------------------------------------ host mode
+
+/// Burn a little CPU between samples so the recorded utilization series is
+/// not identically zero; the volatile sink keeps the loop alive under -O2.
+void busy_spin(std::size_t iters) {
+  volatile double sink = 0.0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    sink = sink + static_cast<double>(i % 7) * 1e-9;
+  }
+}
+
+trace::InMemoryTrace trace_from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  trace::InMemoryTrace t(1, rows.size(), rows.front().size());
+  for (std::size_t step = 0; step < rows.size(); ++step) {
+    for (std::size_t r = 0; r < rows[step].size(); ++r) {
+      t.set_value(0, step, r, rows[step][r]);
+    }
+  }
+  return t;
+}
+
+/// Host mode: sample this very process through the procfs backend while
+/// recording, replay the recording through a second pipeline, and publish
+/// the max forecast divergence between the two — which must be 0 whatever
+/// the live host happened to be doing, because both pipelines consume the
+/// same recorded bytes. This is the determinism contract of DESIGN.md
+/// "Host collection", enforced as a scenario assertion.
+ScenarioResult run_host(const ScenarioSpec& spec,
+                        obs::MetricsRegistry& registry) {
+  // Record phase: live procfs reads, teed into an in-memory recording.
+  host::DirProcfs procfs(spec.host_procfs_root);
+  host::HostSamplerOptions hopts;
+  hopts.metrics = &registry;
+  host::HostSampler sampler(procfs, hopts);
+  std::ostringstream recorded;
+  host::RecordingWriter writer(recorded, spec.host_interval_ms,
+                               host::HostSampler::kNumResources);
+  host::ProcfsSamplerSource::Options sopts;
+  sopts.interval_ms = spec.host_interval_ms;
+  sopts.recorder = &writer;
+  host::ProcfsSamplerSource source(sampler, sopts);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(spec.host_samples);
+  for (std::size_t t = 0; t < spec.host_samples; ++t) {
+    rows.push_back(source.measurement(t));
+    busy_spin(spec.host_busy_iters);
+  }
+  writer.finish();
+
+  // Replay phase: parse the recording back exactly like --source replay.
+  std::istringstream replayed(recorded.str());
+  const host::Recording recording =
+      host::read_recording(replayed, "<recording>");
+  RESMON_REQUIRE(recording.rows == rows,
+                 "scenario: replayed rows differ from the recorded samples");
+
+  const trace::InMemoryTrace live_trace = trace_from_rows(rows);
+  const trace::InMemoryTrace replay_trace = trace_from_rows(recording.rows);
+  const std::size_t steps = resolve_run_steps(spec, live_trace);
+
+  core::MonitoringPipeline pipeline(live_trace,
+                                    pipeline_options(spec, &registry));
+  obs::MetricsRegistry twin_registry;
+  core::MonitoringPipeline twin(replay_trace,
+                                pipeline_options(spec, &twin_registry));
+
+  ResultTracker tracker(spec);
+  double divergence = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    pipeline.step();
+    twin.step();
+    tracker.score(pipeline, t);
+    if ((t + 1) % spec.sample_every == 0 || t + 1 == steps) {
+      tracker.sample(registry);
+      divergence = std::max(divergence, max_abs_diff(pipeline.forecast_all(0),
+                                                     twin.forecast_all(0)));
+      for (const std::size_t h : spec.horizons) {
+        if (t + h >= live_trace.num_steps()) continue;
+        divergence = std::max(
+            divergence,
+            max_abs_diff(pipeline.forecast_all(h), twin.forecast_all(h)));
+      }
+    }
+  }
+
+  const double traffic = pipeline.collector().average_actual_frequency();
+  const double bytes =
+      registry.value("resmon_collect_link_bytes_sent").value_or(0.0);
+  tracker.publish(spec, registry, pipeline, steps, traffic, bytes,
+                  divergence);
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.steps_run = steps;
   tracker.sample(registry);
   evaluate(spec, snapshot_map(registry), tracker.series(), result);
   return result;
@@ -725,6 +829,7 @@ void register_result_metrics(obs::MetricsRegistry& registry,
 }
 
 ScenarioResult run(const ScenarioSpec& spec, obs::MetricsRegistry& registry) {
+  if (spec.host_mode) return run_host(spec, registry);
   if (spec.socket_mode) return run_socket(spec, registry);
   return run_in_process(spec, registry);
 }

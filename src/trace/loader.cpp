@@ -35,11 +35,23 @@ std::string strip_cr(std::string line) {
 }  // namespace
 
 InMemoryTrace load_csv(std::istream& in) {
+  // Lines starting with '#' are comments; host recordings (src/host) lead
+  // with a '# resmon-host-recording v1' magic line and carry '#' metadata
+  // trailers, and must load here as ordinary traces.
   std::string line;
-  if (!std::getline(in, line)) {
+  std::size_t line_no = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = strip_cr(line);
+    if (line.empty() || line.front() == '#') continue;
+    have_header = true;
+    break;
+  }
+  if (!have_header) {
     throw Error("load_csv: empty input");
   }
-  const std::vector<std::string> header = split_csv_line(strip_cr(line));
+  const std::vector<std::string> header = split_csv_line(line);
   RESMON_REQUIRE(header.size() >= 3,
                  "trace CSV needs node,step and at least one resource column");
   const std::size_t num_resources = header.size() - 2;
@@ -52,11 +64,10 @@ InMemoryTrace load_csv(std::istream& in) {
   std::vector<Row> rows;
   std::size_t max_node = 0;
   std::size_t max_step = 0;
-  std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     line = strip_cr(line);
-    if (line.empty()) continue;
+    if (line.empty() || line.front() == '#') continue;
     const std::vector<std::string> fields = split_csv_line(line);
     if (fields.size() != header.size()) {
       throw Error("load_csv: line " + std::to_string(line_no) +

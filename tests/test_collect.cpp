@@ -236,6 +236,66 @@ TEST(FleetCollector, LoopbackLinkMatchesPlainChannelBitForBit) {
             loopback.link().messages_dropped());
 }
 
+// ---- MeasurementSource ----------------------------------------------
+
+TEST(MeasurementSource, TraceSourceViewsOneNode) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 3;
+  p.num_steps = 8;
+  const trace::InMemoryTrace t = trace::generate(p, 3);
+  TraceSource source(t, 1);
+  EXPECT_EQ(source.num_resources(), t.num_resources());
+  EXPECT_EQ(source.num_steps(), t.num_steps());
+  EXPECT_EQ(source.measurement(5), t.measurement(1, 5));
+  EXPECT_THROW(TraceSource(t, 3), Error);
+}
+
+TEST(MeasurementSource, SourceFleetMatchesTraceFleetBitForBit) {
+  // The source-based ctor is the host-collection seam; over TraceSources
+  // it must reproduce the classic trace-mode collector exactly.
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 5;
+  p.num_steps = 40;
+  const trace::InMemoryTrace t = trace::generate(p, 9);
+  std::vector<std::unique_ptr<MeasurementSource>> sources;
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    sources.push_back(std::make_unique<TraceSource>(t, i));
+  }
+  FleetCollector classic(t, make_policy_factory(PolicyKind::kAdaptive, 0.3));
+  FleetCollector seam(std::move(sources),
+                      make_policy_factory(PolicyKind::kAdaptive, 0.3));
+  EXPECT_EQ(seam.num_nodes(), t.num_nodes());
+  for (std::size_t step = 0; step < t.num_steps(); ++step) {
+    EXPECT_EQ(classic.step(step), seam.step(step)) << "step " << step;
+    for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+      ASSERT_EQ(classic.store().stored(i), seam.store().stored(i));
+    }
+  }
+}
+
+TEST(MeasurementSource, FleetRejectsDisagreeingDimensions) {
+  trace::SyntheticProfile p = trace::alibaba_profile();
+  p.num_nodes = 1;
+  p.num_steps = 4;
+  const trace::InMemoryTrace a = trace::generate(p, 1);
+  p.num_resources = a.num_resources() + 1;
+  const trace::InMemoryTrace b = trace::generate(p, 1);
+  std::vector<std::unique_ptr<MeasurementSource>> sources;
+  sources.push_back(std::make_unique<TraceSource>(a, 0));
+  sources.push_back(std::make_unique<TraceSource>(b, 0));
+  EXPECT_THROW(
+      FleetCollector(std::move(sources),
+                     make_policy_factory(PolicyKind::kAlways, 1.0)),
+      Error);
+}
+
+TEST(MeasurementSource, FleetRejectsEmptySourceList) {
+  std::vector<std::unique_ptr<MeasurementSource>> none;
+  EXPECT_THROW(FleetCollector(std::move(none),
+                              make_policy_factory(PolicyKind::kAlways, 1.0)),
+               Error);
+}
+
 // Property sweep: fleet-average adaptive frequency tracks B on real-ish
 // workloads (the Fig. 3 property).
 class FleetFrequencyTest : public ::testing::TestWithParam<double> {};

@@ -13,6 +13,8 @@
 
 #include "agg/aggregator.hpp"
 #include "core/pipeline.hpp"
+#include "host/procfs.hpp"
+#include "host/sampler.hpp"
 #include "net/agent.hpp"
 #include "net/controller.hpp"
 #include "net/socket.hpp"
@@ -75,6 +77,13 @@ obs::MetricsRegistry& populated_registry() {
   aopts.metrics = &registry;
   static net::Agent agent(
       aopts, collect::make_policy_factory(collect::PolicyKind::kAlways, 1.0)());
+
+  // Host sampler families (resmon_host_*) register at construction over a
+  // fake procfs; no live-kernel reads in this test.
+  static host::FakeProcfs procfs;
+  host::HostSamplerOptions hopts;
+  hopts.metrics = &registry;
+  static host::HostSampler sampler(procfs, hopts);
 
   // Scenario-runner result gauges (resmon_scenario_*), registered the same
   // way ScenarioResult publication does.

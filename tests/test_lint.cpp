@@ -181,6 +181,10 @@ TEST(CatchAll, FlagsSilentSwallowInRuntime) {
       fires(check("src/scenario/runner.cpp", bad), "catch-all-swallow"));
   EXPECT_TRUE(fires(check("src/scenario/scenario_spec.cpp", bad),
                     "catch-all-swallow"));
+  // The host backend parses kernel-shaped text; a swallowed parse error
+  // there silently turns garbage procfs into zeros, so it's in scope too.
+  EXPECT_TRUE(fires(check("src/host/sampler.cpp", bad), "catch-all-swallow"));
+  EXPECT_TRUE(fires(check("src/host/parsers.cpp", bad), "catch-all-swallow"));
   // Out of the rule's blast radius.
   EXPECT_FALSE(fires(check("src/common/thread_pool.cpp", bad),
                      "catch-all-swallow"));

@@ -211,6 +211,29 @@ TEST(Loader, FillsGapsWithPreviousValue) {
   EXPECT_DOUBLE_EQ(t.value(0, 2, 0), 0.9);
 }
 
+TEST(Loader, SkipsCommentLinesAnywhere) {
+  // Host recordings are trace CSVs with '#' metadata lines (magic header,
+  // timestamps, end trailer); the loader must skip them wherever they sit.
+  std::stringstream ss;
+  ss << "# resmon-host-recording v1\n"
+     << "# interval_ms=100 resources=1\n"
+     << "node,step,cpu\n"
+     << "0,0,0.5\n"
+     << "# ts_ms=1000,1100\n"
+     << "0,1,0.75\n"
+     << "# end rows=2\n";
+  const InMemoryTrace t = load_csv(ss);
+  EXPECT_EQ(t.num_steps(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0, 0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value(0, 1, 0), 0.75);
+}
+
+TEST(Loader, CommentOnlyInputIsStillEmpty) {
+  std::stringstream ss;
+  ss << "# just\n# comments\n";
+  EXPECT_THROW(load_csv(ss), Error);
+}
+
 TEST(Loader, RejectsEmptyInput) {
   std::stringstream ss;
   EXPECT_THROW(load_csv(ss), Error);

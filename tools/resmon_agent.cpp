@@ -1,60 +1,174 @@
 // resmon_agent — one local node of the star topology, over TCP.
 //
-// Rebuilds the shared synthetic trace, reads its own node's measurements
-// from it, and lets the §V-A transmit policy decide each slot whether to
-// push the measurement to the controller; silent slots carry a heartbeat so
-// the controller's slot barrier advances. Connection losses reconnect with
+// Where the slot measurements come from is selected by --source:
+//
+//   trace   (default) rebuild the shared synthetic trace and read this
+//           node's series from it — both ends must pass identical
+//           --dataset/--nodes/--steps/--seed flags;
+//   procfs  sample the live host (or one process tree) through the
+//           src/host backend: d = 4 measurements [cpu, memory, io, net]
+//           per --interval-ms, optionally persisted with --record FILE so
+//           the run is replayable;
+//   replay  re-run a --record file bit-identically: zero clock or procfs
+//           reads, slot count taken from the recording.
+//
+// Each slot the §V-A transmit policy decides whether to push the
+// measurement to the controller; silent slots carry a heartbeat so the
+// controller's slot barrier advances. Connection losses reconnect with
 // bounded exponential backoff.
 //
 //   resmon_agent --port PORT --node 3 --nodes 8 --steps 200
 //       --dataset alibaba --seed 1 [--policy adaptive] [--b 0.3]
+//       [--source trace|procfs|replay] [--pid P|self] [--interval-ms N]
+//       [--procfs-root DIR] [--record FILE] [--replay FILE]
 //       [--fault-spec "drop=0.05;corrupt=0.01"] [--start-step S]
-//       [--slot-delay-ms MS] [--metrics-out file.prom] [--version]
+//       [--slot-delay-ms MS] [--metrics-out file.prom] [--list-sources]
+//       [--version]
 //
-// The trace flags (--dataset/--nodes/--steps/--seed) must match the
-// controller's exactly. --fault-spec injects chaos into this agent's own
+// The controller must be started with matching dimensions: the trace flags
+// for --source trace, or --resources 4 (and the same --nodes/--steps) for
+// procfs/replay agents. --fault-spec injects chaos into this agent's own
 // uplink (grammar in faultnet/fault_spec.hpp); --start-step resumes a
 // restarted agent mid-run (slots before S are skipped, as if the process
 // was down for them); --slot-delay-ms paces the slot loop so wall-clock
-// staleness policies have time to observe silence.
+// staleness policies have time to observe silence (procfs sources already
+// pace themselves to --interval-ms).
+#include <unistd.h>
+
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "common/cli.hpp"
 #include "faultnet/agent_hook.hpp"
+#include "host/procfs.hpp"
+#include "host/recording.hpp"
+#include "host/sampler.hpp"
+#include "host/source.hpp"
 #include "net/agent.hpp"
 #include "net_common.hpp"
 #include "obs/export.hpp"
 
 using namespace resmon;
 
+namespace {
+
+void list_sources() {
+  std::cout
+      << "resmon_agent measurement sources (--source NAME):\n"
+         "  trace   shared synthetic trace; needs matching "
+         "--dataset/--nodes/--steps/--seed on the controller (default)\n"
+         "  procfs  live host sampling via --procfs-root (default /proc): "
+         "d = 4 [cpu, memory, io, net], one sample per --interval-ms; "
+         "--pid P|self watches a process tree instead of the whole host; "
+         "--record FILE persists a replayable recording\n"
+         "  replay  bit-identical re-run of a --record file "
+         "(--replay FILE); no clock or procfs reads\n";
+}
+
+/// The watched-pid set from --pid ("self" = this process).
+std::vector<std::uint64_t> watch_pids(const Args& args) {
+  if (!args.has("pid")) return {};
+  const std::string pid = args.get("pid", "");
+  if (pid == "self") {
+    return {static_cast<std::uint64_t>(::getpid())};
+  }
+  return {static_cast<std::uint64_t>(args.get_int("pid", 0))};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
     if (tools::handle_version(args, "resmon_agent")) return 0;
+    if (args.has("list-sources")) {
+      list_sources();
+      return 0;
+    }
     std::cout << tools::version_line("resmon_agent") << '\n' << std::flush;
-    const trace::InMemoryTrace trace = tools::build_trace(args);
-    const std::size_t slots = tools::run_slots(args);
+    const std::string source_name = args.get("source", "trace");
     const std::size_t node =
         static_cast<std::size_t>(args.get_int("node", 0));
-    if (node >= trace.num_nodes()) {
-      std::cerr << "resmon_agent: --node " << node << " out of range (N = "
-                << trace.num_nodes() << ")\n";
+
+    obs::MetricsRegistry registry;
+
+    // Build the measurement source. `slots` and the wire dimension depend
+    // on it: recordings carry their own length and d.
+    std::size_t slots = tools::run_slots(args);
+    std::size_t num_resources = 0;
+    std::optional<trace::InMemoryTrace> trace;
+    std::unique_ptr<host::DirProcfs> procfs;
+    std::unique_ptr<host::HostSampler> sampler;
+    std::ofstream record_out;
+    std::unique_ptr<host::RecordingWriter> recorder;
+    std::unique_ptr<collect::MeasurementSource> source;
+
+    if (source_name == "trace") {
+      trace.emplace(tools::build_trace(args));
+      if (node >= trace->num_nodes()) {
+        std::cerr << "resmon_agent: --node " << node
+                  << " out of range (N = " << trace->num_nodes() << ")\n";
+        return 2;
+      }
+      num_resources = trace->num_resources();
+      source = std::make_unique<collect::TraceSource>(*trace, node);
+    } else if (source_name == "procfs") {
+      const std::uint64_t interval_ms =
+          static_cast<std::uint64_t>(args.get_int("interval-ms", 100));
+      procfs = std::make_unique<host::DirProcfs>(
+          args.get("procfs-root", "/proc"));
+      host::HostSamplerOptions hopts;
+      hopts.watch_pids = watch_pids(args);
+      hopts.page_size =
+          static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+      hopts.metrics = &registry;
+      sampler = std::make_unique<host::HostSampler>(*procfs, hopts);
+      num_resources = host::HostSampler::kNumResources;
+      host::ProcfsSamplerSource::Options sopts;
+      sopts.interval_ms = interval_ms;
+      if (args.has("record")) {
+        record_out.open(args.get("record", ""));
+        if (!record_out) {
+          std::cerr << "resmon_agent: --record: cannot open "
+                    << args.get("record", "") << "\n";
+          return 2;
+        }
+        recorder = std::make_unique<host::RecordingWriter>(
+            record_out, interval_ms, num_resources);
+        sopts.recorder = recorder.get();
+      }
+      source =
+          std::make_unique<host::ProcfsSamplerSource>(*sampler, sopts);
+    } else if (source_name == "replay") {
+      if (!args.has("replay")) {
+        std::cerr << "resmon_agent: --source replay needs --replay FILE\n";
+        return 2;
+      }
+      host::Recording recording =
+          host::read_recording_file(args.get("replay", ""));
+      slots = recording.rows.size();
+      num_resources = recording.num_resources();
+      source = std::make_unique<host::ReplaySource>(std::move(recording));
+    } else {
+      std::cerr << "resmon_agent: unknown --source '" << source_name
+                << "' (try --list-sources)\n";
       return 2;
     }
+
     if (!args.has("port")) {
       std::cerr << "resmon_agent: --port is required\n";
       return 2;
     }
 
-    obs::MetricsRegistry registry;
-
     net::AgentOptions opts;
     opts.host = args.get("host", "127.0.0.1");
     opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
     opts.node = static_cast<std::uint32_t>(node);
-    opts.num_resources = static_cast<std::uint32_t>(trace.num_resources());
+    opts.num_resources = static_cast<std::uint32_t>(num_resources);
     opts.max_reconnect_attempts =
         static_cast<std::size_t>(args.get_int("reconnect-attempts", 8));
     opts.metrics = &registry;
@@ -71,11 +185,12 @@ int main(int argc, char** argv) {
     const int slot_delay_ms =
         static_cast<int>(args.get_int("slot-delay-ms", 0));
     for (std::size_t t = start; t < slots; ++t) {
-      agent.observe(t, trace.measurement(node, t));
+      agent.observe(t, source->measurement(t));
       if (slot_delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(slot_delay_ms));
       }
     }
+    if (recorder != nullptr) recorder->finish();
 
     if (args.has("metrics-out")) {
       obs::write_metrics_file(args.get("metrics-out", ""), registry);
@@ -87,7 +202,11 @@ int main(int argc, char** argv) {
               << agent.policy().actual_frequency() << " actual vs B = "
               << agent.policy().frequency_constraint() << "), "
               << agent.bytes_sent() << " bytes, " << agent.reconnects()
-              << " reconnects\n";
+              << " reconnects";
+    if (sampler != nullptr) {
+      std::cout << ", " << sampler->samples_taken() << " host samples";
+    }
+    std::cout << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "resmon_agent: " << e.what() << "\n";

@@ -15,6 +15,10 @@
 //               or list the packs in a directory
 //               resmon scenario run scenarios/paper_baseline.scn [--verbose]
 //               resmon scenario list [scenarios/]
+//   host-sample — print live host/process utilization samples from the
+//               procfs backend (operator sanity check for --source procfs)
+//               resmon host-sample --samples 5 --interval-ms 200
+//                      [--pid P|self] [--procfs-root /proc] [--record FILE]
 //
 // The first positional token selects the subcommand; everything after it is
 // ordinary --flag arguments (`scenario` takes positional operands).
@@ -22,13 +26,20 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "cluster/quality.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
+#include "host/procfs.hpp"
+#include "host/recording.hpp"
+#include "host/sampler.hpp"
+#include "host/source.hpp"
 #include "obs/export.hpp"
 #include "scenario/runner.hpp"
 #include "trace/loader.hpp"
@@ -40,7 +51,8 @@ using namespace resmon;
 
 int usage() {
   std::cerr
-      << "usage: resmon <generate|monitor|choose-k> [--flags]\n"
+      << "usage: resmon <generate|monitor|choose-k|scenario|host-sample>"
+         " [--flags]\n"
          "  generate --profile alibaba|bitbrains|google|sensors\n"
          "           [--nodes N] [--steps T] [--seed S] --out FILE\n"
          "  monitor  --trace FILE [--b 0.3] [--k 3]\n"
@@ -50,8 +62,69 @@ int usage() {
          "           [--metrics-out FILE.prom] [--trace-out FILE.jsonl]\n"
          "  choose-k --trace FILE [--kmax 12] [--sample-step 25]\n"
          "  scenario run FILE.scn [--verbose] [--metrics-out FILE.prom]\n"
-         "  scenario list [DIR]\n";
+         "  scenario list [DIR]\n"
+         "  host-sample [--samples 5] [--interval-ms 200] [--pid P|self]\n"
+         "           [--procfs-root /proc] [--record FILE]\n"
+         "           [--metrics-out FILE.prom]\n";
   return 2;
+}
+
+// Operator sanity check for the procfs backend: take a few live samples and
+// print them as one line per slot — the same numbers resmon_agent
+// --source procfs would put on the wire.
+int cmd_host_sample(const Args& args) {
+  const std::uint64_t interval_ms =
+      static_cast<std::uint64_t>(args.get_int("interval-ms", 200));
+  const std::size_t samples =
+      static_cast<std::size_t>(args.get_int("samples", 5));
+  host::DirProcfs procfs(args.get("procfs-root", "/proc"));
+  obs::MetricsRegistry registry;
+  host::HostSamplerOptions hopts;
+  if (args.has("pid")) {
+    const std::string pid = args.get("pid", "");
+    hopts.watch_pids = {pid == "self"
+                            ? static_cast<std::uint64_t>(::getpid())
+                            : static_cast<std::uint64_t>(
+                                  args.get_int("pid", 0))};
+  }
+  hopts.page_size = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  hopts.metrics = &registry;
+  host::HostSampler sampler(procfs, hopts);
+
+  std::ofstream record_out;
+  std::unique_ptr<host::RecordingWriter> recorder;
+  if (args.has("record")) {
+    record_out.open(args.get("record", ""));
+    if (!record_out) {
+      std::cerr << "host-sample: cannot open " << args.get("record", "")
+                << "\n";
+      return 1;
+    }
+    recorder = std::make_unique<host::RecordingWriter>(
+        record_out, interval_ms, host::HostSampler::kNumResources);
+  }
+  host::ProcfsSamplerSource::Options sopts;
+  sopts.interval_ms = interval_ms;
+  sopts.recorder = recorder.get();
+  host::ProcfsSamplerSource source(sampler, sopts);
+
+  for (std::size_t t = 0; t < samples; ++t) {
+    const std::vector<double> m = source.measurement(t);
+    std::cout << "t=" << t;
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      std::cout << ' ' << host::HostSampler::resource_name(r) << '='
+                << m[r];
+    }
+    std::cout << '\n';
+  }
+  if (recorder != nullptr) {
+    recorder->finish();
+    std::cout << "recording written to " << args.get("record", "") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    obs::write_metrics_file(args.get("metrics-out", ""), registry);
+  }
+  return 0;
 }
 
 int cmd_scenario(int argc, char** argv) {
@@ -255,6 +328,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "monitor") return cmd_monitor(args);
     if (command == "choose-k") return cmd_choose_k(args);
+    if (command == "host-sample") return cmd_host_sample(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "resmon " << command << ": " << e.what() << "\n";

@@ -8,7 +8,8 @@
 //
 //   resmon_controller --port 0 --nodes 8 --steps 200 --dataset alibaba
 //       --seed 1 [--b 0.3] [--k 3] [--model hold] [--threads 1]
-//       [--stale-after-ms MS] [--dead-after-ms MS] [--fault-spec SPEC]
+//       [--resources N] [--stale-after-ms MS] [--dead-after-ms MS]
+//       [--fault-spec SPEC]
 //       [--shards M] [--metrics-port 0] [--metrics-linger-ms 2000]
 //       [--metrics-out file.prom] [--trace-out file.jsonl] [--version]
 //
@@ -21,7 +22,11 @@
 //
 // With --port 0 the kernel picks a free port; the chosen one is printed as
 //   resmon_controller listening on 127.0.0.1:PORT
-// so wrapper scripts can pass it to the agents. --metrics-port opens a
+// so wrapper scripts can pass it to the agents. --resources N sizes the
+// wire dimension for agents that sample live hosts instead of the shared
+// trace (resmon_agent --source procfs is d = 4); accuracy is then scored
+// against a zero trace, so only RMSE finiteness is meaningful.
+// --metrics-port opens a
 // second listener serving the live Prometheus exposition (printed as
 //   resmon_controller metrics endpoint on 127.0.0.1:PORT
 // — a distinct phrasing so port-parsing scripts cannot confuse the two);
@@ -50,9 +55,20 @@ int main(int argc, char** argv) {
     if (tools::handle_version(args, "resmon_controller")) return 0;
     std::cout << tools::version_line("resmon_controller") << '\n'
               << std::flush;
-    const trace::InMemoryTrace trace = tools::build_trace(args);
     const std::size_t slots = tools::run_slots(args);
     const std::string host = args.get("host", "127.0.0.1");
+    // --resources N overrides the wire dimension for agents that do not
+    // read the shared synthetic trace (resmon_agent --source procfs is
+    // d = 4). Forecast accuracy is then measured against an all-zeros
+    // ground truth — RMSE stays finite, which is all the RESULT line
+    // asserts — because the controller has no oracle for live hosts.
+    const trace::InMemoryTrace trace =
+        args.has("resources")
+            ? trace::InMemoryTrace(
+                  static_cast<std::size_t>(args.get_int("nodes", 1)),
+                  slots + tools::kForecastLookahead,
+                  static_cast<std::size_t>(args.get_int("resources", 4)))
+            : tools::build_trace(args);
 
     obs::MetricsRegistry registry;
     obs::TraceBuffer trace_events;
