@@ -10,14 +10,60 @@
 // run. On a multi-core machine expect >= 2x at 4 threads for the default
 // N = 2000, K = 10, ARIMA configuration.
 //
+// It also measures the zero-allocation contract: a steady-state window of
+// step_external() slots (between two scheduled retrains) must perform ZERO
+// heap allocations — counted by this TU's operator new replacement. See
+// docs/PERFORMANCE.md for how to read and enforce both properties.
+//
 // Flags: --nodes --steps --clusters --model --dataset --seed --threads
-// (run only {1, <threads>} instead of the default {1, 2, 4, 8} sweep).
+// (run only {1, <threads>} instead of the default {1, 2, 4, 8} sweep);
+// --strict turns the speedup / zero-allocation WARNings into exit 1.
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 
 #include "core/pipeline.hpp"
+
+// -- allocation counter -------------------------------------------------
+// Replaces global operator new/delete for this binary so the steady-state
+// phase below can assert that the per-slot pipeline path allocates nothing.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded > 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -39,6 +85,56 @@ StageRun run_once(const trace::Trace& t, const core::PipelineOptions& base,
   core::MonitoringPipeline p(t, o);
   p.run(steps);
   return {p.stage_timers(), p.forecast_all(1)};
+}
+
+struct SteadyStats {
+  std::uint64_t total_allocs = 0;
+  std::size_t window_steps = 0;
+};
+
+/// Drives an external-collection pipeline through the first retrain, then
+/// counts heap allocations over the steady slots strictly between retrains
+/// (prebuilt messages, serial execution): the contract is zero.
+SteadyStats measure_steady_allocs(const trace::Trace& t,
+                                  const core::PipelineOptions& base) {
+  core::PipelineOptions o = base;
+  o.num_threads = 1;
+  o.metrics = nullptr;
+  o.trace_events = nullptr;
+  core::MonitoringPipeline p(t, o, core::ExternalCollection{});
+
+  // Warm through the initial fit plus one post-fit slot (first update()
+  // after a fit takes its scratch-slab reservations), then measure up to
+  // the slot before the next scheduled retrain.
+  const std::size_t warm_until = o.schedule.initial_steps + 2;
+  const std::size_t window_end =
+      o.schedule.initial_steps + o.schedule.retrain_interval - 1;
+  const std::size_t n = t.num_nodes();
+  const std::size_t d = t.num_resources();
+  std::vector<std::vector<transport::MeasurementMessage>> slots(window_end);
+  for (std::size_t s = 0; s < window_end; ++s) {
+    slots[s].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots[s][i].node = i;
+      slots[s][i].step = s;
+      slots[s][i].values.resize(d);
+      for (std::size_t r = 0; r < d; ++r) {
+        slots[s][i].values[r] = t.value(i, s, r);
+      }
+    }
+  }
+
+  SteadyStats stats;
+  for (std::size_t s = 0; s < window_end; ++s) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    p.step_external(slots[s]);
+    if (s >= warm_until) {
+      stats.total_allocs +=
+          g_allocs.load(std::memory_order_relaxed) - before;
+      ++stats.window_steps;
+    }
+  }
+  return stats;
 }
 
 }  // namespace
@@ -85,6 +181,7 @@ int main(int argc, char** argv) {
   bench::BenchJson sink("resmon-micro", "micro_parallel_step");
   StageRun serial;
   double serial_hot = 0.0;
+  std::vector<std::pair<std::size_t, double>> speedups;
   for (const std::size_t threads : thread_counts) {
     const StageRun run =
         run_once(t, base, threads, steps, &registry, &trace_events);
@@ -102,19 +199,66 @@ int main(int argc, char** argv) {
                    run.timers.forecast_seconds, hot,
                    serial_hot > 0.0 ? serial_hot / hot : 1.0,
                    identical ? 1.0 : 0.0});
+    const double speedup = serial_hot > 0.0 ? serial_hot / hot : 1.0;
+    speedups.emplace_back(threads, speedup);
     sink.add("threads=" + std::to_string(threads),
              {{"collect_s", run.timers.collect_seconds},
               {"cluster_s", run.timers.cluster_seconds},
               {"forecast_s", run.timers.forecast_seconds},
-              {"cluster_forecast_speedup",
-               serial_hot > 0.0 ? serial_hot / hot : 1.0},
+              {"cluster_forecast_speedup", speedup},
               {"identical", identical ? 1.0 : 0.0}});
   }
   bench::emit(table, args);
+
+  // -- steady-state allocation contract ----------------------------------
+  // Between retrains, step_external() must not touch the heap at all (see
+  // docs/PERFORMANCE.md "Zero-allocation steady state").
+  const std::size_t steady_need =
+      base.schedule.initial_steps + base.schedule.retrain_interval - 1;
+  bool steady_ok = true;
+  if (steps >= steady_need) {
+    const SteadyStats steady = measure_steady_allocs(t, base);
+    const double per_step =
+        steady.window_steps > 0
+            ? static_cast<double>(steady.total_allocs) /
+                  static_cast<double>(steady.window_steps)
+            : 0.0;
+    sink.add("steady", {{"steady_allocs_per_step", per_step},
+                        {"steady_window_steps",
+                         static_cast<double>(steady.window_steps)}});
+    std::cout << "\nsteady-state window: " << steady.window_steps
+              << " steps, " << steady.total_allocs
+              << " heap allocations (contract: 0)\n";
+    if (steady.total_allocs != 0) {
+      steady_ok = false;
+      std::cout << "WARNING: steady-state step path allocated "
+                << steady.total_allocs << " times; the zero-allocation "
+                << "contract is broken (see docs/PERFORMANCE.md)\n";
+    }
+  } else {
+    std::cout << "\nsteady-state allocation check skipped: needs --steps >= "
+              << steady_need << "\n";
+  }
+
+  // -- anti-scaling guard ------------------------------------------------
+  // The sweep must never be slower with more threads; 0.95 absorbs timer
+  // jitter on loaded CI hosts (policy in docs/PERFORMANCE.md).
+  bool speedup_ok = true;
+  for (std::size_t row = 1; row < speedups.size(); ++row) {
+    if (speedups[row].second < 0.95) {
+      speedup_ok = false;
+      std::cout << "WARNING: cluster_forecast_speedup = "
+                << speedups[row].second << " at " << speedups[row].first
+                << " threads (< 0.95): parallel execution is slower than "
+                   "serial (see docs/PERFORMANCE.md)\n";
+    }
+  }
+
   sink.write(args.get("json", "BENCH_micro.json"));
   bench::emit_observability(args, registry, &trace_events);
   std::cout << "\nspeedup = (cluster_s + forecast_s) at 1 thread / same at "
                "N threads; identical = h=1 forecasts bitwise equal to the "
                "serial run (must always be 1).\n";
+  if (args.has("strict") && (!steady_ok || !speedup_ok)) return 1;
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "cluster/hungarian.hpp"
 #include "cluster/kmeans.hpp"
+#include "common/kernels.hpp"
 #include "core/pipeline.hpp"
 #include "forecast/arima.hpp"
 #include "forecast/lstm.hpp"
@@ -27,6 +28,32 @@ void BM_KMeansScalar(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_KMeansScalar)->Arg(100)->Arg(1000)->Arg(4000);
+
+// Same K-means, forced onto one kernel path (0 = scalar, 1 = SIMD): the
+// ratio isolates what the AVX2 kernels buy. Results are bit-identical
+// across paths (tests/test_kernels.cpp), so only speed differs.
+void BM_KMeansKernelPath(benchmark::State& state) {
+  const bool simd = state.range(0) == 1;
+  if (simd && !kern::simd_supported()) {
+    state.SkipWithError("no AVX2 on this host");
+    return;
+  }
+  const kern::Path saved = kern::active_path();
+  kern::set_path(simd ? kern::Path::kSimd : kern::Path::kScalar);
+  const std::size_t n = 2000;
+  Rng rng(1);
+  Matrix points(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) points(i, c) = rng.uniform();
+  }
+  for (auto _ : state) {
+    Rng local(2);
+    benchmark::DoNotOptimize(cluster::kmeans(points, 10, local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  kern::set_path(saved);
+}
+BENCHMARK(BM_KMeansKernelPath)->Arg(0)->Arg(1);
 
 void BM_Hungarian(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

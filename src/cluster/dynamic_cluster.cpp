@@ -2,14 +2,25 @@
 
 #include <algorithm>
 
-#include "cluster/hungarian.hpp"
 #include "common/error.hpp"
 
 namespace resmon::cluster {
 
+namespace {
+
+/// Initial reservation (in steps) of each flat centroid series; growth
+/// beyond it doubles, so allocations on the unbounded series are amortized
+/// and absent from any bounded steady-state window.
+constexpr std::size_t kSeriesReserveSteps = 1024;
+
+}  // namespace
+
 DynamicClusterTracker::DynamicClusterTracker(
     const DynamicClusterOptions& options, std::uint64_t seed)
-    : options_(options), rng_(seed), centroid_series_(options.k) {
+    : options_(options),
+      rng_(seed),
+      ring_(options.history_capacity),
+      series_(options.k) {
   RESMON_REQUIRE(options.k >= 1, "tracker needs at least one cluster");
   RESMON_REQUIRE(options.history_m >= 1, "M must be at least 1");
   RESMON_REQUIRE(options.history_capacity >= options.history_m,
@@ -38,53 +49,61 @@ DynamicClusterTracker::DynamicClusterTracker(
   }
 }
 
-Matrix DynamicClusterTracker::similarity_matrix(
-    const std::vector<std::size_t>& fresh_assignment, std::size_t n) const {
+void DynamicClusterTracker::similarity_into(
+    const std::vector<std::size_t>& fresh_assignment, std::size_t n) {
   const std::size_t k = options_.k;
   // Nodes that stayed in cluster j throughout the last min(M, t-1) steps:
   // the intersection term of eq. (10).
-  const std::size_t lookback = std::min(options_.history_m, history_.size());
-  std::vector<bool> in_all(n * k, true);
+  const std::size_t lookback = std::min(options_.history_m, ring_size_);
+  in_all_.assign(n * k, true);
   for (std::size_t m = 0; m < lookback; ++m) {
-    const Clustering& past = history_[m];
+    const Clustering& past = history(m);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < k; ++j) {
-        if (past.assignment[i] != j) in_all[i * k + j] = false;
+        if (past.assignment[i] != j) in_all_[i * k + j] = false;
       }
     }
   }
 
-  Matrix w(k, k);
+  w_.resize(k, k);
   if (options_.similarity == SimilarityKind::kIntersection) {
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t kk = fresh_assignment[i];
       for (std::size_t j = 0; j < k; ++j) {
-        if (in_all[i * k + j]) w(kk, j) += 1.0;
+        if (in_all_[i * k + j]) w_(kk, j) += 1.0;
       }
     }
   } else {
     // Jaccard: |C'_k intersect I_j| / |C'_k union I_j|.
-    Matrix inter(k, k);
-    std::vector<double> fresh_size(k, 0.0);
-    std::vector<double> hist_size(k, 0.0);
+    Matrix& inter = jaccard_inter_;
+    inter.resize(k, k);
+    jaccard_fresh_size_.assign(k, 0.0);
+    jaccard_hist_size_.assign(k, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t kk = fresh_assignment[i];
-      fresh_size[kk] += 1.0;
+      jaccard_fresh_size_[kk] += 1.0;
       for (std::size_t j = 0; j < k; ++j) {
-        if (in_all[i * k + j]) {
-          hist_size[j] += 1.0;
+        if (in_all_[i * k + j]) {
+          jaccard_hist_size_[j] += 1.0;
           inter(kk, j) += 1.0;
         }
       }
     }
     for (std::size_t kk = 0; kk < k; ++kk) {
       for (std::size_t j = 0; j < k; ++j) {
-        const double uni = fresh_size[kk] + hist_size[j] - inter(kk, j);
-        w(kk, j) = uni > 0.0 ? inter(kk, j) / uni : 0.0;
+        const double uni =
+            jaccard_fresh_size_[kk] + jaccard_hist_size_[j] - inter(kk, j);
+        w_(kk, j) = uni > 0.0 ? inter(kk, j) / uni : 0.0;
       }
     }
   }
-  return w;
+}
+
+Clustering& DynamicClusterTracker::claim_slot() {
+  const std::size_t cap = ring_.size();
+  ring_head_ = (ring_head_ + cap - 1) % cap;
+  if (ring_size_ < cap) ++ring_size_;
+  return ring_[ring_head_];
 }
 
 const Clustering& DynamicClusterTracker::update(const Matrix& points) {
@@ -97,84 +116,89 @@ const Clustering& DynamicClusterTracker::update(const Matrix& features,
                  "need at least k points to cluster");
   RESMON_REQUIRE(features.rows() == values.rows(),
                  "features/values row count mismatch");
-  if (!history_.empty()) {
-    RESMON_REQUIRE(features.rows() == history_.front().assignment.size(),
+  const std::size_t n = features.rows();
+  const std::size_t k = options_.k;
+  if (ring_size_ > 0) {
+    RESMON_REQUIRE(n == history(0).assignment.size(),
                    "node count changed between updates");
   }
 
-  const KMeansResult raw =
-      kmeans(features, options_.k, rng_, options_.kmeans);
-
-  Clustering final_clustering;
-  final_clustering.assignment.resize(features.rows());
+  kmeans_into(features, k, rng_, options_.kmeans, kmeans_scratch_, raw_);
 
   // phi maps the raw K-means index k to the stable index j (eq. (11)).
-  std::vector<std::size_t> phi(options_.k);
-  if (history_.empty() || !options_.reindex) {
-    for (std::size_t j = 0; j < options_.k; ++j) phi[j] = j;
+  phi_.resize(k);
+  if (ring_size_ == 0 || !options_.reindex) {
+    for (std::size_t j = 0; j < k; ++j) phi_[j] = j;
     if (match_weight_ != nullptr) match_weight_->set(0.0);
   } else {
-    const Matrix w = similarity_matrix(raw.assignment, features.rows());
-    phi = max_weight_assignment(w);
+    similarity_into(raw_.assignment, n);
+    max_weight_assignment_into(w_, assign_scratch_, phi_);
     if (match_weight_ != nullptr) {
-      match_weight_->set(assignment_value(w, phi));
+      match_weight_->set(assignment_value(w_, phi_));
     }
   }
 
-  for (std::size_t i = 0; i < features.rows(); ++i) {
-    final_clustering.assignment[i] = phi[raw.assignment[i]];
+  // The slot claimed here is the oldest retained clustering; everything the
+  // similarity pass needed was read above, so its buffers recycle safely.
+  Clustering& fresh = claim_slot();
+  fresh.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fresh.assignment[i] = phi_[raw_.assignment[i]];
   }
   // Report centroids in measurement space (eq. (1)); K-means' empty-cluster
   // repair guarantees every cluster has at least one member.
-  std::vector<bool> empty;
-  final_clustering.centroids =
-      centroids_of(values, final_clustering.assignment, options_.k, &empty);
+  centroids_of_into(values, fresh.assignment, k, counts_scratch_,
+                    fresh.centroids, &empty_scratch_);
 
-  for (std::size_t j = 0; j < options_.k; ++j) {
-    const auto row = final_clustering.centroids.row(j);
-    centroid_series_[j].emplace_back(row.begin(), row.end());
+  dims_ = values.cols();
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double>& series = series_[j];
+    if (series.capacity() < series.size() + dims_) {
+      series.reserve(std::max(series.size() * 2, kSeriesReserveSteps * dims_));
+    }
+    const auto row = fresh.centroids.row(j);
+    series.insert(series.end(), row.begin(), row.end());
   }
 
   if (updates_total_ != nullptr) {
     updates_total_->inc();
-    kmeans_iterations_total_->inc(raw.iterations);
-    empty_clusters_->set(static_cast<double>(
-        std::count(empty.begin(), empty.end(), true)));
-    if (!history_.empty()) {
+    kmeans_iterations_total_->inc(raw_.iterations);
+    empty_clusters_->set(static_cast<double>(std::count(
+        empty_scratch_.begin(), empty_scratch_.end(), true)));
+    if (ring_size_ > 1) {
       std::uint64_t moved = 0;
-      const Clustering& prev = history_.front();
-      for (std::size_t i = 0; i < final_clustering.assignment.size(); ++i) {
-        if (final_clustering.assignment[i] != prev.assignment[i]) ++moved;
+      const Clustering& prev = history(1);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fresh.assignment[i] != prev.assignment[i]) ++moved;
       }
       reassignments_total_->inc(moved);
     }
   }
 
-  history_.push_front(std::move(final_clustering));
-  if (history_.size() > options_.history_capacity) history_.pop_back();
   ++steps_;
-  return history_.front();
+  return fresh;
 }
 
 const Clustering& DynamicClusterTracker::history(std::size_t age) const {
-  RESMON_REQUIRE(age < history_.size(), "history age out of range");
-  return history_[age];
+  RESMON_REQUIRE(age < ring_size_, "history age out of range");
+  return ring_[(ring_head_ + age) % ring_.size()];
 }
 
-const std::vector<std::vector<double>>& DynamicClusterTracker::centroid_series(
+std::span<const double> DynamicClusterTracker::centroid_series_flat(
     std::size_t j) const {
   RESMON_REQUIRE(j < options_.k, "cluster index out of range");
-  return centroid_series_[j];
+  return series_[j];
 }
 
 std::vector<double> DynamicClusterTracker::centroid_series(
     std::size_t j, std::size_t dim) const {
-  const auto& full = centroid_series(j);
+  const std::span<const double> flat = centroid_series_flat(j);
+  RESMON_REQUIRE(dim < dims_ || steps_ == 0,
+                 "centroid dimension out of range");
   std::vector<double> out;
-  out.reserve(full.size());
-  for (const auto& v : full) {
-    RESMON_REQUIRE(dim < v.size(), "centroid dimension out of range");
-    out.push_back(v[dim]);
+  out.reserve(steps_);
+  for (std::size_t t = 0; t < steps_; ++t) {
+    out.push_back(flat[t * dims_ + dim]);
   }
   return out;
 }

@@ -7,12 +7,19 @@
 // last M steps, and the best one-to-one re-indexing (eq. (11)) is found with
 // the Hungarian algorithm. The centroid of each (re-indexed) cluster then
 // traces out the time series that the forecasting models are trained on.
+//
+// The tracker owns every scratch buffer its per-step work needs (K-means,
+// similarity, Hungarian, the clustering ring) so steady-state updates
+// perform no heap allocations; the only amortized exception is the
+// unbounded centroid series, which grows geometrically in reserved slabs
+// (see docs/PERFORMANCE.md "Zero-allocation steady state").
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
+#include "cluster/hungarian.hpp"
 #include "cluster/kmeans.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -73,29 +80,57 @@ class DynamicClusterTracker {
   std::size_t steps() const { return steps_; }
 
   /// Number of past clusterings currently retained (<= history_capacity).
-  std::size_t history_size() const { return history_.size(); }
+  std::size_t history_size() const { return ring_size_; }
 
   /// Clustering `age` steps ago: history(0) is the most recent update.
   const Clustering& history(std::size_t age) const;
 
-  /// Full centroid time series of cluster j: one d-dimensional value per
-  /// update() call, oldest first. This is {c_{j,tau} : tau <= t}.
-  const std::vector<std::vector<double>>& centroid_series(
-      std::size_t j) const;
+  /// Full centroid time series of cluster j, flattened time-major: element
+  /// t * d + dim is dimension `dim` of c_{j,t}, oldest step first. This is
+  /// {c_{j,tau} : tau <= t}; the number of steps recorded is steps().
+  std::span<const double> centroid_series_flat(std::size_t j) const;
 
   /// Scalar centroid series of cluster j for one dimension (convenience for
-  /// the scalar-per-resource pipeline configuration).
+  /// the scalar-per-resource pipeline configuration; allocates — analysis
+  /// paths only).
   std::vector<double> centroid_series(std::size_t j, std::size_t dim) const;
 
+  /// Dimension of the recorded centroids (0 before the first update).
+  std::size_t centroid_dims() const { return dims_; }
+
  private:
-  Matrix similarity_matrix(const std::vector<std::size_t>& fresh_assignment,
-                           std::size_t n) const;
+  /// Fill `w_` with the eq. (10) similarity of the fresh assignment
+  /// against the retained history.
+  void similarity_into(const std::vector<std::size_t>& fresh_assignment,
+                       std::size_t n);
+  /// Rotate the ring and return the slot for the new most-recent
+  /// clustering (buffers recycled from the evicted entry).
+  Clustering& claim_slot();
 
   DynamicClusterOptions options_;
   Rng rng_;
-  std::deque<Clustering> history_;  // front = most recent
-  std::vector<std::vector<std::vector<double>>> centroid_series_;  // [j][t][d]
+  // Fixed-size ring of past clusterings, newest at ring_head_. A ring
+  // (not a deque) so the per-step path recycles buffers instead of
+  // churning allocator nodes.
+  std::vector<Clustering> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
+  // Flat per-cluster centroid series (see centroid_series_flat).
+  std::vector<std::vector<double>> series_;
+  std::size_t dims_ = 0;
   std::size_t steps_ = 0;
+  // Per-step scratch (see class comment).
+  KMeansScratch kmeans_scratch_;
+  KMeansResult raw_;
+  AssignmentScratch assign_scratch_;
+  std::vector<std::size_t> phi_;
+  std::vector<bool> in_all_;
+  Matrix w_;
+  Matrix jaccard_inter_;
+  std::vector<double> jaccard_fresh_size_;
+  std::vector<double> jaccard_hist_size_;
+  std::vector<std::size_t> counts_scratch_;
+  std::vector<bool> empty_scratch_;
   // Optional metrics (all nullptr when no registry was given).
   obs::Counter* updates_total_ = nullptr;
   obs::Counter* kmeans_iterations_total_ = nullptr;

@@ -5,7 +5,8 @@
 
 namespace resmon::cluster {
 
-std::vector<std::size_t> min_cost_assignment(const Matrix& cost) {
+void min_cost_assignment_into(const Matrix& cost, AssignmentScratch& scratch,
+                              std::vector<std::size_t>& assign) {
   RESMON_REQUIRE(cost.rows() == cost.cols(),
                  "assignment requires a square matrix");
   RESMON_REQUIRE(cost.rows() > 0, "assignment on empty matrix");
@@ -14,16 +15,22 @@ std::vector<std::size_t> min_cost_assignment(const Matrix& cost) {
   // Jonker-Volgenant style shortest augmenting path formulation of the
   // Hungarian algorithm with 1-based sentinel row/column 0.
   constexpr double kInf = std::numeric_limits<double>::max();
-  std::vector<double> u(n + 1, 0.0);   // row potentials
-  std::vector<double> v(n + 1, 0.0);   // column potentials
-  std::vector<std::size_t> p(n + 1, 0);  // p[col] = row matched to col
-  std::vector<std::size_t> way(n + 1, 0);
+  std::vector<double>& u = scratch.u;    // row potentials
+  std::vector<double>& v = scratch.v;    // column potentials
+  std::vector<std::size_t>& p = scratch.p;  // p[col] = row matched to col
+  std::vector<std::size_t>& way = scratch.way;
+  u.assign(n + 1, 0.0);
+  v.assign(n + 1, 0.0);
+  p.assign(n + 1, 0);
+  way.assign(n + 1, 0);
 
   for (std::size_t i = 1; i <= n; ++i) {
     p[0] = i;
     std::size_t j0 = 0;
-    std::vector<double> minv(n + 1, kInf);
-    std::vector<bool> used(n + 1, false);
+    std::vector<double>& minv = scratch.minv;
+    std::vector<bool>& used = scratch.used;
+    minv.assign(n + 1, kInf);
+    used.assign(n + 1, false);
     do {
       used[j0] = true;
       const std::size_t i0 = p[j0];
@@ -59,21 +66,37 @@ std::vector<std::size_t> min_cost_assignment(const Matrix& cost) {
     } while (j0 != 0);
   }
 
-  std::vector<std::size_t> assign(n);
+  assign.resize(n);
   for (std::size_t j = 1; j <= n; ++j) {
     assign[p[j] - 1] = j - 1;
   }
+}
+
+std::vector<std::size_t> min_cost_assignment(const Matrix& cost) {
+  AssignmentScratch scratch;
+  std::vector<std::size_t> assign;
+  min_cost_assignment_into(cost, scratch, assign);
   return assign;
 }
 
-std::vector<std::size_t> max_weight_assignment(const Matrix& weight) {
-  Matrix cost(weight.rows(), weight.cols());
+void max_weight_assignment_into(const Matrix& weight,
+                                AssignmentScratch& scratch,
+                                std::vector<std::size_t>& assign) {
+  Matrix& cost = scratch.cost;
+  cost.resize(weight.rows(), weight.cols());
   for (std::size_t r = 0; r < weight.rows(); ++r) {
     for (std::size_t c = 0; c < weight.cols(); ++c) {
       cost(r, c) = -weight(r, c);
     }
   }
-  return min_cost_assignment(cost);
+  min_cost_assignment_into(cost, scratch, assign);
+}
+
+std::vector<std::size_t> max_weight_assignment(const Matrix& weight) {
+  AssignmentScratch scratch;
+  std::vector<std::size_t> assign;
+  max_weight_assignment_into(weight, scratch, assign);
+  return assign;
 }
 
 double assignment_value(const Matrix& m,

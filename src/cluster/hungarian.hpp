@@ -11,13 +11,34 @@
 
 namespace resmon::cluster {
 
+/// Reusable buffers for the `_into` assignment variants, so the per-step
+/// re-indexing path allocates nothing once warm.
+struct AssignmentScratch {
+  std::vector<double> u;    ///< row potentials
+  std::vector<double> v;    ///< column potentials
+  std::vector<double> minv;
+  std::vector<std::size_t> p;
+  std::vector<std::size_t> way;
+  std::vector<bool> used;
+  Matrix cost;  ///< negated weights (max_weight_assignment_into)
+};
+
 /// Minimum-cost perfect assignment on a square cost matrix.
 /// Returns `assign` with assign[row] = column, minimizing total cost.
 std::vector<std::size_t> min_cost_assignment(const Matrix& cost);
 
+/// Allocation-free variant writing into `assign` (resized to cost.rows()).
+void min_cost_assignment_into(const Matrix& cost, AssignmentScratch& scratch,
+                              std::vector<std::size_t>& assign);
+
 /// Maximum-weight perfect assignment on a square weight matrix (eq. (11)).
 /// Returns `assign` with assign[row] = column, maximizing total weight.
 std::vector<std::size_t> max_weight_assignment(const Matrix& weight);
+
+/// Allocation-free variant of max_weight_assignment.
+void max_weight_assignment_into(const Matrix& weight,
+                                AssignmentScratch& scratch,
+                                std::vector<std::size_t>& assign);
 
 /// Total value of an assignment under the given matrix.
 double assignment_value(const Matrix& m,

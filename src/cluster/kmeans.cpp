@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/kernels.hpp"
 #include "common/thread_pool.hpp"
 
 namespace resmon::cluster {
@@ -15,25 +16,37 @@ namespace {
 /// count, so this is a constant — do not derive it from pool size.
 constexpr std::size_t kPointGrain = 256;
 
-/// k-means++ seeding: first centroid uniform, then proportional to squared
-/// distance from the nearest chosen centroid.
-Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
-  const std::size_t n = points.rows();
-  const std::size_t d = points.cols();
-  Matrix centroids(k, d);
+/// Minimum n*k*d work per parallel region before a pool is worth waking:
+/// below this, dispatch overhead exceeds the loop body and threads hurt
+/// (the cluster_forecast_speedup < 1 anti-scaling documented in
+/// docs/PERFORMANCE.md). The chunk partition is unchanged — only the
+/// execution venue — so results stay bit-identical.
+constexpr std::size_t kMinParallelWork = std::size_t{1} << 19;
 
-  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+ThreadPool* effective_pool(const KMeansOptions& options, std::size_t n,
+                           std::size_t k, std::size_t d) {
+  if (options.pool == nullptr) return nullptr;
+  return n * k * d >= kMinParallelWork ? options.pool : nullptr;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid. Distances run on the SoA
+/// kernel; the RNG scan stays sequential on the calling thread.
+void seed_centroids_into(const SoaMatrix& soa, std::size_t k, Rng& rng,
+                         std::vector<double>& dist2, Matrix& centroids) {
+  const std::size_t n = soa.rows();
+  const std::size_t d = soa.cols();
+  centroids.resize(k, d);
+
+  dist2.assign(n, std::numeric_limits<double>::max());
   std::size_t first = rng.index(n);
-  for (std::size_t c = 0; c < d; ++c) centroids(0, c) = points(first, c);
+  for (std::size_t c = 0; c < d; ++c) centroids(0, c) = soa(first, c);
 
   for (std::size_t j = 1; j < k; ++j) {
+    kern::min_distance_update(soa.col_ptrs(), d, centroids.row(j - 1).data(),
+                              0, n, dist2.data());
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d2 =
-          squared_distance(points.row(i), centroids.row(j - 1));
-      dist2[i] = std::min(dist2[i], d2);
-      total += dist2[i];
-    }
+    for (std::size_t i = 0; i < n; ++i) total += dist2[i];
     std::size_t chosen = 0;
     if (total > 0.0) {
       double r = rng.uniform() * total;
@@ -47,73 +60,75 @@ Matrix seed_centroids(const Matrix& points, std::size_t k, Rng& rng) {
     } else {
       chosen = rng.index(n);  // all points coincide with chosen centroids
     }
-    for (std::size_t c = 0; c < d; ++c) centroids(j, c) = points(chosen, c);
+    for (std::size_t c = 0; c < d; ++c) centroids(j, c) = soa(chosen, c);
   }
-  return centroids;
 }
 
-std::size_t nearest_centroid(const Matrix& centroids,
-                             std::span<const double> point) {
-  std::size_t best = 0;
-  double best_d2 = std::numeric_limits<double>::max();
-  for (std::size_t j = 0; j < centroids.rows(); ++j) {
-    const double d2 = squared_distance(centroids.row(j), point);
-    if (d2 < best_d2) {
-      best_d2 = d2;
-      best = j;
-    }
-  }
-  return best;
-}
-
-KMeansResult run_once(const Matrix& points, std::size_t k, Rng& rng,
-                      const KMeansOptions& options) {
+void run_once_into(const Matrix& points, std::size_t k, Rng& rng,
+                   const KMeansOptions& options, KMeansScratch& scratch,
+                   KMeansResult& result) {
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
+  ThreadPool* pool = effective_pool(options, n, k, d);
+  const SoaMatrix& soa = scratch.soa;
 
-  KMeansResult result;
-  result.centroids = seed_centroids(points, k, rng);
+  result.iterations = 0;
+  seed_centroids_into(soa, k, rng, scratch.dist2, result.centroids);
   result.assignment.assign(n, 0);
+  scratch.best_d2.resize(n);
+  scratch.best_j.resize(n);
 
   double prev_inertia = std::numeric_limits<double>::max();
-  std::vector<std::size_t> counts(k);
+  scratch.counts.assign(k, 0);
 
   // Per-chunk partial reductions of the two point loops. The partition is
   // fixed by kPointGrain, each chunk accumulates its slice in index order,
   // and the merges below walk chunks in order — so the floating-point
   // operation sequence is identical at every thread count.
   const std::size_t chunks = ThreadPool::num_chunks(n, kPointGrain);
-  std::vector<double> chunk_inertia(chunks, 0.0);
-  std::vector<Matrix> chunk_sums(chunks, Matrix(k, d));
-  std::vector<std::vector<std::size_t>> chunk_counts(
-      chunks, std::vector<std::size_t>(k, 0));
+  scratch.chunk_inertia.resize(chunks);
+  scratch.chunk_sums.resize(chunks);
+  scratch.chunk_counts.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    scratch.chunk_sums[c].resize(k, d);
+    scratch.chunk_counts[c].assign(k, 0);
+  }
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Assignment step.
-    run_chunked(options.pool, n, kPointGrain,
+    // Assignment step: the kernel scans centroids in index order with a
+    // strict `<`, so each point's winner and squared distance match the
+    // scalar argmin bit for bit; the per-chunk inertia then sums the
+    // already-computed best_d2 in point order (the same values the old
+    // code recomputed with squared_distance).
+    run_chunked(pool, n, kPointGrain,
                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                  kern::nearest_centroids(
+                      soa.col_ptrs(), d, result.centroids.data().data(), k,
+                      begin, end, scratch.best_j.data(),
+                      scratch.best_d2.data());
                   double local = 0.0;
                   for (std::size_t i = begin; i < end; ++i) {
-                    const std::size_t j =
-                        nearest_centroid(result.centroids, points.row(i));
-                    result.assignment[i] = j;
-                    local += squared_distance(result.centroids.row(j),
-                                              points.row(i));
+                    result.assignment[i] = scratch.best_j[i];
+                    local += scratch.best_d2[i];
                   }
-                  chunk_inertia[c] = local;
+                  scratch.chunk_inertia[c].value = local;
                 });
     double inertia = 0.0;
-    for (std::size_t c = 0; c < chunks; ++c) inertia += chunk_inertia[c];
+    for (std::size_t c = 0; c < chunks; ++c) {
+      inertia += scratch.chunk_inertia[c].value;
+    }
 
-    // Update step.
-    run_chunked(options.pool, n, kPointGrain,
+    // Update step: accumulation stays in point order (row-major reads are
+    // already contiguous here), merged chunk by chunk.
+    run_chunked(pool, n, kPointGrain,
                 [&](std::size_t c, std::size_t begin, std::size_t end) {
-                  Matrix& local_sums = chunk_sums[c];
+                  Matrix& local_sums = scratch.chunk_sums[c];
                   std::fill(local_sums.data().begin(),
                             local_sums.data().end(), 0.0);
-                  std::vector<std::size_t>& local_counts = chunk_counts[c];
+                  std::vector<std::size_t>& local_counts =
+                      scratch.chunk_counts[c];
                   std::fill(local_counts.begin(), local_counts.end(), 0);
                   for (std::size_t i = begin; i < end; ++i) {
                     const std::size_t j = result.assignment[i];
@@ -121,11 +136,15 @@ KMeansResult run_once(const Matrix& points, std::size_t k, Rng& rng,
                     axpy(1.0, points.row(i), local_sums.row(j));
                   }
                 });
-    Matrix sums(k, d);
+    Matrix& sums = scratch.sums;
+    sums.resize(k, d);
+    std::vector<std::size_t>& counts = scratch.counts;
     std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t c = 0; c < chunks; ++c) {
-      sums += chunk_sums[c];
-      for (std::size_t j = 0; j < k; ++j) counts[j] += chunk_counts[c][j];
+      sums += scratch.chunk_sums[c];
+      for (std::size_t j = 0; j < k; ++j) {
+        counts[j] += scratch.chunk_counts[c][j];
+      }
     }
     for (std::size_t j = 0; j < k; ++j) {
       if (counts[j] == 0) {
@@ -159,34 +178,45 @@ KMeansResult run_once(const Matrix& points, std::size_t k, Rng& rng,
     prev_inertia = inertia;
     result.inertia = inertia;
   }
-  return result;
 }
 
 }  // namespace
 
-KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
-                    const KMeansOptions& options) {
+void kmeans_into(const Matrix& points, std::size_t k, Rng& rng,
+                 const KMeansOptions& options, KMeansScratch& scratch,
+                 KMeansResult& out) {
   RESMON_REQUIRE(points.rows() > 0, "kmeans: no points");
   RESMON_REQUIRE(k >= 1 && k <= points.rows(),
                  "kmeans: k must be in [1, #points]");
 
-  KMeansResult best;
-  best.inertia = std::numeric_limits<double>::max();
+  scratch.soa.assign_from(points);
   const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
-  for (std::size_t r = 0; r < restarts; ++r) {
-    KMeansResult candidate = run_once(points, k, rng, options);
-    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  run_once_into(points, k, rng, options, scratch, out);
+  for (std::size_t r = 1; r < restarts; ++r) {
+    KMeansResult& candidate = scratch.candidate;
+    run_once_into(points, k, rng, options, scratch, candidate);
+    // Same winner the old `candidate.inertia < best.inertia` pick kept;
+    // swapping (not copying) recycles the loser's buffers.
+    if (candidate.inertia < out.inertia) std::swap(out, candidate);
   }
-  return best;
 }
 
-Matrix centroids_of(const Matrix& points,
-                    const std::vector<std::size_t>& assignment, std::size_t k,
-                    std::vector<bool>* empty_out) {
+KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
+                    const KMeansOptions& options) {
+  KMeansScratch scratch;
+  KMeansResult out;
+  kmeans_into(points, k, rng, options, scratch, out);
+  return out;
+}
+
+void centroids_of_into(const Matrix& points,
+                       const std::vector<std::size_t>& assignment,
+                       std::size_t k, std::vector<std::size_t>& counts,
+                       Matrix& centroids, std::vector<bool>* empty_out) {
   RESMON_REQUIRE(assignment.size() == points.rows(),
                  "centroids_of: assignment size mismatch");
-  Matrix centroids(k, points.cols());
-  std::vector<std::size_t> counts(k, 0);
+  centroids.resize(k, points.cols());
+  counts.assign(k, 0);
   for (std::size_t i = 0; i < points.rows(); ++i) {
     RESMON_REQUIRE(assignment[i] < k, "centroids_of: cluster out of range");
     ++counts[assignment[i]];
@@ -202,6 +232,14 @@ Matrix centroids_of(const Matrix& points,
       centroids(j, c) /= static_cast<double>(counts[j]);
     }
   }
+}
+
+Matrix centroids_of(const Matrix& points,
+                    const std::vector<std::size_t>& assignment, std::size_t k,
+                    std::vector<bool>* empty_out) {
+  Matrix centroids;
+  std::vector<std::size_t> counts;
+  centroids_of_into(points, assignment, k, counts, centroids, empty_out);
   return centroids;
 }
 

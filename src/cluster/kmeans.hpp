@@ -5,13 +5,21 @@
 // dimension so the same code serves per-resource scalar clustering, joint
 // full-vector clustering, temporal-window clustering (Fig. 5) and the
 // offline whole-series baseline.
+//
+// The assignment and seeding scans run on the dispatchable SIMD kernels of
+// common/kernels.hpp over a dimension-major (SoA) copy of the points; the
+// scalar and SIMD paths are bit-identical (DESIGN.md "Memory layout & SIMD
+// kernels"). Callers on the per-slot hot path pass a KMeansScratch via
+// kmeans_into() so repeated runs perform no steady-state allocations.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/soa.hpp"
 
 namespace resmon {
 class ThreadPool;
@@ -27,7 +35,9 @@ struct KMeansOptions {
   /// Results are bit-identical with and without a pool: the loops use a
   /// fixed chunk partition and merge per-chunk partials in chunk order
   /// (see common/thread_pool.hpp), and all RNG draws (seeding) stay on the
-  /// calling thread. Non-owning; nullptr = serial.
+  /// calling thread. Non-owning; nullptr = serial. Regions smaller than an
+  /// internal work threshold run serially even with a pool (identical
+  /// results — only the execution venue changes).
   ThreadPool* pool = nullptr;
 };
 
@@ -38,11 +48,41 @@ struct KMeansResult {
   std::size_t iterations = 0;           ///< Lloyd iterations of best restart
 };
 
+/// Reusable buffers for kmeans_into(): the SoA mirror of the points, the
+/// per-point nearest-centroid scratch the kernels fill, per-chunk reduction
+/// slots, and the runner-up restart result. Owned by long-lived callers
+/// (DynamicClusterTracker) so the per-step path allocates nothing once
+/// warm.
+struct KMeansScratch {
+  SoaMatrix soa;
+  std::vector<double> best_d2;
+  std::vector<std::uint32_t> best_j;
+  std::vector<double> dist2;  ///< k-means++ seeding distances
+  /// Per-chunk inertia partials, cache-line padded: adjacent chunks are
+  /// reduced by different workers, and unpadded doubles false-share.
+  struct alignas(64) PaddedDouble {
+    double value = 0.0;
+  };
+  std::vector<PaddedDouble> chunk_inertia;
+  std::vector<Matrix> chunk_sums;
+  Matrix sums;  ///< chunk_sums merged in chunk order
+  std::vector<std::vector<std::size_t>> chunk_counts;
+  std::vector<std::size_t> counts;
+  KMeansResult candidate;  ///< losing restart, kept for buffer reuse
+};
+
 /// Cluster the rows of `points` (n x d) into k groups. Requires 1 <= k <= n.
 /// Deterministic given the Rng state. Empty clusters are repaired by
 /// stealing the point farthest from its centroid.
 KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
                     const KMeansOptions& options = {});
+
+/// Allocation-free variant: result buffers in `out` and every internal
+/// buffer in `scratch` are reused across calls. Identical results to
+/// kmeans().
+void kmeans_into(const Matrix& points, std::size_t k, Rng& rng,
+                 const KMeansOptions& options, KMeansScratch& scratch,
+                 KMeansResult& out);
 
 /// Mean of each cluster's member rows for an externally supplied assignment
 /// (used to recompute centroids of baseline clusterings on fresh data).
@@ -51,6 +91,12 @@ KMeansResult kmeans(const Matrix& points, std::size_t k, Rng& rng,
 Matrix centroids_of(const Matrix& points,
                     const std::vector<std::size_t>& assignment, std::size_t k,
                     std::vector<bool>* empty_out = nullptr);
+
+/// In-place variant of centroids_of reusing the caller's buffers.
+void centroids_of_into(const Matrix& points,
+                       const std::vector<std::size_t>& assignment,
+                       std::size_t k, std::vector<std::size_t>& counts,
+                       Matrix& centroids, std::vector<bool>* empty_out);
 
 /// Sum of squared distances from each row to its assigned centroid.
 double inertia_of(const Matrix& points,

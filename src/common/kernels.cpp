@@ -1,0 +1,94 @@
+#include "common/kernels.hpp"
+
+#include <atomic>
+
+// Two instances of every kernel body. The SIMD instance is compiled for
+// AVX2 via the target attribute (note: *not* "avx2,fma" — fused
+// multiply-add would contract `acc += diff * diff` and break bitwise
+// equality with the scalar instance; this TU is additionally built with
+// -ffp-contract=off as insurance). The `#pragma omp simd` annotations are
+// enabled project-wide by -fopenmp-simd, which implies no OpenMP runtime.
+
+namespace resmon::kern {
+
+namespace scalar {
+#define RESMON_KERNEL_FN
+#define RESMON_KERNEL_LOOP
+#include "common/kernels_impl.inc"  // NOLINT(bugprone-suspicious-include)
+#undef RESMON_KERNEL_FN
+#undef RESMON_KERNEL_LOOP
+}  // namespace scalar
+
+namespace simd {
+#define RESMON_KERNEL_FN __attribute__((target("avx2")))
+#define RESMON_KERNEL_LOOP _Pragma("omp simd")
+#include "common/kernels_impl.inc"  // NOLINT(bugprone-suspicious-include)
+#undef RESMON_KERNEL_FN
+#undef RESMON_KERNEL_LOOP
+}  // namespace simd
+
+namespace {
+
+std::atomic<Path> g_path{Path::kAuto};
+
+Path resolve(Path p) {
+  if (p != Path::kAuto) return p;
+  return simd_supported() ? Path::kSimd : Path::kScalar;
+}
+
+inline bool use_simd() {
+  return resolve(g_path.load(std::memory_order_relaxed)) == Path::kSimd;
+}
+
+}  // namespace
+
+bool simd_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+void set_path(Path path) { g_path.store(path, std::memory_order_relaxed); }
+
+Path active_path() {
+  return resolve(g_path.load(std::memory_order_relaxed));
+}
+
+void nearest_centroids(const double* const* xcols, std::size_t d,
+                       const double* centroids, std::size_t k,
+                       std::size_t begin, std::size_t end,
+                       std::uint32_t* best_j, double* best_d2) {
+  if (use_simd()) {
+    simd::nearest_centroids(xcols, d, centroids, k, begin, end, best_j,
+                            best_d2);
+  } else {
+    scalar::nearest_centroids(xcols, d, centroids, k, begin, end, best_j,
+                              best_d2);
+  }
+}
+
+void min_distance_update(const double* const* xcols, std::size_t d,
+                         const double* c, std::size_t begin, std::size_t end,
+                         double* dist2) {
+  if (use_simd()) {
+    simd::min_distance_update(xcols, d, c, begin, end, dist2);
+  } else {
+    scalar::min_distance_update(xcols, d, c, begin, end, dist2);
+  }
+}
+
+void subtract_mean(const double* src, double mean, std::size_t n,
+                   double* dst) {
+  if (use_simd()) {
+    simd::subtract_mean(src, mean, n, dst);
+  } else {
+    scalar::subtract_mean(src, mean, n, dst);
+  }
+}
+
+void axpy_lagged(double a, const double* w, std::size_t lag, std::size_t n,
+                 double* e) {
+  if (use_simd()) {
+    simd::axpy_lagged(a, w, lag, n, e);
+  } else {
+    scalar::axpy_lagged(a, w, lag, n, e);
+  }
+}
+
+}  // namespace resmon::kern

@@ -1,0 +1,65 @@
+// Hot-path kernels with a runtime scalar/SIMD dispatch.
+//
+// Every kernel here exists in two compiled instances (see kernels.cpp): a
+// plain scalar build and a SIMD build (`#pragma omp simd` loops compiled
+// with AVX2 enabled). Both instances perform the *same* floating-point
+// operations on each element in the *same* order — vectorization only runs
+// independent per-point lanes side by side — so the two paths are bitwise
+// identical and both match the golden determinism traces. The
+// bit-compatibility contract is spelled out in DESIGN.md ("Memory layout &
+// SIMD kernels") and enforced by tests/test_kernels.cpp.
+//
+// Dispatch: kAuto resolves once per process to the SIMD instance when the
+// CPU supports AVX2, the scalar instance otherwise. Tests pin the path with
+// set_path() to compare both instances on identical inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace resmon::kern {
+
+enum class Path : std::uint8_t {
+  kAuto = 0,    ///< runtime CPU detection (default)
+  kScalar = 1,  ///< force the scalar instance
+  kSimd = 2,    ///< force the SIMD instance (requires AVX2)
+};
+
+/// True when this CPU can run the SIMD instance (AVX2).
+bool simd_supported();
+
+/// Pin the dispatch (tests/benches only; not thread-safe vs in-flight
+/// kernels — set it before spinning up worker pools).
+void set_path(Path path);
+
+/// The instance kernels currently dispatch to (never kAuto).
+Path active_path();
+
+/// Nearest centroid of each point i in [begin, end), for d-dimensional
+/// points stored dimension-major (SoA): xcols[dim][i] is coordinate `dim`
+/// of point i. `centroids` is row-major k x d. Writes best_j[i] and the
+/// squared distance best_d2[i]. Per point, distances accumulate in
+/// dimension order and candidates are scanned in centroid order with a
+/// strict `<`, exactly like the scalar argmin loop it replaces.
+void nearest_centroids(const double* const* xcols, std::size_t d,
+                       const double* centroids, std::size_t k,
+                       std::size_t begin, std::size_t end,
+                       std::uint32_t* best_j, double* best_d2);
+
+/// k-means++ seeding distance pass over one new centroid `c` (length d):
+/// dist2[i] = min(dist2[i], ||x_i - c||^2) for i in [begin, end).
+void min_distance_update(const double* const* xcols, std::size_t d,
+                         const double* c, std::size_t begin, std::size_t end,
+                         double* dist2);
+
+/// dst[i] = src[i] - mean for i in [0, n) (ARIMA centering).
+void subtract_mean(const double* src, double mean, std::size_t n,
+                   double* dst);
+
+/// e[t] -= a * w[t - lag] for t in [lag, n). One pass of the AR-only CSS
+/// residual recursion; applying passes in lag order reproduces the scalar
+/// per-t accumulation order bit for bit. `e` and `w` must not alias.
+void axpy_lagged(double a, const double* w, std::size_t lag, std::size_t n,
+                 double* e);
+
+}  // namespace resmon::kern

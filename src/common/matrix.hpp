@@ -32,6 +32,15 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshape to rows x cols with every element zeroed. Reuses the existing
+  /// allocation when capacity suffices — the hot-path scratch objects rely
+  /// on this to stay allocation-free at steady state.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }

@@ -1,0 +1,69 @@
+// Dimension-major (structure-of-arrays) mirror of a row-major Matrix.
+//
+// The hot kernels (common/kernels.hpp) vectorize *across points*: one point
+// per SIMD lane, each lane running the unchanged per-point operation
+// sequence. That requires coordinate `dim` of consecutive points to be
+// contiguous in memory — the transpose of Matrix's row-major layout. A
+// SoaMatrix holds that transpose and hands kernels a per-dimension pointer
+// table. assign_from() reuses capacity, so a scratch SoaMatrix refilled
+// every step performs no steady-state allocations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace resmon {
+
+class SoaMatrix {
+ public:
+  SoaMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Dimension-major resize; keeps capacity when shrinking or refilling.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+    col_ptrs_.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      col_ptrs_[c] = data_.data() + c * rows;
+    }
+  }
+
+  /// Refill from a row-major matrix (transposing copy).
+  void assign_from(const Matrix& m) {
+    resize(m.rows(), m.cols());
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::span<const double> row = m.row(r);
+      for (std::size_t c = 0; c < cols_; ++c) data_[c * rows_ + r] = row[c];
+    }
+  }
+
+  std::span<double> col(std::size_t c) {
+    return {data_.data() + c * rows_, rows_};
+  }
+  std::span<const double> col(std::size_t c) const {
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  /// Per-dimension pointer table in the shape kernels consume
+  /// (xcols[dim][i] = coordinate dim of point i).
+  const double* const* col_ptrs() const { return col_ptrs_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;        // column c occupies [c*rows, (c+1)*rows)
+  std::vector<const double*> col_ptrs_;
+};
+
+}  // namespace resmon

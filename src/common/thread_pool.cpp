@@ -1,6 +1,5 @@
 #include "common/thread_pool.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -14,7 +13,7 @@ struct ThreadPool::ForLoop {
   std::size_t n = 0;
   std::size_t grain = 1;
   std::size_t chunks = 0;
-  ChunkBody body;
+  ChunkRef body;
   std::atomic<std::size_t> next{0};
   std::mutex mutex;
   std::condition_variable finished;
@@ -51,80 +50,121 @@ void ThreadPool::enqueue(std::function<void()> task) {
   work_ready_.notify_one();
 }
 
+std::shared_ptr<ThreadPool::ForLoop> ThreadPool::runnable_loop_locked() {
+  // Retire exhausted regions (their caller is responsible for completion
+  // tracking; once every chunk is claimed there is nothing left to help
+  // with). The deque stays tiny — its depth is the nesting depth of
+  // parallel regions — so the scan is cheap.
+  while (!loops_.empty() &&
+         loops_.front()->next.load(std::memory_order_relaxed) >=
+             loops_.front()->chunks) {
+    loops_.pop_front();
+  }
+  for (const std::shared_ptr<ForLoop>& loop : loops_) {
+    if (loop->next.load(std::memory_order_relaxed) < loop->chunks) {
+      return loop;
+    }
+  }
+  return nullptr;
+}
+
 void ThreadPool::worker_main() {
   for (;;) {
+    std::shared_ptr<ForLoop> loop;
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [this]() { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_ready_.wait(lock, [&]() {
+        if (stopping_) return true;
+        if (!queue_.empty()) return true;
+        loop = runnable_loop_locked();
+        return loop != nullptr;
+      });
+      if (loop == nullptr) {
+        if (queue_.empty()) return;  // stopping and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
     }
-    task();
+    if (loop != nullptr) {
+      drive(*loop);
+      loop.reset();
+    } else {
+      task();
+    }
   }
 }
 
-void ThreadPool::drive(const std::shared_ptr<ForLoop>& loop) {
+void ThreadPool::drive(ForLoop& loop) {
   for (;;) {
-    const std::size_t c = loop->next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= loop->chunks) return;
-    const std::size_t begin = c * loop->grain;
-    const std::size_t end = std::min(loop->n, begin + loop->grain);
+    const std::size_t c = loop.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= loop.chunks) return;
+    const std::size_t begin = c * loop.grain;
+    const std::size_t end = std::min(loop.n, begin + loop.grain);
     std::exception_ptr failure;
     try {
-      loop->body(c, begin, end);
+      loop.body.fn(loop.body.ctx, c, begin, end);
     } catch (...) {
       failure = std::current_exception();
     }
     bool all_done;
     {
-      std::lock_guard<std::mutex> lock(loop->mutex);
-      if (failure && !loop->error) loop->error = failure;
-      all_done = ++loop->done == loop->chunks;
+      std::lock_guard<std::mutex> lock(loop.mutex);
+      if (failure && !loop.error) loop.error = failure;
+      all_done = ++loop.done == loop.chunks;
     }
-    if (all_done) loop->finished.notify_all();
+    if (all_done) loop.finished.notify_all();
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
-                              const ChunkBody& body) {
+void ThreadPool::parallel_for_ref(std::size_t n, std::size_t grain,
+                                  ChunkRef body) {
   if (n == 0) return;
-  auto loop = std::make_shared<ForLoop>();
-  loop->n = n;
-  loop->grain = grain == 0 ? 1 : grain;
-  loop->chunks = num_chunks(n, grain);
-  loop->body = body;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = num_chunks(n, g);
 
-  // Helpers beyond chunks - 1 would have nothing to claim: the caller
-  // always takes at least one chunk itself.
-  const std::size_t helpers =
-      std::min(workers_.size(), loop->chunks - 1);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    enqueue([loop]() { drive(loop); });
-  }
-  drive(loop);
-  {
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->finished.wait(lock,
-                        [&]() { return loop->done == loop->chunks; });
-    if (loop->error) std::rethrow_exception(loop->error);
-  }
-}
-
-void run_chunked(ThreadPool* pool, std::size_t n, std::size_t grain,
-                 const ThreadPool::ChunkBody& body) {
-  if (n == 0) return;
-  if (pool != nullptr) {
-    pool->parallel_for(n, grain, body);
+  // A single chunk (or no workers to share with) runs inline: no
+  // descriptor, no locking, no wakeups. This is what makes a work-size
+  // threshold in callers effective — regions too small to split cost
+  // nothing beyond the body itself.
+  if (chunks == 1 || workers_.empty()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body.fn(body.ctx, c, c * g, std::min(n, c * g + g));
+    }
     return;
   }
-  const std::size_t g = grain == 0 ? 1 : grain;
-  const std::size_t chunks = ThreadPool::num_chunks(n, g);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    body(c, c * g, std::min(n, c * g + g));
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->n = n;
+  loop->grain = g;
+  loop->chunks = chunks;
+  loop->body = body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    loops_.push_back(loop);
   }
+  // chunks - 1 helpers at most can contribute; the caller always takes at
+  // least one chunk itself.
+  if (chunks > 2 && workers_.size() > 1) {
+    work_ready_.notify_all();
+  } else {
+    work_ready_.notify_one();
+  }
+  drive(*loop);
+  {
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->finished.wait(lock, [&]() { return loop->done == loop->chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = loops_.begin(); it != loops_.end(); ++it) {
+      if (it->get() == loop.get()) {
+        loops_.erase(it);
+        break;
+      }
+    }
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
 }
 
 }  // namespace resmon

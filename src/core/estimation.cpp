@@ -30,7 +30,7 @@ double alpha_scale(std::span<const double> delta, const Matrix& centroids,
 
 OffsetTracker::OffsetTracker(std::size_t m_prime, std::size_t k,
                              bool use_alpha)
-    : m_prime_(m_prime), k_(k), use_alpha_(use_alpha) {
+    : m_prime_(m_prime), k_(k), use_alpha_(use_alpha), ring_(m_prime + 1) {
   RESMON_REQUIRE(k >= 1, "OffsetTracker needs at least one cluster");
 }
 
@@ -42,21 +42,29 @@ void OffsetTracker::push(const cluster::Clustering& clustering,
                  "OffsetTracker: snapshot/assignment size mismatch");
   RESMON_REQUIRE(snapshot.cols() == clustering.centroids.cols(),
                  "OffsetTracker: snapshot/centroid dimension mismatch");
-  if (!history_.empty()) {
-    RESMON_REQUIRE(
-        snapshot.rows() == history_.front().snapshot.rows(),
-        "OffsetTracker: node count changed between steps");
+  if (ring_size_ > 0) {
+    RESMON_REQUIRE(snapshot.rows() == entry(0).snapshot.rows(),
+                   "OffsetTracker: node count changed between steps");
   }
-  history_.push_front({clustering, snapshot});
-  if (history_.size() > m_prime_ + 1) history_.pop_back();
+  // Rotate the ring backward and copy-assign into the evicted slot, so the
+  // entry's vectors/matrices recycle their capacity (no steady-state
+  // allocations).
+  const std::size_t cap = ring_.size();
+  ring_head_ = (ring_head_ + cap - 1) % cap;
+  if (ring_size_ < cap) ++ring_size_;
+  Entry& slot = ring_[ring_head_];
+  slot.clustering.assignment = clustering.assignment;
+  slot.clustering.centroids = clustering.centroids;
+  slot.snapshot = snapshot;
 }
 
 std::size_t OffsetTracker::modal_cluster(std::size_t node) const {
-  if (history_.empty()) {
+  if (ring_size_ == 0) {
     throw InvalidState("OffsetTracker: no steps recorded");
   }
   std::vector<std::size_t> counts(k_, 0);
-  for (const Entry& e : history_) {
+  for (std::size_t age = 0; age < ring_size_; ++age) {
+    const Entry& e = entry(age);
     RESMON_REQUIRE(node < e.clustering.assignment.size(),
                    "OffsetTracker: node out of range");
     ++counts[e.clustering.assignment[node]];
@@ -70,14 +78,16 @@ std::size_t OffsetTracker::modal_cluster(std::size_t node) const {
 
 std::vector<double> OffsetTracker::offset(std::size_t node,
                                           std::size_t j) const {
-  if (history_.empty()) {
+  if (ring_size_ == 0) {
     throw InvalidState("OffsetTracker: no steps recorded");
   }
   RESMON_REQUIRE(j < k_, "OffsetTracker: cluster out of range");
-  const std::size_t dims = history_.front().snapshot.cols();
+  const std::size_t dims = entry(0).snapshot.cols();
   std::vector<double> out(dims, 0.0);
   std::vector<double> delta(dims);
-  for (const Entry& e : history_) {
+  // Newest-first, matching the push order of the former deque exactly.
+  for (std::size_t age = 0; age < ring_size_; ++age) {
+    const Entry& e = entry(age);
     for (std::size_t c = 0; c < dims; ++c) {
       delta[c] = e.snapshot(node, c) - e.clustering.centroids(j, c);
     }
@@ -87,7 +97,7 @@ std::vector<double> OffsetTracker::offset(std::size_t node,
       out[c] += alpha * delta[c];
     }
   }
-  for (double& v : out) v /= static_cast<double>(history_.size());
+  for (double& v : out) v /= static_cast<double>(ring_size_);
   return out;
 }
 

@@ -7,7 +7,6 @@
 //    keeps "centroid + offset" inside the node's own cluster.
 #pragma once
 
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -38,8 +37,8 @@ class OffsetTracker {
   /// clustering's centroids).
   void push(const cluster::Clustering& clustering, const Matrix& snapshot);
 
-  std::size_t steps() const { return history_.size(); }
-  bool empty() const { return history_.empty(); }
+  std::size_t steps() const { return ring_size_; }
+  bool empty() const { return ring_size_ == 0; }
 
   /// C-hat membership: the cluster `node` belonged to most often over the
   /// last min(M'+1, steps()) steps (ties break to the smaller index).
@@ -54,10 +53,19 @@ class OffsetTracker {
     Matrix snapshot;
   };
 
+  /// Entry `age` steps back (0 = most recent). Requires age < steps().
+  const Entry& entry(std::size_t age) const {
+    return ring_[(ring_head_ + age) % ring_.size()];
+  }
+
   std::size_t m_prime_;
   std::size_t k_;
   bool use_alpha_;
-  std::deque<Entry> history_;  // front = most recent
+  // Fixed ring of the last M'+1 entries, newest at ring_head_; buffers are
+  // recycled in place so push() allocates nothing at steady state.
+  std::vector<Entry> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
 };
 
 }  // namespace resmon::core

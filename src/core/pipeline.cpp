@@ -105,7 +105,11 @@ MonitoringPipeline::MonitoringPipeline(const trace::Trace& trace,
   trackers_.reserve(views);
   offsets_.reserve(views);
   models_.resize(views);
-  snapshot_history_.resize(views);
+  snapshot_ring_.resize(views);
+  for (std::size_t v = 0; v < views; ++v) {
+    snapshot_ring_[v].resize(snapshot_capacity_);
+  }
+  if (options.temporal_window > 1) features_scratch_.resize(views);
   for (std::size_t v = 0; v < views; ++v) {
     cluster::DynamicClusterOptions vopts = copts;
     vopts.metrics_view = std::to_string(v);
@@ -134,20 +138,20 @@ StageTimers MonitoringPipeline::stage_timers() const {
                      .forecast_seconds = stage_forecast_->value()};
 }
 
-Matrix MonitoringPipeline::view_snapshot(std::size_t view) const {
+void MonitoringPipeline::view_snapshot_into(std::size_t view,
+                                            Matrix& snap) const {
   const transport::CentralStore& store = this->store();
   const std::size_t n = trace_.num_nodes();
   if (options_.cluster_per_resource) {
-    Matrix snap(n, 1);
+    snap.resize(n, 1);
     for (std::size_t i = 0; i < n; ++i) snap(i, 0) = store.stored(i)[view];
-    return snap;
+    return;
   }
-  Matrix snap(n, trace_.num_resources());
+  snap.resize(n, trace_.num_resources());
   for (std::size_t i = 0; i < n; ++i) {
     const std::vector<double>& z = store.stored(i);
     for (std::size_t r = 0; r < z.size(); ++r) snap(i, r) = z[r];
   }
-  return snap;
 }
 
 Matrix MonitoringPipeline::view_truth(std::size_t view, std::size_t t) const {
@@ -168,38 +172,44 @@ Matrix MonitoringPipeline::view_truth(std::size_t view, std::size_t t) const {
   return truth;
 }
 
-Matrix MonitoringPipeline::view_features(std::size_t view) const {
-  const std::deque<Matrix>& hist = snapshot_history_[view];
+void MonitoringPipeline::view_features_into(std::size_t view,
+                                            Matrix& features) const {
   const std::size_t w = options_.temporal_window;
   const std::size_t n = trace_.num_nodes();
   const std::size_t vd = view_dims();
-  Matrix features(n, vd * w);
+  features.resize(n, vd * w);
   for (std::size_t slot = 0; slot < w; ++slot) {
     // slot 0 = most recent snapshot; pad older slots with the oldest
     // available snapshot during warm-up.
-    const Matrix& snap = hist[std::min(slot, hist.size() - 1)];
+    const Matrix& snap = snapshot(view, std::min(slot, snap_size_ - 1));
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t c = 0; c < vd; ++c) {
         features(i, slot * vd + c) = snap(i, c);
       }
     }
   }
+}
+
+Matrix MonitoringPipeline::view_features(std::size_t view) const {
+  Matrix features;
+  view_features_into(view, features);
   return features;
 }
 
 void MonitoringPipeline::update_view(std::size_t view) {
-  Matrix snap = view_snapshot(view);
-  snapshot_history_[view].push_front(std::move(snap));
-  if (snapshot_history_[view].size() > snapshot_capacity_) {
-    snapshot_history_[view].pop_back();
-  }
+  // The ring indices were advanced in finish_step(); fill this view's slot.
+  Matrix& values = snapshot_ring_[view][snap_head_];
+  view_snapshot_into(view, values);
 
-  const Matrix& values = snapshot_history_[view].front();
-  const cluster::Clustering& clustering =
-      options_.temporal_window == 1
-          ? trackers_[view].update(values)
-          : trackers_[view].update(view_features(view), values);
-  offsets_[view].push(clustering, values);
+  const cluster::Clustering* clustering = nullptr;
+  if (options_.temporal_window == 1) {
+    clustering = &trackers_[view].update(values);
+  } else {
+    Matrix& features = features_scratch_[view];
+    view_features_into(view, features);
+    clustering = &trackers_[view].update(features, values);
+  }
+  offsets_[view].push(*clustering, values);
 }
 
 void MonitoringPipeline::step() {
@@ -250,6 +260,9 @@ void MonitoringPipeline::finish_step() {
   {
     obs::ScopedSpan span(options_.trace_events, "pipeline.cluster",
                          stage_cluster_);
+    // Advance the shared snapshot ring once; update_view fills the slots.
+    snap_head_ = (snap_head_ + snapshot_capacity_ - 1) % snapshot_capacity_;
+    if (snap_size_ < snapshot_capacity_) ++snap_size_;
     run_chunked(pool_.get(), trackers_.size(), 1,
                 [&](std::size_t, std::size_t begin, std::size_t end) {
                   for (std::size_t v = begin; v < end; ++v) update_view(v);
@@ -258,13 +271,18 @@ void MonitoringPipeline::finish_step() {
 
   // Every (view, cluster, dim) forecaster is an independent model fed from
   // the clustering finished above; retrains run in parallel, one task per
-  // model.
+  // model. All models share one schedule and history length, so steps where
+  // nothing retrains (the overwhelming majority) skip the pool entirely —
+  // observe() is then just a push + transient update, far cheaper than a
+  // parallel-region launch.
   {
     obs::ScopedSpan span(options_.trace_events, "pipeline.forecast",
                          stage_forecast_);
     const std::size_t dims = view_dims();
     const std::size_t per_view = options_.num_clusters * dims;
-    run_chunked(pool_.get(), trackers_.size() * per_view, 1,
+    ThreadPool* pool =
+        models_[0][0]->next_observe_retrains() ? pool_.get() : nullptr;
+    run_chunked(pool, trackers_.size() * per_view, 1,
                 [&](std::size_t, std::size_t begin, std::size_t end) {
                   for (std::size_t m = begin; m < end; ++m) {
                     const std::size_t v = m / per_view;

@@ -14,7 +14,6 @@
 // M' steps) with the alpha-scaled per-node offset of eq. (12).
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -206,8 +205,15 @@ class MonitoringPipeline {
   const transport::CentralStore& store() const {
     return collector_ != nullptr ? collector_->store() : *external_store_;
   }
-  /// Stored-measurement snapshot for a view: N x view_dims().
-  Matrix view_snapshot(std::size_t view) const;
+  /// Stored-measurement snapshot for a view, written into `snap`
+  /// (N x view_dims(), capacity reused across steps).
+  void view_snapshot_into(std::size_t view, Matrix& snap) const;
+  /// Allocation-free core of view_features().
+  void view_features_into(std::size_t view, Matrix& features) const;
+  /// Retained snapshot of a view, `age` steps back (0 = most recent).
+  const Matrix& snapshot(std::size_t view, std::size_t age) const {
+    return snapshot_ring_[view][(snap_head_ + age) % snapshot_capacity_];
+  }
   /// Ground-truth snapshot for a view at a given step.
   Matrix view_truth(std::size_t view, std::size_t t) const;
   /// One view's share of a step: push the snapshot, cluster, track offsets.
@@ -228,10 +234,16 @@ class MonitoringPipeline {
   // models_[view][j * view_dims + dim]
   std::vector<std::vector<std::unique_ptr<forecast::ManagedForecaster>>>
       models_;
-  // Per-view history of stored snapshots (front = most recent), retained
-  // for the temporal clustering window.
-  std::vector<std::deque<Matrix>> snapshot_history_;
+  // Per-view ring of the last `temporal_window` stored snapshots, newest at
+  // snap_head_. All views advance in lockstep, so the head/size indices are
+  // shared; Matrix slots recycle their capacity, keeping the per-step path
+  // allocation-free (see docs/PERFORMANCE.md).
+  std::vector<std::vector<Matrix>> snapshot_ring_;
   std::size_t snapshot_capacity_;
+  std::size_t snap_head_ = 0;
+  std::size_t snap_size_ = 0;
+  // Per-view clustering-feature scratch for the temporal window path.
+  mutable std::vector<Matrix> features_scratch_;
   std::size_t step_count_ = 0;
   /// Fallback registry, owned only when PipelineOptions::metrics is null.
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/kernels.hpp"
 #include "common/stats.hpp"
 
 namespace resmon::forecast {
@@ -69,24 +70,40 @@ Polys build_polys(const ArimaOrder& o, std::span<const double> params) {
 
 /// Residual recursion with zero initialization (conditional sum of squares).
 /// Returns the CSS over t >= max_ar_lag and fills e (one residual per w).
+/// `wc` is caller-provided scratch for the centered series, so the
+/// Nelder-Mead objective (which calls this once per evaluation) allocates
+/// nothing once warm.
 double compute_residuals(std::span<const double> w, const Polys& polys,
-                         std::vector<double>& e, std::size_t* n_eff) {
+                         std::vector<double>& e, std::vector<double>& wc,
+                         std::size_t* n_eff) {
   const std::size_t n = w.size();
   e.assign(n, 0.0);
-  std::vector<double> wc(n);
-  for (std::size_t t = 0; t < n; ++t) wc[t] = w[t] - polys.mean;
+  wc.resize(n);
+  kern::subtract_mean(w.data(), polys.mean, n, wc.data());
 
   double css = 0.0;
-  for (std::size_t t = 0; t < n; ++t) {
-    double acc = wc[t];
+  if (polys.ma.empty()) {
+    // Pure-AR model: e has no dependence on earlier residuals, so the
+    // recursion decomposes into one vectorizable axpy pass per AR lag. For
+    // each t the accumulator sees the exact same subtractions in the exact
+    // same (ar-list) order as the scalar recursion — bit-identical.
+    std::copy(wc.begin(), wc.end(), e.begin());
     for (const auto& [lag, a] : polys.ar) {
-      if (t >= lag) acc -= a * wc[t - lag];
+      kern::axpy_lagged(a, wc.data(), lag, n, e.data());
     }
-    for (const auto& [lag, b] : polys.ma) {
-      if (t >= lag) acc -= b * e[t - lag];
+    for (std::size_t t = polys.max_ar_lag; t < n; ++t) css += e[t] * e[t];
+  } else {
+    for (std::size_t t = 0; t < n; ++t) {
+      double acc = wc[t];
+      for (const auto& [lag, a] : polys.ar) {
+        if (t >= lag) acc -= a * wc[t - lag];
+      }
+      for (const auto& [lag, b] : polys.ma) {
+        if (t >= lag) acc -= b * e[t - lag];
+      }
+      e[t] = acc;
+      if (t >= polys.max_ar_lag) css += acc * acc;
     }
-    e[t] = acc;
-    if (t >= polys.max_ar_lag) css += acc * acc;
   }
   if (n_eff != nullptr) {
     *n_eff = n > polys.max_ar_lag ? n - polys.max_ar_lag : 0;
@@ -146,11 +163,13 @@ void ArimaForecaster::rebuild_polynomials() {
   ar_lags_ = polys.ar;
   ma_lags_ = polys.ma;
   mean_ = polys.mean;
+  max_ar_lag_ = polys.max_ar_lag;
 }
 
 void ArimaForecaster::recompute_chain_and_residuals() {
   const Polys polys = build_polys(order_, params_);
-  css_ = compute_residuals(chain_.back(), polys, residuals_, &n_effective_);
+  css_ = compute_residuals(chain_.back(), polys, residuals_, wc_scratch_,
+                           &n_effective_);
 }
 
 void ArimaForecaster::fit(std::span<const double> series) {
@@ -192,7 +211,8 @@ void ArimaForecaster::fit(std::span<const double> series) {
     std::vector<double> scratch;
     auto objective = [&](std::span<const double> candidate) -> double {
       const Polys polys = build_polys(order_, candidate);
-      const double css = compute_residuals(w, polys, scratch, nullptr);
+      const double css =
+          compute_residuals(w, polys, scratch, wc_scratch_, nullptr);
       // Soft stationarity/invertibility penalty: keep the combined lag
       // polynomials inside the (conservative) |coeffs| sum < 1 region.
       const double excess_ar = std::max(0.0, polys.ar_abs_sum - 0.999);
@@ -211,14 +231,24 @@ void ArimaForecaster::fit(std::span<const double> series) {
 }
 
 void ArimaForecaster::append_to_chain(double value) {
+  // Reserve in slabs so the unbounded chain levels do not reallocate on the
+  // steady per-step path (see docs/PERFORMANCE.md).
+  const auto grow = [](std::vector<double>& v) {
+    if (v.capacity() == v.size()) {
+      v.reserve(std::max(v.size() * 2, v.size() + 1024));
+    }
+  };
+  grow(chain_[0]);
   chain_[0].push_back(value);
   std::size_t level = 1;
   for (std::size_t i = 0; i < order_.sd; ++i, ++level) {
     const std::vector<double>& prev = chain_[level - 1];
+    grow(chain_[level]);
     chain_[level].push_back(prev.back() - prev[prev.size() - 1 - order_.season]);
   }
   for (std::size_t i = 0; i < order_.d; ++i, ++level) {
     const std::vector<double>& prev = chain_[level - 1];
+    grow(chain_[level]);
     chain_[level].push_back(prev.back() - prev[prev.size() - 2]);
   }
 }
@@ -237,13 +267,12 @@ void ArimaForecaster::update(double value) {
   for (const auto& [lag, b] : ma_lags_) {
     if (t >= lag) acc -= b * residuals_[t - lag];
   }
-  residuals_.push_back(acc);
-  std::size_t max_ar_lag = 0;
-  for (const auto& [lag, a] : ar_lags_) {
-    (void)a;
-    max_ar_lag = std::max(max_ar_lag, lag);
+  if (residuals_.capacity() == residuals_.size()) {
+    residuals_.reserve(
+        std::max(residuals_.size() * 2, residuals_.size() + 1024));
   }
-  if (t >= max_ar_lag) {
+  residuals_.push_back(acc);
+  if (t >= max_ar_lag_) {
     css_ += acc * acc;
     ++n_effective_;
   }
@@ -257,8 +286,11 @@ double ArimaForecaster::forecast(std::size_t h) const {
   const std::size_t n = w.size();
 
   // Forecast the stationary (differenced, centered) series: future shocks
-  // are zero, past residuals come from the fitted recursion.
-  std::vector<double> fc(h, 0.0);
+  // are zero, past residuals come from the fitted recursion. fc lives in a
+  // member scratch: the pipeline's residual tracking calls forecast(1)
+  // every step, which must stay allocation-free.
+  std::vector<double>& fc = fc_scratch_;
+  fc.assign(h, 0.0);
   auto wc_at = [&](long long idx) -> double {
     // idx relative to w; negative = before data start (treated as mean).
     if (idx < 0) return 0.0;

@@ -96,6 +96,12 @@ class ArimaForecaster final : public Forecaster {
   void recompute_chain_and_residuals();
   void append_to_chain(double value);
 
+  // Scratch buffers (centered series / forecast recursion) so the steady
+  // per-step path — update() plus the one-step forecast(1) the pipeline's
+  // residual tracking issues — performs no heap allocations.
+  std::vector<double> wc_scratch_;
+  mutable std::vector<double> fc_scratch_;
+
   ArimaOrder order_;
   ArimaOptions options_;
   bool fitted_ = false;
@@ -106,6 +112,7 @@ class ArimaForecaster final : public Forecaster {
   std::vector<std::pair<std::size_t, double>> ar_lags_;
   std::vector<std::pair<std::size_t, double>> ma_lags_;
   double mean_ = 0.0;
+  std::size_t max_ar_lag_ = 0;  ///< deepest AR lag (hoisted for update())
 
   // Differencing chain: chain_[0] is the raw series; then sd seasonal
   // differences, then d regular differences; chain_.back() is w.

@@ -1,5 +1,6 @@
 #include "forecast/managed.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -33,6 +34,22 @@ ManagedForecaster::ManagedForecaster(std::unique_ptr<Forecaster> model,
   }
 }
 
+namespace {
+
+/// Initial reservation (in observations) of the unbounded history; growth
+/// beyond it doubles, so steady-state observe() calls allocate nothing (see
+/// docs/PERFORMANCE.md "Zero-allocation steady state").
+constexpr std::size_t kHistoryReserveSteps = 1024;
+
+}  // namespace
+
+bool ManagedForecaster::next_observe_retrains() const {
+  const std::size_t next = history_.size() + 1;
+  return next == schedule_.initial_steps ||
+         (next > schedule_.initial_steps &&
+          (next - schedule_.initial_steps) % schedule_.retrain_interval == 0);
+}
+
 double ManagedForecaster::residual_rmse() const {
   if (residual_count_ == 0) return 0.0;
   return std::sqrt(residual_sq_sum_ / static_cast<double>(residual_count_));
@@ -49,14 +66,12 @@ void ManagedForecaster::observe(double value) {
     residual_gauge_->set(residual_rmse());
   }
 
+  const bool due = next_observe_retrains();
+  if (history_.capacity() == history_.size()) {
+    history_.reserve(std::max(history_.size() * 2, kHistoryReserveSteps));
+  }
   history_.push_back(value);
 
-  const bool due =
-      history_.size() == schedule_.initial_steps ||
-      (history_.size() > schedule_.initial_steps &&
-       (history_.size() - schedule_.initial_steps) %
-               schedule_.retrain_interval ==
-           0);
   if (due) {
     const auto start = std::chrono::steady_clock::now();
     bool fit_ok = false;

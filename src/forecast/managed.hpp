@@ -41,6 +41,11 @@ class ManagedForecaster {
   /// Record one new observation (one per time step).
   void observe(double value);
 
+  /// True when the NEXT observe() will trigger a scheduled (re)fit. The
+  /// pipeline uses this to route cheap observe-only steps around the thread
+  /// pool (see "Forecast-stage gating" in docs/PERFORMANCE.md).
+  bool next_observe_retrains() const;
+
   /// True once the underlying model has been trained at least once.
   bool ready() const { return fits_completed_ > 0; }
 

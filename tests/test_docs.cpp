@@ -4,6 +4,7 @@
 // constructing every metrics-emitting component (pipeline with a fault
 // schedule, socket controller with the staleness policy, agent), then the
 // exposition's `# TYPE` lines are diffed against the catalogue's table.
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -148,6 +149,71 @@ TEST(MetricsCatalogue, CatalogueIsNonTrivial) {
   // Guard against the drift tests passing vacuously on an empty table.
   EXPECT_GE(documented_families().size(), 40u);
   EXPECT_GE(registered_families().size(), 40u);
+}
+
+// -- performance playbook drift -----------------------------------------
+// docs/PERFORMANCE.md documents every JSON-writing bench harness and the
+// contract field names the playbook's policy hangs on. Harness names are
+// read from the bench sources (the `BenchJson sink("suite", "harness")`
+// second argument), so adding a harness without documenting it fails here.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> json_bench_harnesses() {
+  namespace fs = std::filesystem;
+  const fs::path bench_dir = fs::path(RESMON_SOURCE_DIR) / "bench";
+  std::set<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(bench_dir)) {
+    if (entry.path().extension() != ".cpp") continue;
+    const std::string source = read_file(entry.path().string());
+    // Match:  BenchJson sink("<suite>", "<harness>")
+    const std::string marker = "BenchJson sink(\"";
+    for (std::size_t pos = source.find(marker); pos != std::string::npos;
+         pos = source.find(marker, pos + 1)) {
+      const std::size_t suite_end = source.find('"', pos + marker.size());
+      const std::size_t name_open = source.find('"', suite_end + 1);
+      const std::size_t name_close = source.find('"', name_open + 1);
+      if (name_close == std::string::npos) continue;
+      names.insert(source.substr(name_open + 1, name_close - name_open - 1));
+    }
+  }
+  return names;
+}
+
+TEST(PerformancePlaybook, DocumentsEveryJsonBenchHarness) {
+  const std::string doc =
+      read_file(std::string(RESMON_SOURCE_DIR) + "/docs/PERFORMANCE.md");
+  const std::set<std::string> harnesses = json_bench_harnesses();
+  EXPECT_GE(harnesses.size(), 3u);  // vacuous-pass guard
+  for (const std::string& harness : harnesses) {
+    EXPECT_NE(doc.find("`" + harness + "`"), std::string::npos)
+        << harness << " writes BENCH_*.json rows but is not documented in "
+        << "docs/PERFORMANCE.md — add it to the harness table";
+  }
+}
+
+TEST(PerformancePlaybook, DocumentsContractFieldNames) {
+  const std::string doc =
+      read_file(std::string(RESMON_SOURCE_DIR) + "/docs/PERFORMANCE.md");
+  const std::string bench = read_file(std::string(RESMON_SOURCE_DIR) +
+                                      "/bench/micro_parallel_step.cpp");
+  // The two contract fields the regression policy gates on must exist in
+  // both the harness that emits them and the playbook that explains them.
+  for (const char* field :
+       {"cluster_forecast_speedup", "steady_allocs_per_step", "identical"}) {
+    EXPECT_NE(bench.find(field), std::string::npos)
+        << field << " vanished from bench/micro_parallel_step.cpp — update "
+        << "docs/PERFORMANCE.md and this test together";
+    EXPECT_NE(doc.find(field), std::string::npos)
+        << field << " is emitted by micro_parallel_step but not documented "
+        << "in docs/PERFORMANCE.md";
+  }
 }
 
 }  // namespace

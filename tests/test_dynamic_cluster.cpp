@@ -117,7 +117,9 @@ TEST(DynamicCluster, CentroidSeriesKeptInFullDespiteCapacity) {
   for (std::size_t t = 0; t < 7; ++t) {
     tracker.update(two_groups(0.1, 0.9, 5, rng));
   }
-  EXPECT_EQ(tracker.centroid_series(0).size(), 7u);
+  EXPECT_EQ(tracker.centroid_series(0, 0).size(), 7u);
+  EXPECT_EQ(tracker.centroid_series_flat(0).size(),
+            7u * tracker.centroid_dims());
 }
 
 TEST(DynamicCluster, NodeCountMustStayConstant) {

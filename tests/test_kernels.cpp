@@ -1,0 +1,195 @@
+// Equivalence tests for the SoA hot-path kernels (common/kernels.hpp).
+//
+// The SIMD path is required to be BIT-IDENTICAL to the scalar path — the
+// golden traces pin the scalar results, so any divergence is a correctness
+// bug, not a tolerance question. See "Memory layout & SIMD kernels" in
+// DESIGN.md for why the vectorization (one point per lane, dim-order
+// accumulation preserved) makes that guarantee possible.
+#include "common/kernels.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.hpp"
+#include "common/rng.hpp"
+#include "common/soa.hpp"
+
+namespace resmon {
+namespace {
+
+using cluster::KMeansResult;
+
+/// Restores the globally selected kernel path on scope exit.
+class PathGuard {
+ public:
+  PathGuard() : saved_(kern::active_path()) {}
+  ~PathGuard() { kern::set_path(saved_); }
+
+ private:
+  kern::Path saved_;
+};
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+Matrix random_points(std::size_t n, std::size_t d, Rng& rng) {
+  Matrix points(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) {
+      points(i, c) = rng.normal(0.0, 1.0);
+    }
+  }
+  return points;
+}
+
+/// Runs nearest_centroids on both paths and asserts bitwise equality.
+void check_nearest_centroids(std::size_t n, std::size_t d, std::size_t k) {
+  if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";
+  PathGuard guard;
+  Rng rng(17 + n + 10 * d + 100 * k);
+  const Matrix points = random_points(n, d, rng);
+  const Matrix centroids = random_points(k, d, rng);
+  SoaMatrix soa;
+  soa.assign_from(points);
+
+  std::vector<std::uint32_t> j_scalar(n), j_simd(n);
+  std::vector<double> d2_scalar(n), d2_simd(n);
+  kern::set_path(kern::Path::kScalar);
+  kern::nearest_centroids(soa.col_ptrs(), d, centroids.data().data(), k, 0, n,
+                          j_scalar.data(), d2_scalar.data());
+  kern::set_path(kern::Path::kSimd);
+  kern::nearest_centroids(soa.col_ptrs(), d, centroids.data().data(), k, 0, n,
+                          j_simd.data(), d2_simd.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(j_scalar[i], j_simd[i]) << "point " << i;
+    EXPECT_TRUE(bitwise_equal(d2_scalar[i], d2_simd[i])) << "point " << i;
+    EXPECT_FALSE(std::isnan(d2_scalar[i])) << "point " << i;
+  }
+}
+
+TEST(Kernels, NearestCentroidsMatchesScalarBitwise) {
+  check_nearest_centroids(257, 3, 5);
+}
+
+TEST(Kernels, NearestCentroidsScalarDimension) {
+  check_nearest_centroids(300, 1, 10);
+}
+
+TEST(Kernels, NearestCentroidsWindowShorterThanVectorWidth) {
+  // Fewer points than any unroll/vector width: the tail path must agree.
+  for (std::size_t n = 1; n <= 7; ++n) check_nearest_centroids(n, 2, 3);
+}
+
+TEST(Kernels, NearestCentroidsOneClusterPerPoint) {
+  // K == n (every point its own cluster) exercises the densest argmin.
+  check_nearest_centroids(16, 2, 16);
+}
+
+TEST(Kernels, MinDistanceUpdateMatchesScalarBitwise) {
+  if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";
+  PathGuard guard;
+  Rng rng(41);
+  const std::size_t n = 129;
+  const std::size_t d = 4;
+  const Matrix points = random_points(n, d, rng);
+  const Matrix c = random_points(1, d, rng);
+  SoaMatrix soa;
+  soa.assign_from(points);
+
+  std::vector<double> scalar(n, 1e300), simd(n, 1e300);
+  kern::set_path(kern::Path::kScalar);
+  kern::min_distance_update(soa.col_ptrs(), d, c.data().data(), 0, n,
+                            scalar.data());
+  kern::set_path(kern::Path::kSimd);
+  kern::min_distance_update(soa.col_ptrs(), d, c.data().data(), 0, n,
+                            simd.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(bitwise_equal(scalar[i], simd[i])) << "point " << i;
+  }
+}
+
+TEST(Kernels, ArimaKernelsMatchScalarBitwise) {
+  if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";
+  PathGuard guard;
+  Rng rng(43);
+  const std::size_t n = 203;
+  std::vector<double> w(n);
+  for (double& v : w) v = rng.normal(0.5, 0.2);
+
+  std::vector<double> centered_scalar(n), centered_simd(n);
+  std::vector<double> e_scalar(w), e_simd(w);
+  kern::set_path(kern::Path::kScalar);
+  kern::subtract_mean(w.data(), 0.37, n, centered_scalar.data());
+  kern::axpy_lagged(0.81, w.data(), 3, n, e_scalar.data());
+  kern::set_path(kern::Path::kSimd);
+  kern::subtract_mean(w.data(), 0.37, n, centered_simd.data());
+  kern::axpy_lagged(0.81, w.data(), 3, n, e_simd.data());
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_TRUE(bitwise_equal(centered_scalar[t], centered_simd[t])) << t;
+    EXPECT_TRUE(bitwise_equal(e_scalar[t], e_simd[t])) << t;
+  }
+}
+
+/// End-to-end: a whole K-means run must be bit-identical across paths.
+TEST(Kernels, KMeansIdenticalAcrossPaths) {
+  if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";
+  PathGuard guard;
+  const Matrix points = [] {
+    Rng rng(7);
+    return random_points(400, 3, rng);
+  }();
+
+  kern::set_path(kern::Path::kScalar);
+  Rng rng_scalar(11);
+  const KMeansResult scalar = cluster::kmeans(points, 6, rng_scalar);
+  kern::set_path(kern::Path::kSimd);
+  Rng rng_simd(11);
+  const KMeansResult simd = cluster::kmeans(points, 6, rng_simd);
+
+  EXPECT_EQ(scalar.assignment, simd.assignment);
+  EXPECT_EQ(scalar.iterations, simd.iterations);
+  EXPECT_TRUE(bitwise_equal(scalar.inertia, simd.inertia));
+  ASSERT_EQ(scalar.centroids.rows(), simd.centroids.rows());
+  for (std::size_t j = 0; j < scalar.centroids.rows(); ++j) {
+    for (std::size_t c = 0; c < scalar.centroids.cols(); ++c) {
+      EXPECT_TRUE(
+          bitwise_equal(scalar.centroids(j, c), simd.centroids(j, c)))
+          << "centroid " << j << " dim " << c;
+    }
+  }
+}
+
+TEST(Kernels, SoaMatrixRoundTrips) {
+  Rng rng(3);
+  const Matrix m = random_points(13, 4, rng);
+  SoaMatrix soa;
+  soa.assign_from(m);
+  ASSERT_EQ(soa.rows(), m.rows());
+  ASSERT_EQ(soa.cols(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(soa(i, c), m(i, c));
+      EXPECT_EQ(soa.col(c)[i], m(i, c));
+      EXPECT_EQ(soa.col_ptrs()[c][i], m(i, c));
+    }
+  }
+}
+
+TEST(Kernels, PathSelectionResolves) {
+  // active_path() reports the path that will actually run: explicit
+  // selections round-trip, kAuto resolves to the host's best path.
+  PathGuard guard;
+  kern::set_path(kern::Path::kScalar);
+  EXPECT_EQ(kern::active_path(), kern::Path::kScalar);
+  kern::set_path(kern::Path::kAuto);
+  EXPECT_EQ(kern::active_path(), kern::simd_supported()
+                                     ? kern::Path::kSimd
+                                     : kern::Path::kScalar);
+}
+
+}  // namespace
+}  // namespace resmon
