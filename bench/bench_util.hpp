@@ -6,6 +6,7 @@
 // `--steps`, `--seed` override individual knobs.
 #pragma once
 
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,11 +27,21 @@ namespace resmon::bench {
 /// so write() can merge without a JSON parser: rows belonging to *other*
 /// harnesses are kept verbatim, this harness's previous rows are replaced.
 ///
+/// "results" is the latest snapshot; "history" is an append-only series of
+/// per-run entries (one single-line object per harness per labeled run, see
+/// write()), so the perf trajectory across PRs is a real series instead of
+/// one overwritten snapshot. History lines start with {"run": and are
+/// always kept verbatim by the merge.
+///
 ///   {
 ///     "bench": "resmon-micro",
 ///     "results": [
 ///       {"harness": "micro_wire", "name": "encode/8", "ns_per_op": 85.2},
 ///       {"harness": "micro_parallel_step", "name": "threads=4", ...}
+///     ],
+///     "history": [
+///       {"run": "ci-abc123", "utc": "2026-08-07T12:00:00Z",
+///        "harness": "micro_wire", "results": [{...}, {...}]}
 ///     ]
 ///   }
 class BenchJson {
@@ -61,25 +72,36 @@ class BenchJson {
   }
 
   /// Merge-write into `path`: keeps rows of other harnesses already in the
-  /// file, replaces this harness's rows, rewrites the envelope.
-  void write(const std::string& path) const {
+  /// file, replaces this harness's rows, rewrites the envelope. History
+  /// lines (leading {"run":) are append-only: every existing one is kept
+  /// verbatim, and a non-empty `run_label` appends one new entry bundling
+  /// this run's rows with the label and a UTC wall-clock stamp (bench/ is
+  /// outside the determinism wall; see docs/PERFORMANCE.md).
+  void write(const std::string& path, const std::string& run_label = "") const {
     std::vector<std::string> kept;
+    std::vector<std::string> history;
     {
       std::ifstream in(path);
       std::string line;
       const std::string ours = "{\"harness\": \"" + harness_ + "\"";
+      const std::string run_tag = "{\"run\":";
       while (std::getline(in, line)) {
         const std::size_t brace = line.find('{');
         if (brace == std::string::npos) continue;  // envelope line
-        if (line.compare(brace, ours.size(), ours) == 0) continue;
         std::string row = line;
         while (!row.empty() && (row.back() == ',' || row.back() == '\r')) {
           row.pop_back();
         }
+        if (line.compare(brace, run_tag.size(), run_tag) == 0) {
+          history.push_back(row);
+          continue;
+        }
+        if (line.compare(brace, ours.size(), ours) == 0) continue;
         if (row.find("\"harness\"") == std::string::npos) continue;
         kept.push_back(row);
       }
     }
+    if (!run_label.empty()) history.push_back(history_entry(run_label));
     std::ofstream out(path, std::ios::trunc);
     out << "{\n  \"bench\": \"" << bench_id_ << "\",\n  \"results\": [\n";
     bool first = true;
@@ -91,11 +113,40 @@ class BenchJson {
         out << row;
       }
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ],\n  \"history\": [";
+    first = true;
+    for (const std::string& entry : history) {
+      out << (first ? "\n" : ",\n") << entry;
+      first = false;
+    }
+    out << (history.empty() ? "" : "\n  ") << "]\n}\n";
     std::cout << "(bench results written to " << path << ")\n";
   }
 
  private:
+  /// One single-line history object for this run: label, UTC stamp, and
+  /// this harness's rows inlined (leading indentation stripped).
+  std::string history_entry(const std::string& run_label) const {
+    char stamp[32] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    std::ostringstream entry;
+    entry << "    {\"run\": \"" << run_label << "\", \"utc\": \"" << stamp
+          << "\", \"harness\": \"" << harness_ << "\", \"results\": [";
+    bool first = true;
+    for (const std::string& row : rows_) {
+      const std::size_t brace = row.find('{');
+      if (!first) entry << ", ";
+      first = false;
+      entry << row.substr(brace == std::string::npos ? 0 : brace);
+    }
+    entry << "]}";
+    return entry.str();
+  }
+
   std::string bench_id_;
   std::string harness_;
   std::vector<std::string> rows_;

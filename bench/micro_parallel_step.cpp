@@ -17,7 +17,9 @@
 //
 // Flags: --nodes --steps --clusters --model --dataset --seed --threads
 // (run only {1, <threads>} instead of the default {1, 2, 4, 8} sweep);
-// --strict turns the speedup / zero-allocation WARNings into exit 1.
+// --strict turns the speedup / zero-allocation WARNings into exit 1;
+// --json PATH / --json-run LABEL select the JSON sink and append a
+// timestamped history entry for this run.
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -254,7 +256,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  sink.write(args.get("json", "BENCH_micro.json"));
+  sink.write(args.get("json", "BENCH_micro.json"), args.get("json-run", ""));
   bench::emit_observability(args, registry, &trace_events);
   std::cout << "\nspeedup = (cluster_s + forecast_s) at 1 thread / same at "
                "N threads; identical = h=1 forecasts bitwise equal to the "

@@ -115,22 +115,28 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 // Custom main instead of BENCHMARK_MAIN(): identical benchmark runs, but
 // the results also persist into BENCH_micro.json (merged with the other
-// micro harnesses' rows; --json PATH overrides the destination).
+// micro harnesses' rows; --json PATH overrides the destination, and
+// --json-run LABEL appends a history entry for this run).
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_micro.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = argv[i + 1];
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      break;
+  std::string json_run;
+  for (int i = 1; i + 1 < argc;) {
+    std::string* dest = nullptr;
+    if (std::strcmp(argv[i], "--json") == 0) dest = &json_path;
+    if (std::strcmp(argv[i], "--json-run") == 0) dest = &json_run;
+    if (dest == nullptr) {
+      ++i;
+      continue;
     }
+    *dest = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
   }
   benchmark::Initialize(&argc, argv);
   resmon::bench::BenchJson sink("resmon-micro", "micro_wire");
   CapturingReporter reporter(&sink);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  sink.write(json_path);
+  sink.write(json_path, json_run);
   return 0;
 }

@@ -10,7 +10,8 @@
 // artifact.
 //
 // Flags: --nodes N (single size instead of the default 16/48/96 sweep),
-// --slots, --shards, --seed, --json PATH.
+// --slots, --shards, --seed, --json PATH, --json-run LABEL (append a
+// timestamped history entry for this run to the JSON sink).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -239,7 +240,8 @@ int main(int argc, char** argv) {
       }
     }
     bench::emit(table, args);
-    sink.write(args.get("json", "BENCH_scaling.json"));
+    sink.write(args.get("json", "BENCH_scaling.json"),
+               args.get("json-run", ""));
     std::cout << "\np99_barrier_ms = 99th percentile wall time from the "
                  "last observe to the slot fully collected at the top "
                  "tier.\n";

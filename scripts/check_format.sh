@@ -3,14 +3,30 @@
 # against the repo's .clang-format. Prints file:line diagnostics and exits
 # nonzero on drift; run `clang-format -i` on the offending files to fix.
 #
-# Usage: scripts/check_format.sh
+# Usage: scripts/check_format.sh [--require-tools]
+#   Without clang-format installed the check is skipped with a warning so
+#   local pushes aren't blocked by a missing tool; --require-tools turns
+#   that skip into a failure (what CI passes, so a broken tool install
+#   can't silently disable the gate).
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT"
 
+REQUIRE_TOOLS=0
+for arg in "$@"; do
+  case "$arg" in
+    --require-tools) REQUIRE_TOOLS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
 FMT=${CLANG_FORMAT:-clang-format}
 if ! command -v "$FMT" >/dev/null 2>&1; then
+  if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+    echo "ERROR: $FMT not installed but --require-tools was given" >&2
+    exit 1
+  fi
   echo "WARNING: $FMT not installed; skipping format check (CI runs it)" >&2
   exit 0
 fi

@@ -3,20 +3,33 @@
 # analysis & invariants"):
 #
 #   1. resmon_lint        — project-invariant checker (determinism, header
-#                           hygiene, safety) over src/ tools/ bench/
-#                           examples/ tests/, gated by the commented
-#                           allowlist in tools/lint_allowlist.txt;
+#                           hygiene, safety, mutex annotations, module
+#                           layering) over src/ tools/ bench/ examples/
+#                           tests/, gated by the commented allowlist in
+#                           tools/lint_allowlist.txt and the module DAG in
+#                           tools/lint_layers.txt; prints a per-rule
+#                           finding summary;
 #   2. header_selfcontain — every src/**/*.hpp compiles as its own TU;
 #   3. clang-tidy         — the curated .clang-tidy over
 #                           compile_commands.json (skipped with a warning
 #                           when clang-tidy is not installed, so the
-#                           C++-only steps still gate local pushes).
+#                           C++-only steps still gate local pushes;
+#                           --require-tools turns the skip into a failure,
+#                           which is what CI passes).
 #
-# Usage: scripts/check_lint.sh [BUILD_DIR]     (default: build)
+# Usage: scripts/check_lint.sh [BUILD_DIR] [--require-tools]
+#   BUILD_DIR defaults to build.
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD=${1:-build}
+BUILD=build
+REQUIRE_TOOLS=0
+for arg in "$@"; do
+  case "$arg" in
+    --require-tools) REQUIRE_TOOLS=1 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
 case "$BUILD" in /*) ;; *) BUILD="$ROOT/$BUILD" ;; esac
 
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
@@ -25,7 +38,7 @@ fi
 
 echo "== [1/3] resmon_lint =="
 cmake --build "$BUILD" --target resmon_lint -j "$(nproc)" >/dev/null
-"$BUILD/tools/resmon_lint" --root "$ROOT"
+"$BUILD/tools/resmon_lint" --root "$ROOT" --summary
 
 echo "== [2/3] header self-containment =="
 cmake --build "$BUILD" --target header_selfcontain -j "$(nproc)" >/dev/null
@@ -33,6 +46,10 @@ echo "all src/**/*.hpp compile as standalone TUs"
 
 echo "== [3/3] clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+    echo "ERROR: clang-tidy not installed but --require-tools was given" >&2
+    exit 1
+  fi
   echo "WARNING: clang-tidy not installed; skipping (CI runs it)" >&2
 else
   # The compilation database includes the generated selfcontain TUs and the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/kernels.hpp"
 
 namespace resmon::cluster {
 
@@ -55,24 +56,18 @@ void DynamicClusterTracker::similarity_into(
   // Nodes that stayed in cluster j throughout the last min(M, t-1) steps:
   // the intersection term of eq. (10).
   const std::size_t lookback = std::min(options_.history_m, ring_size_);
-  in_all_.assign(n * k, true);
+  in_all_.assign(n * k, 1);
   for (std::size_t m = 0; m < lookback; ++m) {
     const Clustering& past = history(m);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < k; ++j) {
-        if (past.assignment[i] != j) in_all_[i * k + j] = false;
-      }
-    }
+    kern::history_mask(past.assignment.data(), k, 0, n, in_all_.data());
   }
 
   w_.resize(k, k);
   if (options_.similarity == SimilarityKind::kIntersection) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t kk = fresh_assignment[i];
-      for (std::size_t j = 0; j < k; ++j) {
-        if (in_all_[i * k + j]) w_(kk, j) += 1.0;
-      }
-    }
+    // Adds mask-as-0.0/1.0 unconditionally; bitwise identical to the old
+    // branchy `if (in_all_[...]) w_ += 1.0` because counts + 0.0 == counts.
+    kern::similarity_accumulate(fresh_assignment.data(), in_all_.data(), k, 0,
+                                n, w_.data().data());
   } else {
     // Jaccard: |C'_k intersect I_j| / |C'_k union I_j|.
     Matrix& inter = jaccard_inter_;

@@ -124,7 +124,9 @@ class DynamicClusterTracker {
   KMeansResult raw_;
   AssignmentScratch assign_scratch_;
   std::vector<std::size_t> phi_;
-  std::vector<bool> in_all_;
+  // uint8_t (not vector<bool>) so the history/accumulate passes can run
+  // through the kern:: SIMD dispatch on contiguous rows.
+  std::vector<std::uint8_t> in_all_;
   Matrix w_;
   Matrix jaccard_inter_;
   std::vector<double> jaccard_fresh_size_;

@@ -62,4 +62,21 @@ void subtract_mean(const double* src, double mean, std::size_t n,
 void axpy_lagged(double a, const double* w, std::size_t lag, std::size_t n,
                  double* e);
 
+/// Hungarian re-indexing history pass: clear mask[i*k + j] (i in
+/// [begin, end), j in [0, k)) wherever past[i] != j. Starting from an
+/// all-ones mask and applying one pass per retained clustering leaves
+/// mask[i*k + j] == 1 exactly for the nodes that stayed in cluster j
+/// throughout — the intersection term of eq. (10).
+void history_mask(const std::size_t* past, std::size_t k, std::size_t begin,
+                  std::size_t end, std::uint8_t* mask);
+
+/// Intersection-weight accumulation of the re-indexing pass:
+/// w[fresh[i]*k + j] += mask[i*k + j] (as 0.0 / 1.0) for i in [begin, end).
+/// Unconditionally adding 0.0 where the mask is clear is bitwise identical
+/// to the branchy scalar accumulation it replaces: w entries are
+/// nonnegative counts, and x + 0.0 == x for every such x.
+void similarity_accumulate(const std::size_t* fresh, const std::uint8_t* mask,
+                           std::size_t k, std::size_t begin, std::size_t end,
+                           double* w);
+
 }  // namespace resmon::kern

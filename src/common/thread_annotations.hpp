@@ -1,0 +1,134 @@
+// Clang Thread Safety Analysis macros + annotated lock primitives.
+//
+// The RESMON_* macros expand to Clang's `capability` attribute family when
+// compiling under clang and to nothing elsewhere, so the GCC build (and any
+// toolchain without -Wthread-safety) is unaffected. The dedicated CI job
+// compiles the whole tree with clang and `-Wthread-safety
+// -Wthread-safety-beta -Werror`, turning lock-discipline violations into
+// compile errors instead of TSan-schedule-dependent findings.
+//
+// Raw std::mutex is invisible to the analysis (libstdc++ carries no
+// annotations), so guarded state must hang off the annotated wrappers
+// below: `Mutex`, the scoped `MutexLock`, and `CondVar`. The resmon_lint
+// `mutex-annotation` rule enforces exactly that — any bare
+// std::mutex/std::condition_variable member in src/ is a lint error unless
+// it carries a RESMON_CAPABILITY-family annotation or a reasoned inline
+// allow. See DESIGN.md "Static analysis & invariants" for the recipe.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define RESMON_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RESMON_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+#define RESMON_CAPABILITY(x) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define RESMON_SCOPED_CAPABILITY \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define RESMON_GUARDED_BY(x) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define RESMON_PT_GUARDED_BY(x) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define RESMON_ACQUIRED_BEFORE(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define RESMON_ACQUIRED_AFTER(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define RESMON_REQUIRES(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define RESMON_ACQUIRE(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define RESMON_RELEASE(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RESMON_TRY_ACQUIRE(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define RESMON_EXCLUDES(...) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define RESMON_ASSERT_CAPABILITY(x) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RESMON_RETURN_CAPABILITY(x) \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define RESMON_NO_THREAD_SAFETY_ANALYSIS \
+  RESMON_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace resmon {
+
+/// std::mutex wearing the `capability` attribute so the analysis can track
+/// it. Same cost as the raw mutex — the wrapper adds no state and every
+/// method is a forwarding inline.
+class RESMON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RESMON_ACQUIRE() { m_.lock(); }
+  void unlock() RESMON_RELEASE() { m_.unlock(); }
+  bool try_lock() RESMON_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// For interop with std:: wait primitives (see CondVar). Holding the
+  /// native handle does not transfer the capability — callers stay inside
+  /// a RESMON_REQUIRES(this) context.
+  std::mutex& native() { return m_; }
+
+ private:
+  // resmon-lint-allow(mutex-annotation): the annotated wrapper itself
+  std::mutex m_;
+};
+
+/// RAII lock for Mutex, annotated as a scoped capability: constructing it
+/// acquires, destruction releases, and clang tracks the critical section.
+class RESMON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RESMON_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RESMON_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. wait() demands the capability, so
+/// the analysis proves every wait happens under the lock; predicates live
+/// in explicit `while (!pred) cv.wait(mu);` loops at the call site (lambda
+/// predicates are analyzed as separate functions and would lose the
+/// capability context).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) RESMON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // resmon-lint-allow(mutex-annotation): wrapped by CondVar::wait(Mutex&)
+  std::condition_variable cv_;
+};
+
+}  // namespace resmon

@@ -15,10 +15,11 @@ struct ThreadPool::ForLoop {
   std::size_t chunks = 0;
   ChunkRef body;
   std::atomic<std::size_t> next{0};
-  std::mutex mutex;
-  std::condition_variable finished;
-  std::size_t done = 0;                    // guarded by mutex
-  std::exception_ptr error;                // guarded by mutex; first failure
+  Mutex mutex;
+  CondVar finished;
+  std::size_t done RESMON_GUARDED_BY(mutex) = 0;
+  /// First failure a chunk body threw, rethrown by parallel_for_ref.
+  std::exception_ptr error RESMON_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -35,7 +36,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -44,7 +45,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
@@ -73,13 +74,14 @@ void ThreadPool::worker_main() {
     std::shared_ptr<ForLoop> loop;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&]() {
-        if (stopping_) return true;
-        if (!queue_.empty()) return true;
-        loop = runnable_loop_locked();
-        return loop != nullptr;
-      });
+      // Explicit predicate loop (not a cv.wait lambda): thread-safety
+      // analysis treats lambdas as separate functions, which would lose
+      // the "mutex_ held" context the guarded reads below need.
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty() &&
+             (loop = runnable_loop_locked()) == nullptr) {
+        work_ready_.wait(mutex_);
+      }
       if (loop == nullptr) {
         if (queue_.empty()) return;  // stopping and drained
         task = std::move(queue_.front());
@@ -109,7 +111,7 @@ void ThreadPool::drive(ForLoop& loop) {
     }
     bool all_done;
     {
-      std::lock_guard<std::mutex> lock(loop.mutex);
+      MutexLock lock(loop.mutex);
       if (failure && !loop.error) loop.error = failure;
       all_done = ++loop.done == loop.chunks;
     }
@@ -140,7 +142,7 @@ void ThreadPool::parallel_for_ref(std::size_t n, std::size_t grain,
   loop->chunks = chunks;
   loop->body = body;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     loops_.push_back(loop);
   }
   // chunks - 1 helpers at most can contribute; the caller always takes at
@@ -151,12 +153,14 @@ void ThreadPool::parallel_for_ref(std::size_t n, std::size_t grain,
     work_ready_.notify_one();
   }
   drive(*loop);
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->finished.wait(lock, [&]() { return loop->done == loop->chunks; });
+    MutexLock lock(loop->mutex);
+    while (loop->done != loop->chunks) loop->finished.wait(loop->mutex);
+    error = loop->error;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto it = loops_.begin(); it != loops_.end(); ++it) {
       if (it->get() == loop.get()) {
         loops_.erase(it);
@@ -164,7 +168,7 @@ void ThreadPool::parallel_for_ref(std::size_t n, std::size_t grain,
       }
     }
   }
-  if (loop->error) std::rethrow_exception(loop->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace resmon

@@ -21,16 +21,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace resmon {
 
@@ -98,20 +98,20 @@ class ThreadPool {
 
   static void drive(ForLoop& loop);
   /// First published loop that still has unclaimed chunks; also retires
-  /// exhausted loops from the front. Requires mutex_ held.
-  std::shared_ptr<ForLoop> runnable_loop_locked();
+  /// exhausted loops from the front.
+  std::shared_ptr<ForLoop> runnable_loop_locked() RESMON_REQUIRES(mutex_);
   void enqueue(std::function<void()> task);
   void worker_main();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_ready_;
+  std::deque<std::function<void()>> queue_ RESMON_GUARDED_BY(mutex_);
   /// Active parallel regions, newest last. Workers claim chunks directly
   /// from these descriptors; one push + wakeup per region replaces the old
   /// per-helper closure enqueue.
-  std::deque<std::shared_ptr<ForLoop>> loops_;
-  bool stopping_ = false;
+  std::deque<std::shared_ptr<ForLoop>> loops_ RESMON_GUARDED_BY(mutex_);
+  bool stopping_ RESMON_GUARDED_BY(mutex_) = false;
 };
 
 /// Run `body` over the same fixed chunk partition parallel_for would use:

@@ -1,6 +1,8 @@
 #include "lint/checker.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <map>
 #include <sstream>
 
 #include "lint/lexer.hpp"
@@ -71,10 +73,11 @@ Allowlist parse_allowlist(const std::string& content) {
 std::vector<Finding> check_source(const std::string& path,
                                   const std::string& content,
                                   const Allowlist& allow,
-                                  std::vector<bool>* used) {
+                                  std::vector<bool>* used,
+                                  const LayerGraph* layers) {
   if (used != nullptr) used->assign(allow.entries.size(), false);
   std::vector<Finding> kept;
-  for (auto& f : run_rules(path, lex(content))) {
+  for (auto& f : run_rules(path, lex(content), layers)) {
     bool suppressed = false;
     for (std::size_t i = 0; i < allow.entries.size(); ++i) {
       if (entry_matches(allow.entries[i], f)) {
@@ -85,6 +88,66 @@ std::vector<Finding> check_source(const std::string& path,
     if (!suppressed) kept.push_back(std::move(f));
   }
   return kept;
+}
+
+std::vector<Finding> check_include_cycles(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  // Include edge: file -> (resolved include path, line of the directive).
+  struct Edge {
+    std::string to;
+    int line;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (const auto& [path, content] : sources) {
+    std::vector<Edge>& edges = graph[path];
+    for (const Token& t : lex(content).tokens) {
+      if (t.kind != TokKind::Directive) continue;
+      const std::string target = quoted_include_target(t.text);
+      if (target.empty()) continue;
+      const std::string resolved = "src/" + target;
+      if (std::any_of(sources.begin(), sources.end(), [&](const auto& s) {
+            return s.first == resolved;
+          })) {
+        edges.push_back({resolved, t.line});
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const Edge& e : graph[node]) {
+          if (color[e.to] == 2) continue;
+          if (color[e.to] == 1) {
+            // Back edge node -> e.to closes a cycle through the gray stack.
+            std::string cycle;
+            for (auto it = std::find(stack.begin(), stack.end(), e.to);
+                 it != stack.end(); ++it) {
+              cycle += *it + " -> ";
+            }
+            cycle += e.to;
+            findings.push_back(
+                {node, e.line, "layering", "include cycle: " + cycle});
+            continue;
+          }
+          visit(e.to);
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [path, content] : sources) {
+    if (color[path] == 0) visit(path);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
+  return findings;
 }
 
 }  // namespace resmon::lint

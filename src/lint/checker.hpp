@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/rules.hpp"
@@ -33,10 +34,22 @@ Allowlist parse_allowlist(const std::string& content);
 /// Lex + run every rule over one file. Inline suppressions are applied by
 /// run_rules; this additionally applies the allowlist. When `used` is
 /// non-null it is resized to entries.size() and used[i] is set when entry i
-/// suppressed at least one finding (stale-entry detection).
+/// suppressed at least one finding (stale-entry detection). `layers` drives
+/// the layering rule (null leaves it inert, matching run_rules).
 std::vector<Finding> check_source(const std::string& path,
                                   const std::string& content,
                                   const Allowlist& allow,
-                                  std::vector<bool>* used = nullptr);
+                                  std::vector<bool>* used = nullptr,
+                                  const LayerGraph* layers = nullptr);
+
+/// Detect `#include` cycles among the given (repo-relative path, content)
+/// pairs using the real include graph: a quoted include "a/b.hpp" resolves
+/// to "src/a/b.hpp" when that file is in the set. The module DAG in
+/// tools/lint_layers.txt forbids cross-module cycles by construction; this
+/// additionally catches header cycles *within* one module. Emits one
+/// `layering` finding per cycle, anchored at the back-edge include line.
+/// Cycles are never allowlistable — an include cycle is always a bug.
+std::vector<Finding> check_include_cycles(
+    const std::vector<std::pair<std::string, std::string>>& sources);
 
 }  // namespace resmon::lint

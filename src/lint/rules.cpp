@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <functional>
 #include <optional>
+#include <sstream>
 #include <string_view>
 
 namespace resmon::lint {
@@ -31,6 +33,7 @@ struct Ctx {
   const std::string& path;
   const std::vector<Token>& toks;
   bool is_header;
+  const LayerGraph* layers;  // may be null: the layering rule is inert then
   std::vector<Finding>* out;
 
   void emit(int line, std::string rule, std::string message) const {
@@ -451,26 +454,246 @@ void rule_class_checks(const Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------- mutex-annotation
+
+// Raw std:: synchronization primitives are invisible to Clang's thread
+// safety analysis, so a bare declaration silently opts its guarded state
+// out of the compile-time race wall. Declarations must go through the
+// annotated wrappers in common/thread_annotations.hpp (Mutex / MutexLock /
+// CondVar); the wrappers' own raw members carry inline allows.
+void rule_mutex_annotation(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/")) return;
+  static constexpr std::array<std::string_view, 6> kBareTypes = {
+      "mutex",        "timed_mutex",        "recursive_mutex",
+      "shared_mutex", "condition_variable", "condition_variable_any"};
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (!is_ident(t[i], "std") || !is_punct(t[i + 1], ':') ||
+        !is_punct(t[i + 2], ':')) {
+      continue;
+    }
+    const Token& type = t[i + 3];
+    if (type.kind != TokKind::Identifier ||
+        std::find(kBareTypes.begin(), kBareTypes.end(), type.text) ==
+            kBareTypes.end()) {
+      continue;
+    }
+    // Only declarations fire: `std::mutex name`. References, pointers, and
+    // template arguments (`std::lock_guard<std::mutex>`, `std::mutex&`) are
+    // uses of an existing — hopefully annotated — primitive.
+    const Token& name = t[i + 4];
+    if (name.kind != TokKind::Identifier) continue;
+    bool annotated = false;
+    for (std::size_t j = i + 4; j < t.size() && !is_punct(t[j], ';'); ++j) {
+      if (t[j].kind == TokKind::Identifier &&
+          starts_with(t[j].text, "RESMON_")) {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated) {
+      ctx.emit(type.line, "mutex-annotation",
+               "raw 'std::" + type.text + " " + name.text +
+                   "' is invisible to thread-safety analysis; use the "
+                   "annotated wrappers in common/thread_annotations.hpp "
+                   "(Mutex/MutexLock/CondVar) or attach a RESMON_* "
+                   "annotation");
+    }
+  }
+}
+
+// ------------------------------------------------------------------ layering
+
+void rule_layering(const Ctx& ctx) {
+  if (ctx.layers == nullptr || !ctx.layers->errors.empty()) return;
+  if (!starts_with(ctx.path, "src/")) return;
+  const std::string_view rest = std::string_view(ctx.path).substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return;  // no module directory
+  const std::string self(rest.substr(0, slash));
+  const auto self_it = ctx.layers->deps.find(self);
+  if (self_it == ctx.layers->deps.end()) {
+    ctx.emit(1, "layering",
+             "module '" + self +
+                 "' is not declared in the layer graph; add it to "
+                 "tools/lint_layers.txt");
+    return;
+  }
+  for (const Token& t : ctx.toks) {
+    if (t.kind != TokKind::Directive) continue;
+    const std::string target = quoted_include_target(t.text);
+    const std::size_t s = target.find('/');
+    if (s == std::string::npos) continue;
+    const std::string mod = target.substr(0, s);
+    if (ctx.layers->deps.find(mod) == ctx.layers->deps.end()) continue;
+    if (mod == self || self_it->second.count(mod) != 0) continue;
+    ctx.emit(t.line, "layering",
+             "module '" + self + "' may not include \"" + target + "\": '" +
+                 mod +
+                 "' is not among its declared dependencies in "
+                 "tools/lint_layers.txt");
+  }
+}
+
 }  // namespace
+
+std::string quoted_include_target(const std::string& directive) {
+  // Directive text looks like `#include "net/wire.hpp"` (possibly with
+  // space between '#' and 'include'). Angle includes and every other
+  // directive return "".
+  const std::size_t inc = directive.find("include");
+  if (inc == std::string::npos) return "";
+  for (std::size_t i = 1; i < inc; ++i) {
+    const char c = directive[i];
+    if (c != ' ' && c != '\t') return "";  // e.g. #define FOO include
+  }
+  const std::size_t open = directive.find('"', inc);
+  if (open == std::string::npos) return "";
+  const std::size_t close = directive.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return directive.substr(open + 1, close - open - 1);
+}
+
+LayerGraph parse_layers(const std::string& content) {
+  LayerGraph out;
+  auto trim = [](const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return std::string();
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+  };
+  auto valid_name = [](const std::string& s) {
+    return !s.empty() && std::all_of(s.begin(), s.end(), [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    });
+  };
+  auto error_at = [&](int lineno, const std::string& what) {
+    out.errors.push_back("layers line " + std::to_string(lineno) + ": " +
+                         what);
+  };
+
+  std::map<std::string, int> decl_line;
+  std::istringstream in(content);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t arrow = line.find("->");
+    const std::size_t open = line.find('{');
+    const std::size_t close = line.find('}');
+    if (arrow == std::string::npos || open == std::string::npos ||
+        close == std::string::npos || open < arrow || close < open ||
+        !trim(line.substr(close + 1)).empty()) {
+      error_at(lineno, "expected '<module> -> {dep, dep, ...}'");
+      continue;
+    }
+    const std::string module = trim(line.substr(0, arrow));
+    if (!valid_name(module)) {
+      error_at(lineno, "bad module name '" + module + "'");
+      continue;
+    }
+    if (!decl_line.emplace(module, lineno).second) {
+      error_at(lineno, "module '" + module + "' declared twice");
+      continue;
+    }
+    std::set<std::string> deps;
+    std::string list = line.substr(open + 1, close - open - 1);
+    std::size_t pos = 0;
+    bool ok = true;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string dep =
+          trim(list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                           : comma - pos));
+      if (!dep.empty()) {
+        if (!valid_name(dep)) {
+          error_at(lineno, "bad dependency name '" + dep + "'");
+          ok = false;
+        } else if (dep == module) {
+          error_at(lineno, "module '" + module + "' depends on itself");
+          ok = false;
+        } else {
+          deps.insert(dep);
+        }
+      } else if (comma != std::string::npos || !trim(list).empty()) {
+        // `{a,,b}` or a stray comma — but a fully empty `{}` list is fine.
+        error_at(lineno, "empty dependency name in list");
+        ok = false;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (ok) out.deps.emplace(module, std::move(deps));
+  }
+
+  // Every dependency must itself be a declared module.
+  for (const auto& [module, deps] : out.deps) {
+    for (const std::string& dep : deps) {
+      if (out.deps.find(dep) == out.deps.end()) {
+        error_at(decl_line[module], "module '" + module +
+                                        "' depends on undeclared module '" +
+                                        dep + "'");
+      }
+    }
+  }
+  if (!out.errors.empty()) return out;
+
+  // The graph must be a DAG: DFS with a gray stack, reporting one cycle.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const std::string& dep : out.deps.at(node)) {
+      if (color[dep] == 2) continue;
+      if (color[dep] == 1) {
+        std::string cycle;
+        const auto begin =
+            std::find(stack.begin(), stack.end(), dep);
+        for (auto it = begin; it != stack.end(); ++it) cycle += *it + " -> ";
+        cycle += dep;
+        out.errors.push_back("layers line " +
+                             std::to_string(decl_line[dep]) +
+                             ": dependency cycle: " + cycle);
+        return false;
+      }
+      if (!visit(dep)) return false;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return true;
+  };
+  for (const auto& [module, deps] : out.deps) {
+    if (color[module] == 0 && !visit(module)) break;
+  }
+  return out;
+}
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "determinism",       "pragma-once", "using-namespace-header",
+      "determinism",       "pragma-once",   "using-namespace-header",
       "std-endl",          "catch-all-swallow",
-      "explicit-ctor",     "virtual-dtor"};
+      "explicit-ctor",     "virtual-dtor",  "mutex-annotation",
+      "layering"};
   return kNames;
 }
 
-std::vector<Finding> run_rules(const std::string& path, const LexResult& lex) {
+std::vector<Finding> run_rules(const std::string& path, const LexResult& lex,
+                               const LayerGraph* layers) {
   std::vector<Finding> findings;
   Ctx ctx{path, lex.tokens, ends_with(path, ".hpp") || ends_with(path, ".h"),
-          &findings};
+          layers, &findings};
   rule_determinism(ctx);
   rule_pragma_once(ctx);
   rule_using_namespace(ctx);
   rule_std_endl(ctx);
   rule_catch_all(ctx);
   rule_class_checks(ctx);
+  rule_mutex_annotation(ctx);
+  rule_layering(ctx);
 
   // Apply inline suppressions: a resmon-lint-allow comment on the finding's
   // line or the line above silences it.

@@ -17,8 +17,19 @@
 //                                              must be explicit
 //   virtual-dtor           src/                polymorphic bases need a
 //                                              virtual (or non-public) dtor
+//   mutex-annotation       src/                raw std::mutex/
+//                                              std::condition_variable
+//                                              declarations must carry a
+//                                              RESMON_* thread-safety
+//                                              annotation (use the wrappers
+//                                              in common/thread_annotations)
+//   layering               src/                #includes must follow the
+//                                              module DAG declared in
+//                                              tools/lint_layers.txt
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,11 +44,36 @@ struct Finding {
   std::string message;
 };
 
+/// Module dependency DAG for the `layering` rule, parsed from
+/// tools/lint_layers.txt. A module is a top-level directory under src/
+/// ("common", "net", ...); deps[m] is the exact set of modules m may
+/// #include from (itself is always allowed).
+struct LayerGraph {
+  std::map<std::string, std::set<std::string>> deps;
+  std::vector<std::string> errors;  // malformed lines / cycles, line-numbered
+};
+
+/// Parse layer-graph text. Format, one module per line:
+///   <module> -> {<dep>, <dep>, ...}     ("{}" for no dependencies)
+/// Blank lines and lines starting with '#' are comments. Errors include
+/// malformed lines, duplicate modules, deps on undeclared modules,
+/// self-deps, and dependency cycles (the DAG property is checked here, so a
+/// parse-clean graph is guaranteed acyclic).
+LayerGraph parse_layers(const std::string& content);
+
+/// Target of a quoted `#include "..."` directive, "" for anything else
+/// (angle includes, other directives). `directive` is a Directive token's
+/// text. Shared by the layering rule and the include-cycle checker.
+std::string quoted_include_target(const std::string& directive);
+
 /// All rule names, in reporting order (for --list-rules and the tests).
 const std::vector<std::string>& rule_names();
 
 /// Run every rule over one lexed file. Inline resmon-lint-allow suppressions
 /// are already applied; the path-based allowlist is applied by the checker.
-std::vector<Finding> run_rules(const std::string& path, const LexResult& lex);
+/// `layers` drives the `layering` rule; when null (or parse-errored) that
+/// rule is inert, so snippet-feeding callers without a DAG are unaffected.
+std::vector<Finding> run_rules(const std::string& path, const LexResult& lex,
+                               const LayerGraph* layers = nullptr);
 
 }  // namespace resmon::lint

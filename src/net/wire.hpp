@@ -1,7 +1,7 @@
 // Binary wire protocol: frame encoders and the incremental decoder.
 //
 // Agents and the controller exchange length-prefixed, CRC-protected frames
-// (layout in net/wire_format.hpp). Encoding is explicit little-endian, so
+// (layout in transport/wire_format.hpp). Encoding is explicit little-endian, so
 // the protocol is byte-identical across hosts; doubles travel as their
 // IEEE-754 bit patterns, making encode -> decode an exact identity
 // (including NaN payloads and signed zeros).
@@ -21,7 +21,7 @@
 #include <variant>
 #include <vector>
 
-#include "net/wire_format.hpp"
+#include "transport/wire_format.hpp"
 #include "transport/channel.hpp"
 
 namespace resmon::net::wire {

@@ -144,7 +144,7 @@ MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family& fam = family(name, help, Kind::kCounter);
   auto [it, inserted] =
       fam.counters.try_emplace(render_labels(labels), nullptr);
@@ -154,7 +154,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family& fam = family(name, help, Kind::kGauge);
   auto [it, inserted] = fam.gauges.try_emplace(render_labels(labels), nullptr);
   if (inserted) it->second = std::make_unique<Gauge>();
@@ -165,7 +165,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       std::vector<double> bounds,
                                       const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family& fam = family(name, help, Kind::kHistogram);
   auto [it, inserted] =
       fam.histograms.try_emplace(render_labels(labels), nullptr);
@@ -175,7 +175,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::optional<double> MetricsRegistry::value(const std::string& name,
                                              const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto fam = families_.find(name);
   if (fam == families_.end()) return std::nullopt;
   const std::string key = render_labels(labels);
@@ -191,7 +191,7 @@ std::optional<double> MetricsRegistry::value(const std::string& name,
 }
 
 std::vector<Sample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Sample> out;
   for (const auto& [name, fam] : families_) {
     for (const auto& [labels, c] : fam.counters) {
@@ -210,7 +210,7 @@ std::vector<Sample> MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::render_text(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, fam] : families_) {
     if (!fam.help.empty()) out << "# HELP " << name << " " << fam.help << "\n";
     const char* type = fam.kind == Kind::kCounter   ? "counter"

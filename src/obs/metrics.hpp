@@ -29,13 +29,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace resmon::obs {
 
@@ -146,10 +146,11 @@ class MetricsRegistry {
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
   };
 
-  Family& family(const std::string& name, const std::string& help, Kind kind);
+  Family& family(const std::string& name, const std::string& help, Kind kind)
+      RESMON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mutex_;
+  std::map<std::string, Family> families_ RESMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace resmon::obs

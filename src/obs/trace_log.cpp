@@ -27,7 +27,7 @@ void TraceBuffer::record(std::string_view name,
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count());
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = std::find(thread_ids_.begin(), thread_ids_.end(), hashed);
   if (it == thread_ids_.end()) {
     thread_ids_.push_back(hashed);
@@ -44,22 +44,22 @@ void TraceBuffer::record(std::string_view name,
 }
 
 std::size_t TraceBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ring_.size();
 }
 
 std::uint64_t TraceBuffer::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_;
 }
 
 std::uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_ - ring_.size();
 }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Once full, next_ points at the oldest retained event.

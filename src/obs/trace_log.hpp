@@ -19,10 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace resmon::obs {
@@ -60,11 +60,13 @@ class TraceBuffer {
  private:
   const std::size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t next_ = 0;          ///< ring write position
-  std::uint64_t recorded_ = 0;
-  std::vector<std::uint64_t> thread_ids_;  ///< hashed std::thread::id -> tid
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> ring_ RESMON_GUARDED_BY(mutex_);
+  /// Ring write position.
+  std::size_t next_ RESMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ RESMON_GUARDED_BY(mutex_) = 0;
+  /// Hashed std::thread::id -> dense tid.
+  std::vector<std::uint64_t> thread_ids_ RESMON_GUARDED_BY(mutex_);
 };
 
 /// RAII span: times construction -> destruction (or stop()), then records

@@ -13,7 +13,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "net/wire_format.hpp"
+#include "transport/wire_format.hpp"
 #include "transport/link.hpp"
 
 namespace resmon::transport {
@@ -26,7 +26,7 @@ struct MeasurementMessage {
 
   /// Serialized size used for bandwidth accounting: the exact byte count of
   /// this message as one wire-protocol frame (header + payload; layout in
-  /// net/wire_format.hpp). net::wire::encode() produces exactly this many
+  /// transport/wire_format.hpp). net::wire::encode() produces exactly this many
   /// bytes, so simulated and real transports report identical bandwidth.
   std::size_t wire_size() const {
     return net::wire::measurement_frame_size(values.size());

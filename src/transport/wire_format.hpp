@@ -3,7 +3,11 @@
 // This header is self-contained (no dependencies beyond <cstdint>) so that
 // lower layers — notably transport::MeasurementMessage::wire_size() — can
 // share the exact byte counts of the real protocol without linking against
-// resmon_net. The encoder/decoder live in net/wire.hpp.
+// resmon_net. That is also why it lives in transport/ rather than net/:
+// net depends on transport, and the lint layering DAG
+// (tools/lint_layers.txt) forbids the reverse include. The declarations
+// keep the resmon::net::wire namespace because they describe the wire
+// protocol; the encoder/decoder live in net/wire.hpp.
 //
 // Frame layout (all integers little-endian):
 //

@@ -198,7 +198,7 @@ TEST(FleetCollector, ChannelAccountsForTraffic) {
   }
   EXPECT_EQ(fleet.link().messages_sent(), transmissions);
   // Every message is one wire frame; wire_size() is the encoder's exact
-  // byte count (see net/wire_format.hpp).
+  // byte count (see transport/wire_format.hpp).
   EXPECT_EQ(fleet.link().bytes_sent(),
             transmissions *
                 net::wire::measurement_frame_size(t.num_resources()));

@@ -134,6 +134,65 @@ TEST(Kernels, ArimaKernelsMatchScalarBitwise) {
   }
 }
 
+TEST(Kernels, ReindexKernelsMatchScalarBitwise) {
+  if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";
+  PathGuard guard;
+  Rng rng(47);
+  const std::size_t n = 211;
+  const std::size_t k = 7;
+  const std::size_t lookbacks = 3;
+  std::vector<std::vector<std::size_t>> past(lookbacks,
+                                             std::vector<std::size_t>(n));
+  for (auto& pass : past) {
+    for (std::size_t i = 0; i < n; ++i) {
+      pass[i] = static_cast<std::size_t>(rng.uniform() * k) % k;
+    }
+  }
+  std::vector<std::size_t> fresh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fresh[i] = static_cast<std::size_t>(rng.uniform() * k) % k;
+  }
+
+  std::vector<std::uint8_t> mask_scalar(n * k, 1), mask_simd(n * k, 1);
+  std::vector<double> w_scalar(k * k, 0.0), w_simd(k * k, 0.0);
+  kern::set_path(kern::Path::kScalar);
+  for (const auto& pass : past) {
+    kern::history_mask(pass.data(), k, 0, n, mask_scalar.data());
+  }
+  kern::similarity_accumulate(fresh.data(), mask_scalar.data(), k, 0, n,
+                              w_scalar.data());
+  kern::set_path(kern::Path::kSimd);
+  for (const auto& pass : past) {
+    kern::history_mask(pass.data(), k, 0, n, mask_simd.data());
+  }
+  kern::similarity_accumulate(fresh.data(), mask_simd.data(), k, 0, n,
+                              w_simd.data());
+
+  EXPECT_EQ(mask_scalar, mask_simd);
+  for (std::size_t c = 0; c < k * k; ++c) {
+    EXPECT_TRUE(bitwise_equal(w_scalar[c], w_simd[c])) << "cell " << c;
+  }
+  // And against the branchy reference loops the kernels replaced.
+  std::vector<std::uint8_t> mask_ref(n * k, 1);
+  for (const auto& pass : past) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (pass[i] != j) mask_ref[i * k + j] = 0;
+      }
+    }
+  }
+  EXPECT_EQ(mask_ref, mask_scalar);
+  std::vector<double> w_ref(k * k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (mask_ref[i * k + j] != 0) w_ref[fresh[i] * k + j] += 1.0;
+    }
+  }
+  for (std::size_t c = 0; c < k * k; ++c) {
+    EXPECT_TRUE(bitwise_equal(w_ref[c], w_scalar[c])) << "cell " << c;
+  }
+}
+
 /// End-to-end: a whole K-means run must be bit-identical across paths.
 TEST(Kernels, KMeansIdenticalAcrossPaths) {
   if (!kern::simd_supported()) GTEST_SKIP() << "no AVX2 on this host";

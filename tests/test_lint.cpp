@@ -381,5 +381,182 @@ TEST(Allowlist, ShippedAllowlistParses) {
 #endif
 }
 
+// ----------------------------------------------------- mutex-annotation
+
+TEST(MutexAnnotation, FlagsBareDeclarationsInSrc) {
+  const auto fs = check("src/core/worker.hpp",
+                        "class W {\n"
+                        "  std::mutex m_;\n"
+                        "  std::condition_variable cv_;\n"
+                        "  std::shared_mutex rw_;\n"
+                        "};\n");
+  EXPECT_TRUE(fires(fs, "mutex-annotation"));
+  EXPECT_EQ(line_of(fs, "mutex-annotation"), 2);
+  EXPECT_EQ(std::count_if(
+                fs.begin(), fs.end(),
+                [](const Finding& f) { return f.rule == "mutex-annotation"; }),
+            3);
+}
+
+TEST(MutexAnnotation, AnnotatedWrappersAndUsesAreFine) {
+  // The annotated wrapper types, RESMON_-annotated raw members, and mere
+  // *uses* of the std types (references, template args) stay silent.
+  EXPECT_FALSE(fires(check("src/core/worker.hpp",
+                           "class W {\n"
+                           "  Mutex mu_;\n"
+                           "  CondVar cv_;\n"
+                           "  int queue_ RESMON_GUARDED_BY(mu_);\n"
+                           "};\n"),
+                     "mutex-annotation"));
+  EXPECT_FALSE(fires(check("src/core/worker.cpp",
+                           "void f(std::mutex& mu) {\n"
+                           "  std::unique_lock<std::mutex> lock(mu);\n"
+                           "  std::mutex* p = &mu;\n"
+                           "}\n"),
+                     "mutex-annotation"));
+}
+
+TEST(MutexAnnotation, ScopedToSrcAndInlineSuppressible) {
+  const std::string bad = "class W { std::mutex m_; };\n";
+  EXPECT_FALSE(fires(check("tests/test_worker.cpp", bad), "mutex-annotation"));
+  EXPECT_FALSE(fires(check("bench/micro_worker.cpp", bad),
+                     "mutex-annotation"));
+  EXPECT_FALSE(fires(
+      check("src/core/worker.hpp",
+            "class W {\n"
+            "  // resmon-lint-allow(mutex-annotation): external lock order\n"
+            "  std::mutex m_;\n"
+            "};\n"),
+      "mutex-annotation"));
+}
+
+// -------------------------------------------------------------- layering
+
+LayerGraph two_layers() {
+  LayerGraph g = parse_layers(
+      "common -> {}\n"
+      "obs -> {common}\n"
+      "net -> {common, obs}\n");
+  EXPECT_TRUE(g.errors.empty());
+  return g;
+}
+
+TEST(Layering, FlagsOutOfLayerInclude) {
+  const LayerGraph g = two_layers();
+  const auto fs = run_rules("src/obs/metrics.cpp",
+                            lex("#include \"common/error.hpp\"\n"
+                                "#include \"net/controller.hpp\"\n"),
+                            &g);
+  ASSERT_TRUE(fires(fs, "layering"));
+  EXPECT_EQ(line_of(fs, "layering"), 2);
+}
+
+TEST(Layering, DeclaredDepsSelfAndSystemIncludesAreFine) {
+  const LayerGraph g = two_layers();
+  EXPECT_FALSE(fires(run_rules("src/net/controller.cpp",
+                               lex("#include <vector>\n"
+                                   "#include \"net/wire.hpp\"\n"
+                                   "#include \"obs/metrics.hpp\"\n"
+                                   "#include \"common/error.hpp\"\n"),
+                               &g),
+                     "layering"));
+  // Files outside src/ and non-module includes are not constrained.
+  EXPECT_FALSE(fires(run_rules("tests/test_net.cpp",
+                               lex("#include \"net/controller.hpp\"\n"), &g),
+                     "layering"));
+}
+
+TEST(Layering, UndeclaredModuleIsAFinding) {
+  const LayerGraph g = two_layers();
+  const auto fs = run_rules("src/rogue/new_module.cpp",
+                            lex("#include \"common/error.hpp\"\n"), &g);
+  ASSERT_TRUE(fires(fs, "layering"));
+  EXPECT_EQ(line_of(fs, "layering"), 1);
+}
+
+TEST(Layering, InertWithoutAGraph) {
+  EXPECT_FALSE(fires(run_rules("src/obs/metrics.cpp",
+                               lex("#include \"net/controller.hpp\"\n"),
+                               nullptr),
+                     "layering"));
+  LayerGraph broken = parse_layers("not a layer line\n");
+  ASSERT_FALSE(broken.errors.empty());
+  EXPECT_FALSE(fires(run_rules("src/obs/metrics.cpp",
+                               lex("#include \"net/controller.hpp\"\n"),
+                               &broken),
+                     "layering"));
+}
+
+TEST(Layering, AllowlistSuppressesOutOfLayerInclude) {
+  const LayerGraph g = two_layers();
+  const Allowlist allow = parse_allowlist(
+      "layering src/obs/legacy.cpp  # migration in flight\n");
+  ASSERT_TRUE(allow.errors.empty());
+  EXPECT_TRUE(check_source("src/obs/legacy.cpp",
+                           "#include \"net/controller.hpp\"\n", allow,
+                           nullptr, &g)
+                  .empty());
+  EXPECT_FALSE(check_source("src/obs/metrics.cpp",
+                            "#include \"net/controller.hpp\"\n", allow,
+                            nullptr, &g)
+                   .empty());
+}
+
+TEST(Layering, ParseRejectsMalformedGraphs) {
+  EXPECT_FALSE(parse_layers("obs\n").errors.empty());
+  EXPECT_FALSE(parse_layers("obs -> common\n").errors.empty());
+  EXPECT_FALSE(parse_layers("obs -> {common\n").errors.empty());
+  // Duplicate module, undeclared dependency, self-dependency.
+  EXPECT_FALSE(
+      parse_layers("obs -> {}\nobs -> {}\n").errors.empty());
+  EXPECT_FALSE(parse_layers("obs -> {ghost}\n").errors.empty());
+  EXPECT_FALSE(parse_layers("obs -> {obs}\n").errors.empty());
+}
+
+TEST(Layering, ParseDetectsDependencyCycles) {
+  const LayerGraph g = parse_layers(
+      "a -> {b}\n"
+      "b -> {c}\n"
+      "c -> {a}\n");
+  ASSERT_FALSE(g.errors.empty());
+  EXPECT_NE(g.errors[0].find("dependency cycle"), std::string::npos);
+}
+
+TEST(Layering, IncludeCycleDetection) {
+  // a.hpp -> b.hpp -> a.hpp is a cycle even though each edge individually
+  // stays inside one module (so the DAG rule cannot see it).
+  const auto fs = check_include_cycles(
+      {{"src/common/a.hpp", "#include \"common/b.hpp\"\n"},
+       {"src/common/b.hpp", "#include \"common/a.hpp\"\n"},
+       {"src/common/c.hpp", "#include \"common/a.hpp\"\n"}});
+  ASSERT_FALSE(fs.empty());
+  EXPECT_EQ(fs[0].rule, "layering");
+  EXPECT_NE(fs[0].message.find("include cycle"), std::string::npos);
+  // Acyclic graphs are quiet.
+  EXPECT_TRUE(check_include_cycles(
+                  {{"src/common/a.hpp", "#include \"common/b.hpp\"\n"},
+                   {"src/common/b.hpp", "#include <vector>\n"}})
+                  .empty());
+}
+
+// The shipped layer graph must itself parse cleanly.
+TEST(Layering, ShippedLayerGraphParses) {
+#ifdef RESMON_SOURCE_DIR
+  std::ifstream in(std::string(RESMON_SOURCE_DIR) + "/tools/lint_layers.txt");
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const LayerGraph g = parse_layers(ss.str());
+  for (const auto& e : g.errors) ADD_FAILURE() << e;
+  EXPECT_FALSE(g.deps.empty());
+  // Every module must be reachable from the leaf layer: common exists and
+  // depends on nothing.
+  ASSERT_TRUE(g.deps.count("common"));
+  EXPECT_TRUE(g.deps.at("common").empty());
+#else
+  GTEST_SKIP() << "RESMON_SOURCE_DIR not defined";
+#endif
+}
+
 }  // namespace
 }  // namespace resmon::lint

@@ -9,19 +9,26 @@
 // and make the tool exit 1, so CI and scripts/check_lint.sh can gate on it.
 // Sanctioned exceptions live in tools/lint_allowlist.txt — every entry needs
 // a '# reason' comment — or inline as '// resmon-lint-allow(rule): reason'.
+// The module dependency DAG for the layering rule lives in
+// tools/lint_layers.txt; a malformed or cyclic DAG is exit 2, like a
+// malformed allowlist.
 //
 // Usage:
-//   resmon_lint [--root DIR] [--allowlist FILE] [--list-rules] [paths...]
+//   resmon_lint [--root DIR] [--allowlist FILE] [--layers FILE]
+//               [--list-rules] [--summary] [paths...]
 //
 // With no paths, scans src/ tools/ bench/ examples/ tests/ under --root
-// (default: the current directory).
+// (default: the current directory). --summary appends a per-rule finding
+// count table after the diagnostics.
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/checker.hpp"
@@ -52,6 +59,8 @@ std::string rel_path(const fs::path& p, const fs::path& root) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path allowlist_path;
+  fs::path layers_path;
+  bool summary = false;
   std::vector<std::string> explicit_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +69,10 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (arg == "--list-rules") {
       for (const auto& name : resmon::lint::rule_names()) {
         std::cout << name << "\n";
@@ -67,7 +80,7 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: resmon_lint [--root DIR] [--allowlist FILE] "
-                   "[--list-rules] [paths...]\n";
+                   "[--layers FILE] [--list-rules] [--summary] [paths...]\n";
       return 0;
     } else {
       explicit_paths.push_back(arg);
@@ -77,6 +90,9 @@ int main(int argc, char** argv) {
   if (allowlist_path.empty()) {
     allowlist_path = root / "tools" / "lint_allowlist.txt";
   }
+  if (layers_path.empty()) {
+    layers_path = root / "tools" / "lint_layers.txt";
+  }
 
   resmon::lint::Allowlist allow;
   if (fs::exists(allowlist_path)) {
@@ -85,6 +101,19 @@ int main(int argc, char** argv) {
   if (!allow.errors.empty()) {
     for (const auto& e : allow.errors) {
       std::cerr << allowlist_path.string() << ": error: " << e << "\n";
+    }
+    return 2;
+  }
+
+  resmon::lint::LayerGraph layers;
+  bool have_layers = false;
+  if (fs::exists(layers_path)) {
+    layers = resmon::lint::parse_layers(read_file(layers_path));
+    have_layers = true;
+  }
+  if (!layers.errors.empty()) {
+    for (const auto& e : layers.errors) {
+      std::cerr << layers_path.string() << ": error: " << e << "\n";
     }
     return 2;
   }
@@ -116,20 +145,31 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
 
   std::vector<bool> entry_used(allow.entries.size(), false);
+  std::map<std::string, std::size_t> per_rule;
   std::size_t findings = 0;
+  auto report = [&](const resmon::lint::Finding& f) {
+    std::cout << f.path << ":" << f.line << ": error: [" << f.rule << "] "
+              << f.message << "\n";
+    ++per_rule[f.rule];
+    ++findings;
+  };
+  // (path, content) pairs of the src/ files in this run feed the
+  // include-cycle pass below.
+  std::vector<std::pair<std::string, std::string>> src_sources;
   for (const auto& file : files) {
+    const std::string rel = rel_path(file, root);
+    const std::string content = read_file(file);
+    if (rel.rfind("src/", 0) == 0) src_sources.emplace_back(rel, content);
     std::vector<bool> used;
-    const auto result = resmon::lint::check_source(rel_path(file, root),
-                                                   read_file(file), allow,
-                                                   &used);
+    const auto result = resmon::lint::check_source(
+        rel, content, allow, &used, have_layers ? &layers : nullptr);
     for (std::size_t i = 0; i < used.size(); ++i) {
       if (used[i]) entry_used[i] = true;
     }
-    for (const auto& f : result) {
-      std::cout << f.path << ":" << f.line << ": error: [" << f.rule << "] "
-                << f.message << "\n";
-      ++findings;
-    }
+    for (const auto& f : result) report(f);
+  }
+  for (const auto& f : resmon::lint::check_include_cycles(src_sources)) {
+    report(f);
   }
 
   // Stale allowlist entries are a warning, not an error: some entries (e.g.
@@ -138,6 +178,17 @@ int main(int argc, char** argv) {
     if (!entry_used[i]) {
       std::cerr << "warning: allowlist entry '" << allow.entries[i].rule << " "
                 << allow.entries[i].path << "' suppressed nothing\n";
+    }
+  }
+
+  // --summary: one line per rule in catalogue order, zeros included, so CI
+  // logs show at a glance which walls fired (and that all of them ran).
+  if (summary) {
+    std::cout << "rule summary:\n";
+    for (const auto& name : resmon::lint::rule_names()) {
+      const auto it = per_rule.find(name);
+      std::cout << "  " << name << ": "
+                << (it == per_rule.end() ? 0 : it->second) << "\n";
     }
   }
 
